@@ -1,0 +1,113 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (sections printed to stdout, CSVs under results/), then runs Bechamel
+   micro-benchmarks of the library's hot paths.
+
+   Usage: main.exe [--quick | --paper] [--skip-micro]
+   Default scale completes in a few minutes; --paper runs the full SS 6
+   campaign (50x30, 100x1000, 13x13 with the complete alpha grid). *)
+
+let run_figures scale out_dir =
+  match scale with
+  | `Quick -> Figures.all_quick ~out_dir ()
+  | `Paper -> Figures.all_paper ~out_dir ()
+  | `Default ->
+    Figures.table1 ~out_dir ();
+    Figures.figure8 ~out_dir ();
+    Figures.figure9 ~out_dir ();
+    Figures.figure10 ~out_dir ~count:50 ~exact_nodes:10_000 ~capped_count:15 ~tiny_count:20 ();
+    Figures.figure11 ~out_dir ();
+    Figures.figure12 ~out_dir ~count:30 ~size:1000 ();
+    Figures.figure13 ~out_dir ();
+    Figures.figure14 ~out_dir ~n:13 ();
+    Figures.figure15 ~out_dir ~n:13 ();
+    Figures.ilp_cross_check ~out_dir ~node_limit:20_000 ();
+    Figures.ablations ~out_dir ~count:20 ();
+    Figures.extensions ~out_dir ~count:20 ();
+    Plots.write_gnuplot ~out_dir ()
+
+(* ------------------------------------------------------ micro-benchmarks *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let rng = Rng.create 99 in
+  let small = Daggen.generate rng Daggen.small_rand_params in
+  let large = Daggen.generate rng { Daggen.large_rand_params with Daggen.size = 300 } in
+  let lu = Lu.generate ~n:8 () in
+  let plat = Platform.unbounded ~p_blue:2 ~p_red:2 in
+  let mirage = Platform.unbounded ~p_blue:12 ~p_red:3 in
+  let bounded g platform frac =
+    let o = Outcome.run Heuristics.HEFT g platform in
+    let b = frac *. Outcome.peak_max o in
+    Platform.with_bounds platform ~m_blue:b ~m_red:b
+  in
+  let small_b = bounded small plat 0.7 in
+  let large_b = bounded large plat 0.7 in
+  let lu_b = bounded lu mirage 0.7 in
+  let run h g p () = ignore (Heuristics.run h g p) in
+  let stage f = Staged.stage f in
+  [ Test.make ~name:"heft/rand30" (stage (run Heuristics.HEFT small plat));
+    Test.make ~name:"minmin/rand30" (stage (run Heuristics.MinMin small plat));
+    Test.make ~name:"memheft/rand30@0.7" (stage (run Heuristics.MemHEFT small small_b));
+    Test.make ~name:"memminmin/rand30@0.7" (stage (run Heuristics.MemMinMin small small_b));
+    Test.make ~name:"memheft/rand300@0.7" (stage (run Heuristics.MemHEFT large large_b));
+    Test.make ~name:"memminmin/rand300@0.7" (stage (run Heuristics.MemMinMin large large_b));
+    Test.make ~name:"memheft/lu8@0.7" (stage (run Heuristics.MemHEFT lu lu_b));
+    Test.make ~name:"validator/lu8"
+      (stage
+         (let s = Heuristics.heft lu mirage in
+          fun () -> ignore (Validator.validate lu mirage s)));
+    Test.make ~name:"rank/rand300" (stage (fun () -> ignore (Rank.upward_ranks large)));
+    Test.make ~name:"daggen/rand30"
+      (stage
+         (let r = Rng.create 1 in
+          fun () -> ignore (Daggen.generate r Daggen.small_rand_params)));
+    Test.make ~name:"exact/dex-m4"
+      (stage
+         (let dex = Toy.dex () in
+          let p = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:4. ~m_red:4. in
+          fun () -> ignore (Exact.solve dex p)))
+  ]
+
+let run_micro () =
+  Printf.printf "\n==== Micro-benchmarks (Bechamel) ====\n\n%!";
+  let tests = Test.make_grouped ~name:"memsched" ~fmt:"%s %s" (micro_tests ()) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Table.print ~header:[ "benchmark"; "time/run" ]
+    (List.map
+       (fun (name, ns) ->
+         let cell =
+           if Float.is_nan ns then "-"
+           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; cell ])
+       rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let scale =
+    if List.mem "--quick" args then `Quick else if List.mem "--paper" args then `Paper else `Default
+  in
+  let out_dir = "results" in
+  run_figures scale out_dir;
+  if not (List.mem "--skip-micro" args) then run_micro ();
+  Printf.printf "\nAll sections complete; CSVs in %s/\n" out_dir

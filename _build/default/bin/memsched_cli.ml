@@ -1,0 +1,266 @@
+(* memsched: command-line front-end.
+
+   Subcommands:
+     generate    build a DAG (random / LU / Cholesky / the paper's toy) and
+                 write it in the text format or as DOT
+     schedule    run a heuristic on a DAG file and print the schedule,
+                 Gantt chart and validation report
+     exact       run the exact branch-and-bound scheduler
+     export-lp   write the paper's ILP for an instance in CPLEX-LP format
+     experiment  regenerate a table/figure of the paper *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------ common args *)
+
+let platform_term =
+  let p_blue =
+    Arg.(value & opt int 2 & info [ "p-blue" ] ~docv:"N" ~doc:"Number of blue (CPU) processors.")
+  in
+  let p_red =
+    Arg.(value & opt int 2 & info [ "p-red" ] ~docv:"N" ~doc:"Number of red (GPU) processors.")
+  in
+  let m_blue =
+    Arg.(
+      value
+      & opt float infinity
+      & info [ "m-blue" ] ~docv:"MEM" ~doc:"Blue memory capacity (default unbounded).")
+  in
+  let m_red =
+    Arg.(
+      value
+      & opt float infinity
+      & info [ "m-red" ] ~docv:"MEM" ~doc:"Red memory capacity (default unbounded).")
+  in
+  let make p_blue p_red m_blue m_red = Platform.make ~p_blue ~p_red ~m_blue ~m_red in
+  Term.(const make $ p_blue $ p_red $ m_blue $ m_red)
+
+let read_dag path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Dag.of_string s
+
+let output_string_to path s =
+  match path with
+  | None -> print_string s
+  | Some path ->
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+
+(* --------------------------------------------------------------- generate *)
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("daggen", `Daggen); ("lu", `Lu); ("cholesky", `Cholesky); ("dex", `Dex) ])) None
+      & info [] ~docv:"KIND" ~doc:"One of: daggen, lu, cholesky, dex.")
+  in
+  let size = Arg.(value & opt int 30 & info [ "size"; "n" ] ~docv:"N" ~doc:"Task count (daggen) or tile count (lu/cholesky).") in
+  let width = Arg.(value & opt float 0.3 & info [ "width" ] ~doc:"daggen width parameter in (0,1].") in
+  let density = Arg.(value & opt float 0.5 & info [ "density" ] ~doc:"daggen density parameter in [0,1].") in
+  let jumps = Arg.(value & opt int 5 & info [ "jumps" ] ~doc:"daggen maximum level jump.") in
+  let seed = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"Random seed.") in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz DOT instead of the text format.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout by default).") in
+  let run kind size width density jumps seed dot out =
+    let g =
+      match kind with
+      | `Dex -> Toy.dex ()
+      | `Lu -> Lu.generate ~n:size ()
+      | `Cholesky -> Cholesky.generate ~n:size ()
+      | `Daggen ->
+        let params =
+          {
+            Daggen.small_rand_params with
+            Daggen.size;
+            Daggen.width;
+            Daggen.density;
+            Daggen.jumps;
+          }
+        in
+        Daggen.generate (Rng.create seed) params
+    in
+    output_string_to out (if dot then Dag.to_dot g else Dag.to_string g);
+    Format.eprintf "%a@." Dag.pp_stats g
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a task graph.")
+    Term.(const run $ kind $ size $ width $ density $ jumps $ seed $ dot $ out)
+
+(* --------------------------------------------------------------- schedule *)
+
+let heuristic_conv =
+  Arg.enum
+    [ ("heft", Heuristics.HEFT); ("minmin", Heuristics.MinMin); ("memheft", Heuristics.MemHEFT);
+      ("memminmin", Heuristics.MemMinMin); ("maxmin", Heuristics.MaxMin);
+      ("sufferage", Heuristics.Sufferage); ("memmaxmin", Heuristics.MemMaxMin);
+      ("memsufferage", Heuristics.MemSufferage) ]
+
+let schedule_cmd =
+  let dag = Arg.(required & pos 0 (some file) None & info [] ~docv:"DAG" ~doc:"DAG file (text format).") in
+  let heuristic =
+    Arg.(
+      value
+      & opt heuristic_conv Heuristics.MemHEFT
+      & info [ "heuristic"; "H" ]
+          ~doc:"heft | minmin | memheft | memminmin | maxmin | sufferage | memmaxmin | memsufferage.")
+  in
+  let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print schedule statistics.") in
+  let restarts =
+    Arg.(
+      value & opt int 0
+      & info [ "restarts" ] ~docv:"K"
+          ~doc:"MemHEFT only: additionally try $(docv) randomly tie-broken passes and keep the best.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the schedule to a file.")
+  in
+  let run platform dag heuristic gantt stats restarts out =
+    let g = read_dag dag in
+    let result =
+      if restarts > 0 && heuristic = Heuristics.MemHEFT then begin
+        let m = Multistart.memheft ~restarts g platform in
+        Printf.printf "multistart: %d/%d runs feasible\n" m.Multistart.n_feasible
+          m.Multistart.n_runs;
+        m.Multistart.best
+      end
+      else Heuristics.run heuristic g platform
+    in
+    match result with
+    | Error f ->
+      Printf.printf "infeasible: %s\n" f.Heuristics.reason;
+      `Ok ()
+    | Ok s ->
+      let check_platform =
+        if Heuristics.is_memory_aware heuristic then platform
+        else Platform.with_bounds platform ~m_blue:infinity ~m_red:infinity
+      in
+      (match Validator.validate g check_platform s with
+      | Ok r ->
+        Printf.printf "%s: makespan=%g peaks=(%g, %g)\n"
+          (Heuristics.name_to_string heuristic)
+          r.Validator.makespan r.Validator.peak_blue r.Validator.peak_red
+      | Error errs -> List.iter print_endline errs);
+      if gantt then print_string (Gantt.render g platform s);
+      if stats then Format.printf "%a@." Sched_stats.pp (Sched_stats.compute g check_platform s);
+      Option.iter (Schedule_io.write s) out;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Schedule a DAG with one of the list heuristics.")
+    Term.(ret (const run $ platform_term $ dag $ heuristic $ gantt $ stats $ restarts $ out))
+
+(* --------------------------------------------------------------- validate *)
+
+let validate_cmd =
+  let dag = Arg.(required & pos 0 (some file) None & info [] ~docv:"DAG" ~doc:"DAG file.") in
+  let sched = Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEDULE" ~doc:"Schedule file.") in
+  let run platform dag sched =
+    let g = read_dag dag in
+    let s = Schedule_io.read g sched in
+    match Validator.validate g platform s with
+    | Ok r ->
+      Printf.printf "valid: makespan=%g peaks=(%g, %g)\n" r.Validator.makespan r.Validator.peak_blue
+        r.Validator.peak_red;
+      `Ok ()
+    | Error errs ->
+      List.iter print_endline errs;
+      `Error (false, "schedule is invalid")
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Re-check a stored schedule against the full model oracle.")
+    Term.(ret (const run $ platform_term $ dag $ sched))
+
+(* ------------------------------------------------------------------ exact *)
+
+let exact_cmd =
+  let dag = Arg.(required & pos 0 (some file) None & info [] ~docv:"DAG" ~doc:"DAG file.") in
+  let nodes = Arg.(value & opt int 2_000_000 & info [ "node-limit" ] ~doc:"Branch-and-bound node budget.") in
+  let run platform dag nodes =
+    let g = read_dag dag in
+    let r = Exact.solve ~node_limit:nodes g platform in
+    let status =
+      match r.Exact.status with
+      | Exact.Proven_optimal -> "optimal"
+      | Exact.Feasible -> "feasible (node budget hit)"
+      | Exact.Proven_infeasible -> "infeasible"
+      | Exact.Unknown -> "unknown (node budget hit)"
+    in
+    Printf.printf "status: %s\nnodes: %d\n" status r.Exact.nodes;
+    if not (Float.is_nan r.Exact.makespan) then Printf.printf "makespan: %g\n" r.Exact.makespan
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact branch-and-bound scheduling (small instances).")
+    Term.(const run $ platform_term $ dag $ nodes)
+
+(* -------------------------------------------------------------- export-lp *)
+
+let export_lp_cmd =
+  let dag = Arg.(required & pos 0 (some file) None & info [] ~docv:"DAG" ~doc:"DAG file.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"LP file (stdout by default).") in
+  let run platform dag out =
+    let g = read_dag dag in
+    let platform =
+      (* The ILP needs finite capacities; cap by the total file size. *)
+      let cap m = if m = infinity then Dag.total_file_size g else m in
+      Platform.with_bounds platform
+        ~m_blue:(cap (Platform.capacity platform Platform.Blue))
+        ~m_red:(cap (Platform.capacity platform Platform.Red))
+    in
+    let model = Ilp_model.build g platform in
+    output_string_to out (Lp_format.to_string (Ilp_model.lp model));
+    Format.eprintf "ILP: %d variables, %d constraints@." (Ilp_model.n_vars model)
+      (Ilp_model.n_constrs model)
+  in
+  Cmd.v
+    (Cmd.info "export-lp" ~doc:"Write the paper's ILP in CPLEX-LP format.")
+    Term.(const run $ platform_term $ dag $ out)
+
+(* ------------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("table1", `T1); ("figure8", `F8); ("figure9", `F9); ("figure10", `F10);
+                  ("figure11", `F11); ("figure12", `F12); ("figure13", `F13); ("figure14", `F14);
+                  ("figure15", `F15); ("ilp", `Ilp); ("ablations", `Abl); ("all", `All) ]))
+          None
+      & info [] ~docv:"WHICH" ~doc:"table1, figure8..figure15, ilp, ablations or all.")
+  in
+  let paper = Arg.(value & flag & info [ "paper" ] ~doc:"Full paper scale (slower).") in
+  let out_dir = Arg.(value & opt string "results" & info [ "out-dir" ] ~doc:"CSV output directory.") in
+  let run which paper out_dir =
+    match which with
+    | `T1 -> Figures.table1 ~out_dir ()
+    | `F8 -> Figures.figure8 ~out_dir ()
+    | `F9 -> Figures.figure9 ~out_dir ()
+    | `F10 -> if paper then Figures.figure10 ~out_dir () else Figures.figure10 ~out_dir ~count:15 ()
+    | `F11 -> Figures.figure11 ~out_dir ()
+    | `F12 ->
+      if paper then Figures.figure12 ~out_dir () else Figures.figure12 ~out_dir ~count:10 ~size:300 ()
+    | `F13 -> Figures.figure13 ~out_dir ()
+    | `F14 -> Figures.figure14 ~out_dir ()
+    | `F15 -> Figures.figure15 ~out_dir ()
+    | `Ilp -> Figures.ilp_cross_check ~out_dir ()
+    | `Abl -> Figures.ablations ~out_dir ()
+    | `All -> if paper then Figures.all_paper ~out_dir () else Figures.all_quick ~out_dir ()
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper.")
+    Term.(const run $ which $ paper $ out_dir)
+
+let () =
+  let info =
+    Cmd.info "memsched" ~version:"1.0.0"
+      ~doc:"Memory-aware list scheduling for hybrid (dual-memory) platforms."
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; schedule_cmd; validate_cmd; exact_cmd; export_lp_cmd; experiment_cmd ]))

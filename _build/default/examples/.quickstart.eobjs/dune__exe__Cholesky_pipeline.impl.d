@@ -1,0 +1,1 @@
+examples/cholesky_pipeline.ml: Array Broadcast Cholesky Dag Float Format Heuristics Outcome Platform Printf Sys Workloads

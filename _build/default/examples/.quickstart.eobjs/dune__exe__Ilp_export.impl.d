@@ -1,0 +1,1 @@
+examples/ilp_export.ml: Exact Filename Gantt Heuristics Ilp_model List Lp_format Mip Outcome Platform Printf Toy Validator

@@ -1,0 +1,1 @@
+examples/ilp_export.mli:

@@ -1,0 +1,1 @@
+examples/multi_accelerator.ml: Array Dag Daggen List Mheuristics Mplatform Mproblem Mschedule Printf Rng

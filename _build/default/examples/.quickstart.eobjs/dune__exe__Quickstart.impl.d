@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dag Exact Format Gantt Heuristics List Outcome Platform Printf

@@ -1,0 +1,1 @@
+examples/random_workflow.ml: Array Dag Daggen Float Format Gantt Heuristics List Platform Printf Rng Sweep Sys

@@ -1,0 +1,50 @@
+(* Scheduling a randomly generated scientific workflow under shrinking
+   memory budgets: the trade-off curve of Figures 10-13 on a single DAG.
+
+   Run with: dune exec examples/random_workflow.exe [-- SIZE [SEED]] *)
+
+let () =
+  let size = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 60 in
+  let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 42 in
+  let params = { Daggen.small_rand_params with Daggen.size } in
+  let g = Daggen.generate (Rng.create seed) params in
+  Format.printf "workflow: %a@.@." Dag.pp_stats g;
+
+  let platform = Platform.unbounded ~p_blue:2 ~p_red:2 in
+  let b = Sweep.baseline platform g in
+  Printf.printf "HEFT   makespan %g using up to %g memory units per memory\n" b.Sweep.heft_makespan
+    b.Sweep.heft_peak;
+  Printf.printf "MinMin makespan %g using up to %g memory units\n" b.Sweep.minmin_makespan
+    b.Sweep.minmin_peak;
+  Printf.printf "lower bound on any makespan: %g\n\n" b.Sweep.lower_bound;
+
+  Printf.printf "%6s  %10s  %22s  %22s\n" "alpha" "memory" "MemHEFT (vs HEFT)" "MemMinMin (vs HEFT)";
+  List.iter
+    (fun alpha ->
+      let bound = Float.round (alpha *. b.Sweep.heft_peak) in
+      let cell h =
+        let m = Sweep.run_bounded platform b h ~bound in
+        if m.Sweep.feasible then Printf.sprintf "%8.0f (%4.2fx)" m.Sweep.makespan m.Sweep.ratio
+        else "   infeasible"
+      in
+      Printf.printf "%6.2f  %10.0f  %22s  %22s\n" alpha bound (cell Heuristics.MemHEFT)
+        (cell Heuristics.MemMinMin))
+    [ 1.0; 0.9; 0.8; 0.7; 0.6; 0.5; 0.4; 0.3 ];
+
+  (* Where the memory actually goes: usage profile of the tightest feasible
+     MemHEFT schedule. *)
+  let rec tightest alpha =
+    if alpha > 1.0 then None
+    else begin
+      let bound = Float.round (alpha *. b.Sweep.heft_peak) in
+      let p = Platform.with_bounds platform ~m_blue:bound ~m_red:bound in
+      match Heuristics.memheft g p with
+      | Ok s -> Some (bound, p, s)
+      | Error _ -> tightest (alpha +. 0.05)
+    end
+  in
+  match tightest 0.3 with
+  | Some (bound, p, s) ->
+    Printf.printf "\ntightest feasible MemHEFT schedule (M = %g):\n%s" bound
+      (Gantt.render_memory_profile ~width:64 g p s)
+  | None -> ()

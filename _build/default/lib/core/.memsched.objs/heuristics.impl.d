@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Dag List Platform Rank Result Sched_state Schedule

@@ -1,0 +1,1 @@
+lib/core/heuristics.mli: Dag Platform Result Rng Sched_state Schedule

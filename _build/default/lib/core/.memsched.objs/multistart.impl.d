@@ -1,0 +1,1 @@
+lib/core/multistart.ml: Heuristics List Platform Rng Schedule Stats

@@ -1,0 +1,1 @@
+lib/core/multistart.mli: Dag Heuristics Platform Sched_state

@@ -1,0 +1,1 @@
+lib/core/outcome.ml: Format Heuristics Option Platform Printf Schedule String Validator

@@ -1,0 +1,1 @@
+lib/core/outcome.mli: Dag Format Heuristics Platform Rng Sched_state Schedule

@@ -1,0 +1,1 @@
+lib/core/sched_state.ml: Array Dag Fp List Option Platform Schedule Staircase

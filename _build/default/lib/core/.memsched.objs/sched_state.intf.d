@@ -1,0 +1,1 @@
+lib/core/sched_state.mli: Dag Platform Schedule

@@ -1,0 +1,197 @@
+type failure = {
+  reason : string;
+  n_scheduled : int;
+}
+
+type result = (Schedule.t, failure) Result.t
+
+let fail state reason = Error { reason; n_scheduled = Sched_state.n_assigned state }
+
+(* Algorithm 1 (MemHEFT).  The outer loop repeatedly scans the priority list
+   and commits the first task that is ready and memory-feasible; a full scan
+   without a commit means the graph cannot be processed within the bounds. *)
+let memheft_run ?options ?rng g platform =
+  let state = Sched_state.create ?options g platform in
+  let order = Rank.priority_list ?rng g in
+  let n = Dag.n_tasks g in
+  let done_ = Array.make n false in
+  let remaining = ref n in
+  let rec round () =
+    if !remaining = 0 then Ok (Sched_state.schedule state)
+    else begin
+      let committed = ref false in
+      let k = ref 0 in
+      while (not !committed) && !k < n do
+        let i = order.(!k) in
+        if (not done_.(i)) && Sched_state.is_ready state i then begin
+          match Sched_state.best_estimate state i with
+          | Some e ->
+            Sched_state.commit state e;
+            done_.(i) <- true;
+            decr remaining;
+            committed := true
+          | None -> ()
+        end;
+        incr k
+      done;
+      if !committed then round ()
+      else fail state "no ready task fits within the memory bounds"
+    end
+  in
+  (state, round ())
+
+let memheft ?options ?rng g platform = snd (memheft_run ?options ?rng g platform)
+
+(* Algorithm 2 (MemMinMin).  Among ready tasks, schedule the one with the
+   smallest earliest finish time; ties break by task id. *)
+let memminmin_run ?options g platform =
+  let state = Sched_state.create ?options g platform in
+  let n = Dag.n_tasks g in
+  let rec round () =
+    if Sched_state.n_assigned state = n then Ok (Sched_state.schedule state)
+    else begin
+      let best = ref None in
+      List.iter
+        (fun i ->
+          match Sched_state.best_estimate state i with
+          | Some e -> (
+            match !best with
+            | Some b when b.Sched_state.eft <= e.Sched_state.eft -> ()
+            | _ -> best := Some e)
+          | None -> ())
+        (Sched_state.ready_tasks state);
+      match !best with
+      | Some e ->
+        Sched_state.commit state e;
+        round ()
+      | None -> fail state "no ready task fits within the memory bounds"
+    end
+  in
+  (state, round ())
+
+let memminmin ?options g platform = snd (memminmin_run ?options g platform)
+
+(* Dynamic-selection variants from the family of Braun et al. (the paper's
+   reference [4] for MinMin) with the same memory-aware machinery.  These
+   are extensions beyond the paper, used by the ablation benches:
+   - MaxMin: schedule the ready task with the LARGEST best EFT first (give
+     long tasks a head start);
+   - Sufferage: schedule the task that would suffer most from not getting
+     its preferred memory (largest second-best minus best EFT). *)
+let dynamic_run ?options ~select g platform =
+  let state = Sched_state.create ?options g platform in
+  let n = Dag.n_tasks g in
+  let rec round () =
+    if Sched_state.n_assigned state = n then Ok (Sched_state.schedule state)
+    else begin
+      let best = ref None in
+      List.iter
+        (fun i ->
+          let blue = Sched_state.estimate state i Platform.Blue in
+          let red = Sched_state.estimate state i Platform.Red in
+          match Sched_state.best_estimate state i with
+          | Some e ->
+            let score = select ~best:e ~blue ~red in
+            (match !best with
+            | Some (s, _) when s >= score -> ()
+            | _ -> best := Some (score, e))
+          | None -> ())
+        (Sched_state.ready_tasks state);
+      match !best with
+      | Some (_, e) ->
+        Sched_state.commit state e;
+        round ()
+      | None -> fail state "no ready task fits within the memory bounds"
+    end
+  in
+  (state, round ())
+
+let memmaxmin ?options g platform =
+  let select ~best ~blue:_ ~red:_ = best.Sched_state.eft in
+  snd (dynamic_run ?options ~select g platform)
+
+let memsufferage ?options g platform =
+  let select ~best ~blue ~red =
+    match (blue, red) with
+    | Some a, Some b -> abs_float (a.Sched_state.eft -. b.Sched_state.eft)
+    | Some _, None | None, Some _ ->
+      (* only one memory fits: infinite sufferage, schedule it now *)
+      infinity
+    | None, None -> ignore best; neg_infinity
+  in
+  snd (dynamic_run ?options ~select g platform)
+
+let unbounded_platform platform =
+  Platform.with_bounds platform ~m_blue:infinity ~m_red:infinity
+
+(* Memory-oblivious runs with the planner's accounting enabled: a capacity of
+   the total file size can never constrain any decision (each memory holds at
+   most every file at once, and a decision's requirement is disjoint from the
+   files already resident), so the run takes exactly the unbounded decisions
+   while the state tracks the planned peaks. *)
+let never_binding_platform g platform =
+  let cap = max 1. (Dag.total_file_size g) in
+  Platform.with_bounds platform ~m_blue:cap ~m_red:cap
+
+let heft_measured ?options ?rng g platform =
+  match memheft_run ?options ?rng g (never_binding_platform g platform) with
+  | state, Ok s ->
+    (s, (Sched_state.planned_peak state Platform.Blue, Sched_state.planned_peak state Platform.Red))
+  | _, Error _ -> assert false
+
+let minmin_measured ?options g platform =
+  match memminmin_run ?options g (never_binding_platform g platform) with
+  | state, Ok s ->
+    (s, (Sched_state.planned_peak state Platform.Blue, Sched_state.planned_peak state Platform.Red))
+  | _, Error _ -> assert false
+
+let heft ?options ?rng g platform =
+  match memheft ?options ?rng g (unbounded_platform platform) with
+  | Ok s -> s
+  | Error _ -> assert false (* unbounded memories: the scan always commits *)
+
+let minmin ?options g platform =
+  match memminmin ?options g (unbounded_platform platform) with
+  | Ok s -> s
+  | Error _ -> assert false
+
+let maxmin ?options g platform =
+  match memmaxmin ?options g (unbounded_platform platform) with
+  | Ok s -> s
+  | Error _ -> assert false
+
+let sufferage ?options g platform =
+  match memsufferage ?options g (unbounded_platform platform) with
+  | Ok s -> s
+  | Error _ -> assert false
+
+type name = HEFT | MinMin | MemHEFT | MemMinMin | MaxMin | Sufferage | MemMaxMin | MemSufferage
+
+let name_to_string = function
+  | HEFT -> "HEFT"
+  | MinMin -> "MinMin"
+  | MemHEFT -> "MemHEFT"
+  | MemMinMin -> "MemMinMin"
+  | MaxMin -> "MaxMin"
+  | Sufferage -> "Sufferage"
+  | MemMaxMin -> "MemMaxMin"
+  | MemSufferage -> "MemSufferage"
+
+let all_names = [ HEFT; MinMin; MemHEFT; MemMinMin ]
+
+let extension_names = [ MaxMin; Sufferage; MemMaxMin; MemSufferage ]
+
+let is_memory_aware = function
+  | HEFT | MinMin | MaxMin | Sufferage -> false
+  | MemHEFT | MemMinMin | MemMaxMin | MemSufferage -> true
+
+let run ?options ?rng name g platform =
+  match name with
+  | HEFT -> Ok (heft ?options ?rng g platform)
+  | MinMin -> Ok (minmin ?options g platform)
+  | MaxMin -> Ok (maxmin ?options g platform)
+  | Sufferage -> Ok (sufferage ?options g platform)
+  | MemHEFT -> memheft ?options ?rng g platform
+  | MemMinMin -> memminmin ?options g platform
+  | MemMaxMin -> memmaxmin ?options g platform
+  | MemSufferage -> memsufferage ?options g platform

@@ -1,0 +1,73 @@
+(** The four list-scheduling heuristics of the paper.
+
+    {!memheft} is Algorithm 1: a static priority list by upward rank, each
+    task assigned to the memory minimising its earliest finish time, with
+    memory-infeasible tasks skipped until they fit.  {!memminmin} is
+    Algorithm 2: the ready task with the globally smallest earliest finish
+    time is scheduled next.  The memory-oblivious references HEFT and MinMin
+    are the same algorithms run with unbounded memories (§6.2.1: "if the
+    bounds exceed what HEFT uses, MemHEFT takes exactly the same
+    decisions"). *)
+
+type failure = {
+  reason : string;
+  n_scheduled : int;  (** tasks placed before the heuristic got stuck *)
+}
+
+type result = (Schedule.t, failure) Result.t
+
+val memheft :
+  ?options:Sched_state.options -> ?rng:Rng.t -> Dag.t -> Platform.t -> result
+(** Memory-aware HEFT.  [rng] randomises rank tie-breaking as in the paper;
+    omitted, ties break by task id (deterministic). *)
+
+val memminmin : ?options:Sched_state.options -> Dag.t -> Platform.t -> result
+(** Memory-aware MinMin. *)
+
+val heft : ?options:Sched_state.options -> ?rng:Rng.t -> Dag.t -> Platform.t -> Schedule.t
+(** Reference HEFT: ignores the platform's memory bounds (runs with unbounded
+    memories).  Never fails. *)
+
+val minmin : ?options:Sched_state.options -> Dag.t -> Platform.t -> Schedule.t
+(** Reference MinMin, memory-oblivious. *)
+
+val heft_measured :
+  ?options:Sched_state.options -> ?rng:Rng.t -> Dag.t -> Platform.t -> Schedule.t * (float * float)
+(** HEFT together with its planned memory peaks [(blue, red)] — the paper's
+    [M^HEFT] quantities, measured with the planner's own accounting (see
+    {!Sched_state.planned_peak}).  MemHEFT run with these values as bounds
+    takes exactly the same decisions as HEFT (§6.2.1). *)
+
+val minmin_measured :
+  ?options:Sched_state.options -> Dag.t -> Platform.t -> Schedule.t * (float * float)
+(** MinMin with its planned memory peaks. *)
+
+val memmaxmin : ?options:Sched_state.options -> Dag.t -> Platform.t -> result
+(** Extension (not in the paper): memory-aware MaxMin from the family of
+    Braun et al. — the ready task with the largest best EFT goes first. *)
+
+val memsufferage : ?options:Sched_state.options -> Dag.t -> Platform.t -> result
+(** Extension: memory-aware Sufferage — the ready task that loses most by
+    not getting its preferred memory (largest EFT gap between the two
+    memories) goes first. *)
+
+val maxmin : ?options:Sched_state.options -> Dag.t -> Platform.t -> Schedule.t
+(** Memory-oblivious MaxMin. *)
+
+val sufferage : ?options:Sched_state.options -> Dag.t -> Platform.t -> Schedule.t
+(** Memory-oblivious Sufferage. *)
+
+type name = HEFT | MinMin | MemHEFT | MemMinMin | MaxMin | Sufferage | MemMaxMin | MemSufferage
+
+val name_to_string : name -> string
+
+val all_names : name list
+(** The four heuristics of the paper. *)
+
+val extension_names : name list
+(** The MaxMin/Sufferage family (extensions beyond the paper). *)
+
+val is_memory_aware : name -> bool
+
+val run : ?options:Sched_state.options -> ?rng:Rng.t -> name -> Dag.t -> Platform.t -> result
+(** Dispatch by name; the memory-oblivious heuristics always return [Ok]. *)

@@ -1,0 +1,23 @@
+(** Makespan lower bounds, independent of memory capacities (the "Lower
+    bound" series of Figure 11). *)
+
+val critical_path : Dag.t -> float
+(** Longest path counting [min(W_blue, W_red)] per task and no transfer
+    costs: valid because a schedule may keep a whole path on one memory. *)
+
+val work_area : Dag.t -> Platform.t -> float
+(** [sum_i min(W_blue(i), W_red(i)) / (P1 + P2)]: total minimum work spread
+    over every processor. *)
+
+val makespan : Dag.t -> Platform.t -> float
+(** [max (critical_path g) (work_area g p)]. *)
+
+val min_memory : Dag.t -> float
+(** [max over tasks of MemReq(i)]: the largest capacity a single task needs.
+    No schedule exists on a platform whose {e larger} memory is below this
+    (every task must fit, with all its input and output files, into the one
+    memory it executes on). *)
+
+val provably_infeasible : Dag.t -> Platform.t -> bool
+(** [max(M_blue, M_red) < min_memory g]: a certificate that not even the ILP
+    can schedule the instance. *)

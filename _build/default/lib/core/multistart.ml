@@ -1,0 +1,38 @@
+type t = {
+  best : Heuristics.result;
+  n_feasible : int;
+  n_runs : int;
+  makespans : float list;
+}
+
+let memheft ?options ?(restarts = 8) ?(seed = 1) g platform =
+  if restarts < 0 then invalid_arg "Multistart.memheft: negative restarts";
+  let unbounded = Platform.with_bounds platform ~m_blue:infinity ~m_red:infinity in
+  let runs =
+    Heuristics.memheft ?options g platform
+    :: List.init restarts (fun k ->
+           Heuristics.memheft ?options ~rng:(Rng.create (seed + k)) g platform)
+  in
+  let measure s = Schedule.makespan g unbounded s in
+  let head = List.hd runs in
+  let init =
+    match head with Ok s -> (head, 1, [ measure s ]) | Error _ -> (head, 0, [])
+  in
+  let best, n_feasible, makespans =
+    List.fold_left
+      (fun (best, n, spans) r ->
+        match (r, best) with
+        | Ok s, Ok b ->
+          let ms = measure s in
+          ((if ms < measure b then r else best), n + 1, ms :: spans)
+        | Ok s, Error _ -> (r, n + 1, measure s :: spans)
+        | Error _, Ok _ -> (best, n, spans)
+        | Error _, Error _ -> (r, n, spans))
+      init (List.tl runs)
+  in
+  { best; n_feasible; n_runs = restarts + 1; makespans }
+
+let improvement t =
+  match t.makespans with
+  | [] -> nan
+  | spans -> Stats.minimum spans /. Stats.maximum spans

@@ -1,0 +1,22 @@
+(** Multi-start wrapper around MemHEFT's random rank tie-breaking (§5.1:
+    "tie-breaking is done randomly").  Running a handful of differently
+    tie-broken passes and keeping the best feasible schedule is a cheap way
+    to both improve makespan and to recover feasibility on instances where a
+    single unlucky priority order deadlocks the memory. *)
+
+type t = {
+  best : Heuristics.result;
+  n_feasible : int;  (** how many of the runs produced a schedule *)
+  n_runs : int;
+  makespans : float list;  (** of the feasible runs, unsorted *)
+}
+
+val memheft :
+  ?options:Sched_state.options -> ?restarts:int -> ?seed:int -> Dag.t -> Platform.t -> t
+(** One deterministic pass plus [restarts] (default 8) randomly tie-broken
+    passes; [best] carries the smallest-makespan schedule found, or the last
+    failure when every pass was refused. *)
+
+val improvement : t -> float
+(** Best over worst feasible makespan (1.0 = restarts changed nothing);
+    [nan] without a feasible run. *)

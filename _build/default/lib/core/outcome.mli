@@ -1,0 +1,24 @@
+(** Convenience wrapper: run a heuristic, validate the schedule against the
+    full §3 oracle, and collect the quantities the experiments report. *)
+
+type t = {
+  heuristic : Heuristics.name;
+  feasible : bool;
+  makespan : float;  (** [nan] when infeasible *)
+  peak_blue : float;
+  peak_red : float;
+  schedule : Schedule.t option;
+  failure : string option;
+}
+
+val run :
+  ?options:Sched_state.options -> ?rng:Rng.t -> Heuristics.name -> Dag.t -> Platform.t -> t
+(** Any schedule returned by a heuristic is re-validated; a validation error
+    is a bug and raises [Failure].  A heuristic's refusal (memory bounds too
+    tight) yields [feasible = false]. *)
+
+val peak_max : t -> float
+(** [max peak_blue peak_red], the scalar memory footprint used to normalise
+    the x-axis of Figures 10–13. *)
+
+val pp : Format.formatter -> t -> unit

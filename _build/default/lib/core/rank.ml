@@ -1,0 +1,27 @@
+let upward_ranks g =
+  Paths.bottom_levels g
+    ~node_weight:(fun i ->
+      let t = Dag.task g i in
+      (t.Dag.w_blue +. t.Dag.w_red) /. 2.)
+    ~edge_weight:(fun e -> e.Dag.comm /. 2.)
+
+let priority_list ?rng g =
+  let ranks = upward_ranks g in
+  let n = Dag.n_tasks g in
+  let jitter =
+    match rng with
+    | Some rng -> Array.init n (fun _ -> Rng.float rng 1.)
+    | None -> Array.make n 0.
+  in
+  let order = Array.init n Fun.id in
+  (* Sort by decreasing rank; ties by jitter then id for determinism. *)
+  Array.sort
+    (fun a b ->
+      let c = compare ranks.(b) ranks.(a) in
+      if c <> 0 then c
+      else begin
+        let c = compare jitter.(a) jitter.(b) in
+        if c <> 0 then c else compare a b
+      end)
+    order;
+  order

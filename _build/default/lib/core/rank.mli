@@ -1,0 +1,11 @@
+(** HEFT's task-prioritising phase (§5.1).
+
+    The upward rank of a task is its mean computation cost plus the largest
+    [rank(child) + C/2] over its children:
+    [rank(i) = (W_blue(i) + W_red(i)) / 2 + max_j (rank(j) + C(i,j) / 2)]. *)
+
+val upward_ranks : Dag.t -> float array
+
+val priority_list : ?rng:Rng.t -> Dag.t -> int array
+(** Tasks sorted by non-increasing upward rank.  Ties are broken randomly
+    when [rng] is given (as in the paper), by increasing id otherwise. *)

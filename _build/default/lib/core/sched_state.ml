@@ -1,0 +1,318 @@
+type comm_mode = Jit_per_edge | Jit_batched | Eager
+type proc_policy = Earliest_available | Insertion
+
+type options = {
+  comm_mode : comm_mode;
+  proc_policy : proc_policy;
+}
+
+let default_options = { comm_mode = Jit_per_edge; proc_policy = Earliest_available }
+
+let eps = 1e-9
+
+type t = {
+  g : Dag.t;
+  platform : Platform.t;
+  options : options;
+  free_blue : Staircase.t;
+  free_red : Staircase.t;
+  avail : float array;  (* per processor: finish time of its last task *)
+  busy : (float * float) list array;  (* per processor: sorted busy intervals *)
+  aft : float array;  (* actual finish time, per task *)
+  assigned : bool array;
+  mem_of : Platform.memory option array;
+  pending_parents : int array;
+  sched : Schedule.t;
+  mutable assigned_count : int;
+  mutable planned_blue : float;
+  mutable planned_red : float;
+}
+
+let create ?(options = default_options) g platform =
+  let n = Dag.n_tasks g in
+  let pending = Array.make n 0 in
+  Array.iter (fun (e : Dag.edge) -> pending.(e.Dag.dst) <- pending.(e.Dag.dst) + 1) (Dag.edges g);
+  {
+    g;
+    platform;
+    options;
+    free_blue = Staircase.create (Platform.capacity platform Platform.Blue);
+    free_red = Staircase.create (Platform.capacity platform Platform.Red);
+    avail = Array.make (Platform.n_procs platform) 0.;
+    busy = Array.make (Platform.n_procs platform) [];
+    aft = Array.make n 0.;
+    assigned = Array.make n false;
+    mem_of = Array.make n None;
+    pending_parents = pending;
+    sched = Schedule.create g;
+    assigned_count = 0;
+    planned_blue = 0.;
+    planned_red = 0.;
+  }
+
+let copy t =
+  {
+    t with
+    free_blue = Staircase.copy t.free_blue;
+    free_red = Staircase.copy t.free_red;
+    avail = Array.copy t.avail;
+    busy = Array.copy t.busy;
+    aft = Array.copy t.aft;
+    assigned = Array.copy t.assigned;
+    mem_of = Array.copy t.mem_of;
+    pending_parents = Array.copy t.pending_parents;
+    sched =
+      {
+        Schedule.starts = Array.copy t.sched.Schedule.starts;
+        procs = Array.copy t.sched.Schedule.procs;
+        comm_starts = Array.copy t.sched.Schedule.comm_starts;
+      };
+  }
+
+let graph t = t.g
+let platform t = t.platform
+let schedule t = t.sched
+let n_assigned t = t.assigned_count
+let is_assigned t i = t.assigned.(i)
+let is_ready t i = (not t.assigned.(i)) && t.pending_parents.(i) = 0
+
+let ready_tasks t =
+  let acc = ref [] in
+  for i = Dag.n_tasks t.g - 1 downto 0 do
+    if is_ready t i then acc := i :: !acc
+  done;
+  !acc
+
+let finish_time t i = t.aft.(i)
+let free_of t = function Platform.Blue -> t.free_blue | Platform.Red -> t.free_red
+let free_mem_final t mu = Staircase.final_value (free_of t mu)
+
+let planned_peak t = function
+  | Platform.Blue -> t.planned_blue
+  | Platform.Red -> t.planned_red
+
+type estimate = {
+  task : int;
+  memory : Platform.memory;
+  est : float;
+  eft : float;
+  comm_batch : float;
+}
+
+(* Incoming cross-memory edges of task [i] if it were placed on [mu], and
+   the aggregates the EST formulas need: total size, max transfer time,
+   earliest producer finish. *)
+let cross_edges t i mu =
+  List.filter
+    (fun (e : Dag.edge) ->
+      match t.mem_of.(e.Dag.src) with Some m -> m <> mu | None -> false)
+    (Dag.pred t.g i)
+
+let cross_summary t i mu =
+  List.fold_left
+    (fun (size, cmax, min_aft) (e : Dag.edge) ->
+      (size +. e.Dag.size, max cmax e.Dag.comm, min min_aft t.aft.(e.Dag.src)))
+    (0., 0., infinity) (cross_edges t i mu)
+
+let precedence_est t i mu =
+  List.fold_left
+    (fun acc (e : Dag.edge) ->
+      let j = e.Dag.src in
+      let arrival =
+        match t.mem_of.(j) with
+        | Some m when m = mu -> t.aft.(j)
+        | Some _ -> t.aft.(j) +. e.Dag.comm
+        | None -> invalid_arg "Sched_state: parent not assigned"
+      in
+      max acc arrival)
+    0. (Dag.pred t.g i)
+
+(* Lower bound on the start time coming from memory availability, or None
+   when the task cannot fit (the paper's EFT = +infinity case). *)
+let memory_lb t i mu =
+  let free = free_of t mu in
+  let cross_in, c_batch, min_cross_aft = cross_summary t i mu in
+  let task_level = cross_in +. Dag.out_size t.g i in
+  match Staircase.earliest_suffix_ge free ~level:task_level ~from:0. with
+  | None -> None
+  | Some t_task -> (
+    if cross_in = 0. then Some (t_task, c_batch)
+    else begin
+      match t.options.comm_mode with
+      | Jit_batched -> (
+        (* The paper's comm_mem_EST: the whole incoming batch must fit over a
+           window of the maximal transfer time. *)
+        match Staircase.earliest_suffix_ge free ~level:cross_in ~from:0. with
+        | None -> None
+        | Some t_comm -> Some (max t_task (Fp.lb_plus t_comm c_batch), c_batch))
+      | Jit_per_edge ->
+        (* Exact accounting of just-in-time transfers: the file of the cross
+           edge with the k-th largest transfer time is resident from
+           [start - C_k] on, so at that instant only the k largest-C files
+           are present.  For each prefix (sorted by decreasing C) the prefix
+           mass must fit from [start - C_k] on. *)
+        let sorted =
+          List.sort
+            (fun (a : Dag.edge) (b : Dag.edge) -> compare b.Dag.comm a.Dag.comm)
+            (cross_edges t i mu)
+        in
+        let rec prefixes acc lb = function
+          | [] -> Some lb
+          | (e : Dag.edge) :: rest -> (
+            let acc = acc +. e.Dag.size in
+            match Staircase.earliest_suffix_ge free ~level:acc ~from:0. with
+            | None -> None
+            | Some t_k ->
+              (* Fp.lb_plus: the transfer later placed at [est -. C] must not
+                 land below the verified window start in float arithmetic. *)
+              prefixes acc (max lb (Fp.lb_plus t_k e.Dag.comm)) rest)
+        in
+        Option.map (fun lb -> (max t_task lb, c_batch)) (prefixes 0. 0. sorted)
+      | Eager -> (
+        (* Transfers fire at producer completion: the destination must be able
+           to hold every incoming file from the earliest producer finish on. *)
+        match Staircase.earliest_suffix_ge free ~level:cross_in ~from:0. with
+        | Some t_comm when t_comm <= min_cross_aft +. eps -> Some (t_task, c_batch)
+        | _ -> None)
+    end)
+
+(* Earliest start on some processor of [mu], given a lower bound [lb] and the
+   task duration [w]. *)
+let resource_est t mu ~lb ~w =
+  match t.options.proc_policy with
+  | Earliest_available ->
+    let procs = Platform.procs_of t.platform mu in
+    let min_avail = List.fold_left (fun acc p -> min acc t.avail.(p)) infinity procs in
+    max lb min_avail
+  | Insertion ->
+    let earliest_on p =
+      (* Scan the sorted busy intervals for the first gap of length [w]
+         starting at or after [lb]. *)
+      let rec scan start = function
+        | [] -> start
+        | (b0, b1) :: rest ->
+          if start +. w <= b0 +. eps then start else scan (max start b1) rest
+      in
+      scan lb t.busy.(p)
+    in
+    List.fold_left
+      (fun acc p -> min acc (earliest_on p))
+      infinity
+      (Platform.procs_of t.platform mu)
+
+let estimate t i mu =
+  if not (is_ready t i) then None
+  else begin
+    match memory_lb t i mu with
+    | None -> None
+    | Some (mem_lb, c_batch) ->
+      let lb = max mem_lb (precedence_est t i mu) in
+      let w = Platform.w t.g i mu in
+      let est = resource_est t mu ~lb ~w in
+      Some { task = i; memory = mu; est; eft = est +. w; comm_batch = c_batch }
+  end
+
+let best_estimate t i =
+  let better a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some ea, Some eb ->
+      if eb.eft +. eps < ea.eft then b
+      else if ea.eft +. eps < eb.eft then a
+      else if eb.est +. eps < ea.est then b
+      else a
+  in
+  better (estimate t i Platform.Blue) (estimate t i Platform.Red)
+
+(* Processor of [mu] minimising idle time before a task starting at [start]
+   with duration [w] (paper: maximise avail among procs available by then). *)
+let select_proc t mu ~start ~w =
+  match t.options.proc_policy with
+  | Earliest_available ->
+    let best = ref None in
+    List.iter
+      (fun p ->
+        if t.avail.(p) <= start +. eps then begin
+          match !best with
+          | Some q when t.avail.(q) >= t.avail.(p) -> ()
+          | _ -> best := Some p
+        end)
+      (Platform.procs_of t.platform mu);
+    (match !best with
+    | Some p -> p
+    | None -> invalid_arg "Sched_state.commit: stale estimate (no processor available)")
+  | Insertion ->
+    let fits p =
+      List.for_all
+        (fun (b0, b1) -> b1 <= start +. eps || b0 +. eps >= start +. w)
+        t.busy.(p)
+    in
+    (match List.find_opt fits (Platform.procs_of t.platform mu) with
+    | Some p -> p
+    | None -> invalid_arg "Sched_state.commit: stale estimate (no insertion slot)")
+
+let insert_interval t p ~start ~finish =
+  let rec ins = function
+    | [] -> [ (start, finish) ]
+    | (b0, b1) :: rest as l -> if start <= b0 then (start, finish) :: l else (b0, b1) :: ins rest
+  in
+  t.busy.(p) <- ins t.busy.(p);
+  if finish > t.avail.(p) then t.avail.(p) <- finish
+
+let commit t e =
+  let i = e.task and mu = e.memory in
+  if t.assigned.(i) then invalid_arg "Sched_state.commit: task already assigned";
+  if not (is_ready t i) then invalid_arg "Sched_state.commit: task not ready";
+  let g = t.g in
+  let w = Platform.w g i mu in
+  let start = e.est and eft = e.eft in
+  let free_mu = free_of t mu and free_other = free_of t (Platform.other mu) in
+  let proc = select_proc t mu ~start ~w in
+  insert_interval t proc ~start ~finish:eft;
+  t.sched.Schedule.starts.(i) <- start;
+  t.sched.Schedule.procs.(i) <- proc;
+  (* Incoming cross-memory transfers.  In both just-in-time modes each
+     transfer starts at [start - C(j,i)] so that it completes exactly at the
+     task start; the recorded memory profile is therefore exact: the file
+     appears in the destination at the transfer start and leaves the source
+     at the transfer end (= the task start). *)
+  let deferred_frees = ref [] in
+  List.iter
+    (fun (edge : Dag.edge) ->
+      let j = edge.Dag.src in
+      match t.mem_of.(j) with
+      | Some m when m <> mu ->
+        let tau =
+          match t.options.comm_mode with
+          | Jit_per_edge | Jit_batched -> start -. edge.Dag.comm
+          | Eager -> t.aft.(j)
+        in
+        t.sched.Schedule.comm_starts.(edge.Dag.eid) <- Some tau;
+        Staircase.add_from free_mu tau (-.edge.Dag.size);
+        deferred_frees := (free_other, tau +. edge.Dag.comm, edge.Dag.size) :: !deferred_frees
+      | Some _ -> ()
+      | None -> invalid_arg "Sched_state.commit: parent not assigned")
+    (Dag.pred g i);
+  (* Output files are held from the task start... *)
+  Staircase.add_from free_mu start (-.Dag.out_size g i);
+  (* All allocations of this decision are now recorded but none of its
+     releases: the worst usage of the chosen memory at this instant is the
+     planner's own accounting of what the heuristic needs — the quantity the
+     paper normalises the memory axis by (and the one for which "MemHEFT
+     with HEFT's bounds replays HEFT" holds exactly). *)
+  let cap = Platform.capacity t.platform mu in
+  if cap < infinity then begin
+    let used = cap -. Staircase.min_from free_mu 0. in
+    match mu with
+    | Platform.Blue -> if used > t.planned_blue then t.planned_blue <- used
+    | Platform.Red -> if used > t.planned_red then t.planned_red <- used
+  end;
+  (* ... the source copies disappear at the transfer ends, and all input
+     files are released from this memory at the task end. *)
+  List.iter (fun (stair, time, amount) -> Staircase.add_from stair time amount) !deferred_frees;
+  Staircase.add_from free_mu eft (Dag.in_size g i);
+  t.aft.(i) <- eft;
+  t.assigned.(i) <- true;
+  t.mem_of.(i) <- Some mu;
+  t.assigned_count <- t.assigned_count + 1;
+  List.iter (fun c -> t.pending_parents.(c) <- t.pending_parents.(c) - 1) (Dag.children g i)

@@ -1,0 +1,104 @@
+(** Shared machinery of the list-scheduling heuristics (§5.1).
+
+    A value of type {!t} is a partial schedule together with the bookkeeping
+    the paper's memory-selection phase needs: per-memory [free_mem] staircase
+    functions, per-processor availability, and per-task finish times.
+
+    {!estimate} computes the earliest start time of a task on a memory as the
+    maximum of the four components of §5.1 —
+    [resource_EST], [precedence_EST], [task_mem_EST] and
+    [comm_mem_EST + C^(mu)] — and {!commit} applies a decision, scheduling
+    every incoming cross-memory transfer and updating the memory profiles.
+
+    Transfers: when task [i] is assigned to memory [mu], the transfer of each
+    cross edge [(j,i)] is emitted just-in-time, starting at
+    [EST(i) - C(j,i)] so that it completes exactly at the task start; the
+    recorded memory profile is exact.  Consequently [precedence_EST]
+    (computed with the paper's per-edge formula [AFT(j) + C(j,i)]) also
+    guarantees transfer validity.  Two variants of [comm_mem_EST] are
+    provided: the paper's batched formula (total incoming mass over a window
+    of the maximal transfer time) and an exact per-edge refinement that
+    checks each prefix of the transfers sorted by decreasing transfer time.
+    The per-edge variant is the default because it makes the planner's
+    accounting coincide with the validator's reconstruction, which in turn
+    guarantees the paper's §6.2.1 property that MemHEFT with bounds at least
+    HEFT's measured peaks reproduces HEFT exactly.  The {!Eager} ablation
+    instead fires each transfer as soon as its producer completes. *)
+
+type comm_mode =
+  | Jit_per_edge
+      (** transfers complete exactly at the task start; exact per-prefix
+          memory check (default) *)
+  | Jit_batched
+      (** transfers complete exactly at the task start; the paper's
+          aggregated [comm_mem_EST + C^(mu)] check *)
+  | Eager  (** ablation: transfers start as soon as the producer finishes *)
+
+type proc_policy =
+  | Earliest_available  (** paper behaviour: [resource_EST = min avail] *)
+  | Insertion  (** ablation: classic HEFT insertion into idle gaps *)
+
+type options = {
+  comm_mode : comm_mode;
+  proc_policy : proc_policy;
+}
+
+val default_options : options
+(** [{ comm_mode = Jit_per_edge; proc_policy = Earliest_available }]. *)
+
+type t
+
+val create : ?options:options -> Dag.t -> Platform.t -> t
+
+val copy : t -> t
+(** Deep copy (used by the exact branch-and-bound search). *)
+
+val graph : t -> Dag.t
+val platform : t -> Platform.t
+
+val schedule : t -> Schedule.t
+(** The underlying schedule; complete once every task is assigned. *)
+
+val n_assigned : t -> int
+val is_assigned : t -> int -> bool
+val is_ready : t -> int -> bool
+(** All parents assigned (the task itself not yet). *)
+
+val ready_tasks : t -> int list
+val finish_time : t -> int -> float
+(** [AFT(i)]; meaningful only once [i] is assigned. *)
+
+val free_mem_final : t -> Platform.memory -> float
+(** Free memory after all planned releases — capacity minus retained files. *)
+
+val planned_peak : t -> Platform.memory -> float
+(** The planner's own accounting of the memory the schedule needs: the
+    maximum, over commits, of the worst future usage right after a commit's
+    allocations and before its releases.  This is at least the event-trace
+    peak (files whose consumers are not yet scheduled count as retained
+    forever) and is the quantity for which the paper's §6.2.1 claim —
+    "MemHEFT with bounds at least what HEFT uses takes exactly the same
+    decisions as HEFT" — is a theorem.  Only tracked when the platform
+    capacities are finite ([0.] otherwise). *)
+
+type estimate = {
+  task : int;
+  memory : Platform.memory;
+  est : float;  (** earliest execution start time *)
+  eft : float;  (** [est + W^(mu)] *)
+  comm_batch : float;  (** [C^(mu)(i)]: max transfer time over cross parents *)
+}
+
+val estimate : t -> int -> Platform.memory -> estimate option
+(** [None] when the task is not ready or cannot fit in the memory (the
+    paper's [EFT = +infinity] case). *)
+
+val best_estimate : t -> int -> estimate option
+(** Minimum-EFT estimate over both memories (ties: earlier EST, then blue). *)
+
+val commit : t -> estimate -> unit
+(** Applies a decision: picks the processor minimising idle time (or the
+    best insertion slot), schedules incoming transfers, and updates both
+    memory profiles.
+    @raise Invalid_argument if the task is already assigned or the estimate
+    is stale (recompute estimates after every commit). *)

@@ -1,0 +1,262 @@
+type task = { id : int; name : string; w_blue : float; w_red : float }
+type edge = { eid : int; src : int; dst : int; size : float; comm : float }
+
+type t = {
+  tasks : task array;
+  edges : edge array;
+  succ : edge list array;  (* outgoing, insertion order *)
+  pred : edge list array;  (* incoming, insertion order *)
+  edge_index : (int * int, int) Hashtbl.t;
+  topo : int array;  (* cached topological order *)
+}
+
+module Builder = struct
+  type dag = t
+
+  let _witness : dag option = None
+
+  type t = {
+    mutable rev_tasks : task list;
+    mutable rev_edges : edge list;
+    mutable ntasks : int;
+    mutable nedges : int;
+    seen : (int * int, unit) Hashtbl.t;
+  }
+
+  let create () =
+    { rev_tasks = []; rev_edges = []; ntasks = 0; nedges = 0; seen = Hashtbl.create 64 }
+
+  let add_task b ?name ~w_blue ~w_red () =
+    if w_blue < 0. || w_red < 0. then invalid_arg "Dag.Builder.add_task: negative time";
+    let id = b.ntasks in
+    let name = match name with Some n -> n | None -> Printf.sprintf "t%d" id in
+    b.rev_tasks <- { id; name; w_blue; w_red } :: b.rev_tasks;
+    b.ntasks <- id + 1;
+    id
+
+  let add_edge b ~src ~dst ~size ~comm =
+    if src < 0 || src >= b.ntasks || dst < 0 || dst >= b.ntasks then
+      invalid_arg "Dag.Builder.add_edge: dangling endpoint";
+    if src = dst then invalid_arg "Dag.Builder.add_edge: self-loop";
+    if size < 0. || comm < 0. then invalid_arg "Dag.Builder.add_edge: negative attribute";
+    if Hashtbl.mem b.seen (src, dst) then invalid_arg "Dag.Builder.add_edge: duplicate edge";
+    Hashtbl.add b.seen (src, dst) ();
+    b.rev_edges <- { eid = b.nedges; src; dst; size; comm } :: b.rev_edges;
+    b.nedges <- b.nedges + 1
+
+  (* Kahn's algorithm; ids of equal depth come out in increasing order thanks
+     to the priority queue, making the order deterministic. *)
+  let topo_sort ~n ~succ ~indeg =
+    let indeg = Array.copy indeg in
+    let ready = Pqueue.create ~cmp:compare in
+    for i = 0 to n - 1 do
+      if indeg.(i) = 0 then Pqueue.push ready i
+    done;
+    let order = Array.make n (-1) in
+    let k = ref 0 in
+    let rec drain () =
+      match Pqueue.pop ready with
+      | None -> ()
+      | Some i ->
+        order.(!k) <- i;
+        incr k;
+        List.iter
+          (fun e ->
+            indeg.(e.dst) <- indeg.(e.dst) - 1;
+            if indeg.(e.dst) = 0 then Pqueue.push ready e.dst)
+          succ.(i);
+        drain ()
+    in
+    drain ();
+    if !k <> n then invalid_arg "Dag.Builder.finalize: graph has a cycle";
+    order
+
+  let finalize b =
+    let n = b.ntasks in
+    let tasks = Array.make n { id = 0; name = ""; w_blue = 0.; w_red = 0. } in
+    List.iter (fun t -> tasks.(t.id) <- t) b.rev_tasks;
+    let edges = Array.make b.nedges { eid = 0; src = 0; dst = 0; size = 0.; comm = 0. } in
+    List.iter (fun e -> edges.(e.eid) <- e) b.rev_edges;
+    let succ = Array.make n [] and pred = Array.make n [] in
+    let indeg = Array.make n 0 in
+    (* Iterate in reverse eid order so the lists end up in insertion order. *)
+    for k = b.nedges - 1 downto 0 do
+      let e = edges.(k) in
+      succ.(e.src) <- e :: succ.(e.src);
+      pred.(e.dst) <- e :: pred.(e.dst)
+    done;
+    Array.iter (fun e -> indeg.(e.dst) <- indeg.(e.dst) + 1) edges;
+    let topo = topo_sort ~n ~succ ~indeg in
+    let edge_index = Hashtbl.create (max 16 b.nedges) in
+    Array.iter (fun e -> Hashtbl.replace edge_index (e.src, e.dst) e.eid) edges;
+    { tasks; edges; succ; pred; edge_index; topo }
+end
+
+let n_tasks g = Array.length g.tasks
+let n_edges g = Array.length g.edges
+let task g i = g.tasks.(i)
+let edge g k = g.edges.(k)
+let tasks g = g.tasks
+let edges g = g.edges
+let succ g i = g.succ.(i)
+let pred g i = g.pred.(i)
+let children g i = List.map (fun e -> e.dst) g.succ.(i)
+let parents g i = List.map (fun e -> e.src) g.pred.(i)
+
+let find_edge g ~src ~dst =
+  match Hashtbl.find_opt g.edge_index (src, dst) with
+  | Some k -> Some g.edges.(k)
+  | None -> None
+
+let sources g =
+  let acc = ref [] in
+  for i = n_tasks g - 1 downto 0 do
+    if g.pred.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let sinks g =
+  let acc = ref [] in
+  for i = n_tasks g - 1 downto 0 do
+    if g.succ.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let in_size g i = List.fold_left (fun acc e -> acc +. e.size) 0. g.pred.(i)
+let out_size g i = List.fold_left (fun acc e -> acc +. e.size) 0. g.succ.(i)
+let mem_req g i = in_size g i +. out_size g i
+let total_file_size g = Array.fold_left (fun acc e -> acc +. e.size) 0. g.edges
+
+let w_min g i =
+  let t = g.tasks.(i) in
+  min t.w_blue t.w_red
+
+let topological_order g = Array.copy g.topo
+
+let is_topological g order =
+  let n = n_tasks g in
+  if Array.length order <> n then false
+  else begin
+    let pos = Array.make n (-1) in
+    let ok = ref true in
+    Array.iteri
+      (fun k i -> if i < 0 || i >= n || pos.(i) >= 0 then ok := false else pos.(i) <- k)
+      order;
+    !ok && Array.for_all (fun e -> pos.(e.src) < pos.(e.dst)) g.edges
+  end
+
+let longest_path g ~node_weight ~edge_weight =
+  let n = n_tasks g in
+  if n = 0 then 0.
+  else begin
+    let dist = Array.make n neg_infinity in
+    Array.iter
+      (fun i ->
+        let from_parents =
+          List.fold_left
+            (fun acc e -> max acc (dist.(e.src) +. edge_weight e))
+            0. g.pred.(i)
+        in
+        dist.(i) <- from_parents +. node_weight i)
+      g.topo;
+    Array.fold_left max neg_infinity dist
+  end
+
+let critical_path_min g = longest_path g ~node_weight:(w_min g) ~edge_weight:(fun _ -> 0.)
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "dag %d %d\n" (n_tasks g) (n_edges g));
+  (* The line format is whitespace-separated: keep names parseable. *)
+  let safe_name n = String.map (fun c -> if c = ' ' || c = '\t' then '_' else c) n in
+  Array.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "task %d %s %.17g %.17g\n" t.id (safe_name t.name) t.w_blue t.w_red))
+    g.tasks;
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf (Printf.sprintf "edge %d %d %.17g %.17g\n" e.src e.dst e.size e.comm))
+    g.edges;
+  Buffer.contents buf
+
+let of_string s =
+  let fail fmt = Printf.ksprintf invalid_arg ("Dag.of_string: " ^^ fmt) in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> fail "empty input"
+  | header :: rest ->
+    let n, m =
+      match String.split_on_char ' ' header with
+      | [ "dag"; n; m ] -> (
+        match (int_of_string_opt n, int_of_string_opt m) with
+        | Some n, Some m -> (n, m)
+        | _ -> fail "bad header %S" header)
+      | _ -> fail "bad header %S" header
+    in
+    let b = Builder.create () in
+    let tasks_seen = ref 0 and edges_seen = ref 0 in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | "task" :: id :: name :: wb :: wr :: [] -> (
+          match (int_of_string_opt id, float_of_string_opt wb, float_of_string_opt wr) with
+          | Some id, Some wb, Some wr ->
+            if id <> !tasks_seen then fail "task ids must be dense and in order";
+            ignore (Builder.add_task b ~name ~w_blue:wb ~w_red:wr ());
+            incr tasks_seen
+          | _ -> fail "bad task line %S" line)
+        | "edge" :: src :: dst :: size :: comm :: [] -> (
+          match
+            ( int_of_string_opt src,
+              int_of_string_opt dst,
+              float_of_string_opt size,
+              float_of_string_opt comm )
+          with
+          | Some src, Some dst, Some size, Some comm ->
+            Builder.add_edge b ~src ~dst ~size ~comm;
+            incr edges_seen
+          | _ -> fail "bad edge line %S" line)
+        | _ -> fail "unknown line %S" line)
+      rest;
+    if !tasks_seen <> n then fail "expected %d tasks, got %d" n !tasks_seen;
+    if !edges_seen <> m then fail "expected %d edges, got %d" m !edges_seen;
+    Builder.finalize b
+
+let to_dot ?highlight g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dag {\n  rankdir=TB;\n  node [shape=box];\n";
+  Array.iter
+    (fun t ->
+      let fill =
+        match highlight with
+        | Some f -> (
+          match f t.id with
+          | Some color -> Printf.sprintf ", style=filled, fillcolor=\"%s\"" color
+          | None -> "")
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\nWb=%g Wr=%g\"%s];\n" t.id t.name t.w_blue t.w_red fill))
+    g.tasks;
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"F=%g C=%g\"];\n" e.src e.dst e.size e.comm))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_stats ppf g =
+  let n = n_tasks g and m = n_edges g in
+  let outdeg = Array.make (max n 1) 0 in
+  Array.iter (fun e -> outdeg.(e.src) <- outdeg.(e.src) + 1) g.edges;
+  let max_deg = Array.fold_left max 0 outdeg in
+  Format.fprintf ppf "tasks=%d edges=%d sources=%d sinks=%d max-out-degree=%d cp(min-w)=%g" n m
+    (List.length (sources g))
+    (List.length (sinks g))
+    max_deg (critical_path_min g)

@@ -1,0 +1,118 @@
+(** Application model: a directed acyclic task graph (§3 of the paper).
+
+    Each task [i] carries two processing times, [w_blue] (on a blue / CPU-side
+    processor) and [w_red] (on a red / accelerator-side processor).  Each edge
+    [(i, j)] carries a data file of size [F(i,j)] produced by [i] and consumed
+    by [j], and a transfer time [C(i,j)] paid when [i] and [j] execute on
+    different memories.
+
+    Graphs are immutable once finalised; build them with {!Builder}. *)
+
+type task = {
+  id : int;
+  name : string;
+  w_blue : float;  (** processing time on a blue processor, [W^(1)] *)
+  w_red : float;  (** processing time on a red processor, [W^(2)] *)
+}
+
+type edge = {
+  eid : int;
+  src : int;
+  dst : int;
+  size : float;  (** file size [F(i,j)] held in memory *)
+  comm : float;  (** transfer time [C(i,j)] across memories *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type dag := t
+  type t
+
+  val create : unit -> t
+
+  val add_task : t -> ?name:string -> w_blue:float -> w_red:float -> unit -> int
+  (** Returns the new task id (dense, starting at 0).  Processing times must
+      be non-negative. *)
+
+  val add_edge : t -> src:int -> dst:int -> size:float -> comm:float -> unit
+  (** Adds a dependency edge with its file size and transfer time.  Duplicate
+      (src, dst) pairs and self-loops are rejected. *)
+
+  val finalize : t -> dag
+  (** Checks acyclicity and freezes the graph.
+      @raise Invalid_argument on a cyclic graph or dangling endpoint. *)
+end
+
+(** {1 Accessors} *)
+
+val n_tasks : t -> int
+val n_edges : t -> int
+val task : t -> int -> task
+val edge : t -> int -> edge
+val tasks : t -> task array
+val edges : t -> edge array
+
+val succ : t -> int -> edge list
+(** Outgoing edges of a task, in insertion order. *)
+
+val pred : t -> int -> edge list
+(** Incoming edges of a task, in insertion order. *)
+
+val children : t -> int -> int list
+val parents : t -> int -> int list
+val find_edge : t -> src:int -> dst:int -> edge option
+
+val sources : t -> int list
+(** Tasks without predecessors. *)
+
+val sinks : t -> int list
+(** Tasks without successors. *)
+
+val mem_req : t -> int -> float
+(** [mem_req g i] is the paper's [MemReq(i)]: the total size of input plus
+    output files of task [i], i.e. the minimum memory any execution of [i]
+    needs. *)
+
+val in_size : t -> int -> float
+(** Total size of the input files of a task. *)
+
+val out_size : t -> int -> float
+(** Total size of the output files of a task. *)
+
+val total_file_size : t -> float
+
+val w_min : t -> int -> float
+(** [min w_blue w_red] for a task. *)
+
+(** {1 Orders and paths} *)
+
+val topological_order : t -> int array
+(** A topological order (parents before children), stable w.r.t. task ids. *)
+
+val is_topological : t -> int array -> bool
+
+val longest_path : t -> node_weight:(int -> float) -> edge_weight:(edge -> float) -> float
+(** Weight of a heaviest source-to-sink path, counting node weights of every
+    node on the path and edge weights of every edge. *)
+
+val critical_path_min : t -> float
+(** Longest path using [min w_blue w_red] per task and zero edge weight: a
+    makespan lower bound on any platform. *)
+
+(** {1 Serialisation} *)
+
+val to_string : t -> string
+(** Line-oriented text format, re-read by {!of_string}. *)
+
+val of_string : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val to_dot : ?highlight:(int -> string option) -> t -> string
+(** GraphViz rendering.  [highlight i] may return a fill colour for task
+    [i]. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: node/edge counts, degree and cost ranges. *)

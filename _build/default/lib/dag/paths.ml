@@ -1,0 +1,38 @@
+let bottom_levels g ~node_weight ~edge_weight =
+  let n = Dag.n_tasks g in
+  let bl = Array.make n 0. in
+  let topo = Dag.topological_order g in
+  for k = n - 1 downto 0 do
+    let i = topo.(k) in
+    let from_children =
+      List.fold_left (fun acc e -> max acc (edge_weight e +. bl.(e.Dag.dst))) 0. (Dag.succ g i)
+    in
+    bl.(i) <- node_weight i +. from_children
+  done;
+  bl
+
+let top_levels g ~node_weight ~edge_weight =
+  let n = Dag.n_tasks g in
+  let tl = Array.make n 0. in
+  let topo = Dag.topological_order g in
+  Array.iter
+    (fun i ->
+      let from_parents =
+        List.fold_left
+          (fun acc e -> max acc (tl.(e.Dag.src) +. node_weight e.Dag.src +. edge_weight e))
+          0. (Dag.pred g i)
+      in
+      tl.(i) <- from_parents)
+    topo;
+  tl
+
+let critical_parent g ~bottom i =
+  let best = ref None in
+  List.iter
+    (fun e ->
+      let c = e.Dag.dst in
+      match !best with
+      | None -> best := Some c
+      | Some b -> if bottom.(c) > bottom.(b) then best := Some c)
+    (Dag.succ g i);
+  !best

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Csv Dag Exact Filename Float Format Fun Heuristics Ilp_model Kernels List Mip Outcome Platform Plots Printf Sched_state String Sweep Table Toy Validator Workloads

@@ -1,0 +1,1 @@
+lib/experiments/plots.ml: Csv Filename Fun

@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Dag Exact Heuristics List Lower_bound Outcome Platform Stats Validator

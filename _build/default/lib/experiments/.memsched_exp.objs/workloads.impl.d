@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Cholesky Daggen List Lu Platform Rng

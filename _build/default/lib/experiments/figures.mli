@@ -1,0 +1,71 @@
+(** One driver per table/figure of the paper's evaluation (§6).  Each driver
+    prints a human-readable table on stdout and writes a CSV under
+    [out_dir] (default ["results"]).  See EXPERIMENTS.md for the
+    paper-vs-measured record. *)
+
+val default_alphas : float list
+(** 0.05 to 1.0 in steps of 0.05 — the normalised-memory axis of
+    Figures 10 and 12. *)
+
+val table1 : ?out_dir:string -> unit -> unit
+(** Table 1: kernel timing model (CPU measured / GPU derived). *)
+
+val figure8 : ?out_dir:string -> unit -> unit
+(** Figure 8: a SmallRandSet DAG — statistics + DOT file. *)
+
+val figure9 : ?out_dir:string -> ?size:int -> unit -> unit
+(** Figure 9: a LargeRandSet DAG — statistics + DOT file. *)
+
+val figure10 :
+  ?out_dir:string ->
+  ?count:int ->
+  ?alphas:float list ->
+  ?exact_nodes:int ->
+  ?capped_count:int ->
+  ?tiny_count:int ->
+  ?tiny_exact_nodes:int ->
+  unit ->
+  unit
+(** Figure 10: SmallRandSet normalised sweep (MemHEFT, MemMinMin) plus the
+    "Optimal" series.  The exact series is computed with certificates on the
+    10-task companion set ([tiny_count] DAGs) and with a node budget
+    ([exact_nodes]) on the 30-task set (uncertified points are reported as
+    such); see DESIGN.md for the CPLEX substitution. *)
+
+val figure11 : ?out_dir:string -> ?dag_index:int -> ?points:int -> unit -> unit
+(** Figure 11: absolute memory-vs-makespan detail for one SmallRandSet DAG,
+    with the HEFT/MinMin reference lines and the makespan lower bound. *)
+
+val figure12 : ?out_dir:string -> ?count:int -> ?size:int -> ?alphas:float list -> unit -> unit
+(** Figure 12: LargeRandSet normalised sweep. *)
+
+val figure13 : ?out_dir:string -> ?size:int -> ?points:int -> unit -> unit
+(** Figure 13: absolute detail for one LargeRandSet DAG. *)
+
+val figure14 : ?out_dir:string -> ?n:int -> ?points:int -> unit -> unit
+(** Figure 14: LU factorisation of an [n x n] (default 13) tiled matrix on
+    the mirage platform; absolute memory sweep in tiles plus the minimum
+    feasible memory of each heuristic (found by bisection). *)
+
+val figure15 : ?out_dir:string -> ?n:int -> ?points:int -> unit -> unit
+(** Figure 15: Cholesky counterpart of Figure 14. *)
+
+val ilp_cross_check : ?out_dir:string -> ?node_limit:int -> unit -> unit
+(** §4 sanity: solve the full ILP with the built-in MIP on toy instances and
+    compare with the exact branch-and-bound scheduler. *)
+
+val ablations : ?out_dir:string -> ?count:int -> ?alphas:float list -> unit -> unit
+(** Design-choice ablations on SmallRandSet: batched vs per-edge transfer
+    accounting, eager vs just-in-time transfers, insertion vs
+    earliest-available processor policy, random vs deterministic rank ties. *)
+
+val extensions : ?out_dir:string -> ?count:int -> ?alphas:float list -> unit -> unit
+(** Beyond the paper: the MaxMin and Sufferage heuristics (memory-aware
+    variants of the other dynamic heuristics of Braun et al., the paper's
+    reference [4]) against MemHEFT/MemMinMin. *)
+
+val all_quick : ?out_dir:string -> unit -> unit
+(** Every section at a scale that finishes in a few minutes. *)
+
+val all_paper : ?out_dir:string -> unit -> unit
+(** Every section at the paper's full scale (50x30, 100x1000, 13x13). *)

@@ -1,0 +1,78 @@
+let script =
+  {gp|# Renders the reproduced figures from the CSV series in this directory:
+#   gnuplot plots.gp
+set datafile separator ','
+set terminal pngcairo size 900,600 font ',11'
+set key left top
+set grid
+
+# ------------------------------------------------ Figures 10 and 12 (sweeps)
+set xlabel 'normalised memory (bound / HEFT peak)'
+set ylabel 'normalised makespan (vs HEFT)'
+set y2label 'success rate'
+set y2range [0:1.05]
+set y2tics
+set ytics nomirror
+
+set output 'figure10.png'
+set title 'Figure 10 - SmallRandSet'
+plot 'figure10.csv' using 1:2 with linespoints title 'MemHEFT makespan', \
+     'figure10.csv' using 1:4 with linespoints title 'MemMinMin makespan', \
+     'figure10.csv' using 1:3 axes x1y2 with lines dashtype 2 title 'MemHEFT success', \
+     'figure10.csv' using 1:5 axes x1y2 with lines dashtype 2 title 'MemMinMin success', \
+     'figure10_optimal.csv' using 1:2 with linespoints title 'Optimal (10t)', \
+     'figure10_optimal.csv' using 1:3 axes x1y2 with lines dashtype 3 title 'Optimal success (10t)'
+
+set output 'figure12.png'
+set title 'Figure 12 - LargeRandSet'
+plot 'figure12.csv' using 1:2 with linespoints title 'MemHEFT makespan', \
+     'figure12.csv' using 1:4 with linespoints title 'MemMinMin makespan', \
+     'figure12.csv' using 1:3 axes x1y2 with lines dashtype 2 title 'MemHEFT success', \
+     'figure12.csv' using 1:5 axes x1y2 with lines dashtype 2 title 'MemMinMin success'
+
+# --------------------------------------------- Figures 11 and 13 (one DAG)
+unset y2label
+unset y2tics
+set ytics mirror
+set xlabel 'memory bound'
+set ylabel 'makespan'
+
+set output 'figure11.png'
+set title 'Figure 11 - one SmallRandSet DAG'
+plot 'figure11.csv' using 1:2 with linespoints title 'MemHEFT', \
+     'figure11.csv' using 1:3 with linespoints title 'MemMinMin', \
+     'figure11.csv' using 1:5 with lines dashtype 2 title 'HEFT', \
+     'figure11.csv' using 1:6 with lines dashtype 2 title 'MinMin', \
+     'figure11.csv' using 1:7 with lines dashtype 3 title 'Lower bound'
+
+set output 'figure13.png'
+set title 'Figure 13 - one LargeRandSet DAG'
+plot 'figure13.csv' using 1:2 with linespoints title 'MemHEFT', \
+     'figure13.csv' using 1:3 with linespoints title 'MemMinMin', \
+     'figure13.csv' using 1:4 with lines dashtype 2 title 'HEFT', \
+     'figure13.csv' using 1:5 with lines dashtype 2 title 'MinMin', \
+     'figure13.csv' using 1:6 with lines dashtype 3 title 'Lower bound'
+
+# -------------------------------------------------- Figures 14 and 15 (LA)
+set xlabel 'memory (tiles)'
+set ylabel 'makespan (ms)'
+
+set output 'figure14.png'
+set title 'Figure 14 - LU 13x13'
+plot 'figure14.csv' using 1:2 with linespoints title 'MemHEFT', \
+     'figure14.csv' using 1:3 with linespoints title 'MemMinMin', \
+     'figure14.csv' using 1:4 with lines dashtype 2 title 'HEFT', \
+     'figure14.csv' using 1:5 with lines dashtype 2 title 'MinMin'
+
+set output 'figure15.png'
+set title 'Figure 15 - Cholesky 13x13'
+plot 'figure15.csv' using 1:2 with linespoints title 'MemHEFT', \
+     'figure15.csv' using 1:3 with linespoints title 'MemMinMin', \
+     'figure15.csv' using 1:4 with lines dashtype 2 title 'HEFT', \
+     'figure15.csv' using 1:5 with lines dashtype 2 title 'MinMin'
+|gp}
+
+let write_gnuplot ?(out_dir = "results") () =
+  Csv.ensure_dir out_dir;
+  let oc = open_out (Filename.concat out_dir "plots.gp") in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc script)

@@ -1,0 +1,8 @@
+(** Gnuplot driver for the CSV series the figure drivers write: running
+    [gnuplot plots.gp] inside the results directory renders one PNG per
+    reproduced figure, in the paper's layout (normalised makespan on the
+    left axis, success rate on the right for Figures 10/12; makespan vs
+    memory for the detail figures). *)
+
+val write_gnuplot : ?out_dir:string -> unit -> unit
+(** Writes [plots.gp] into [out_dir] (default ["results"]). *)

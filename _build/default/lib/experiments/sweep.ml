@@ -1,0 +1,101 @@
+type baseline = {
+  dag : Dag.t;
+  heft_makespan : float;
+  heft_peak : float;
+  minmin_makespan : float;
+  minmin_peak : float;
+  lower_bound : float;
+}
+
+let baseline platform dag =
+  (* Peaks are the planner's accounting (Sched_state.planned_peak): the
+     quantity for which "bounds at least HEFT's usage reproduce HEFT". *)
+  let heft_schedule, (heft_blue, heft_red) = Heuristics.heft_measured dag platform in
+  let minmin_schedule, (minmin_blue, minmin_red) = Heuristics.minmin_measured dag platform in
+  let unbounded = Platform.with_bounds platform ~m_blue:infinity ~m_red:infinity in
+  {
+    dag;
+    heft_makespan = (Validator.validate_exn dag unbounded heft_schedule).Validator.makespan;
+    heft_peak = max heft_blue heft_red;
+    minmin_makespan = (Validator.validate_exn dag unbounded minmin_schedule).Validator.makespan;
+    minmin_peak = max minmin_blue minmin_red;
+    lower_bound = Lower_bound.makespan dag platform;
+  }
+
+type measurement = {
+  feasible : bool;
+  makespan : float;
+  ratio : float;
+}
+
+let run_bounded ?options platform b heuristic ~bound =
+  let p = Platform.with_bounds platform ~m_blue:bound ~m_red:bound in
+  let o = Outcome.run ?options heuristic b.dag p in
+  if o.Outcome.feasible then
+    { feasible = true; makespan = o.Outcome.makespan; ratio = o.Outcome.makespan /. b.heft_makespan }
+  else { feasible = false; makespan = nan; ratio = nan }
+
+type aggregate = {
+  alpha : float;
+  success_rate : float;
+  mean_ratio : float;
+}
+
+let normalized_sweep ?options platform ~alphas heuristic baselines =
+  List.map
+    (fun alpha ->
+      let ratios = ref [] and successes = ref 0 in
+      List.iter
+        (fun b ->
+          let m = run_bounded ?options platform b heuristic ~bound:(alpha *. b.heft_peak) in
+          if m.feasible then begin
+            incr successes;
+            ratios := m.ratio :: !ratios
+          end)
+        baselines;
+      {
+        alpha;
+        success_rate = float_of_int !successes /. float_of_int (List.length baselines);
+        mean_ratio = Stats.mean !ratios;
+      })
+    alphas
+
+type exact_aggregate = {
+  e_alpha : float;
+  e_success_rate : float;
+  e_mean_ratio : float;
+  e_certified : int;
+  e_best_ratio : float;
+}
+
+let exact_sweep ~node_limit platform ~alphas baselines =
+  List.map
+    (fun alpha ->
+      let ratios = ref [] and successes = ref 0 and certified = ref 0 in
+      let best_ratios = ref [] in
+      List.iter
+        (fun b ->
+          let bound = alpha *. b.heft_peak in
+          let p = Platform.with_bounds platform ~m_blue:bound ~m_red:bound in
+          let r = Exact.solve ~node_limit b.dag p in
+          (match r.Exact.status with
+          | Exact.Proven_optimal | Exact.Feasible ->
+            best_ratios := (r.Exact.makespan /. b.heft_makespan) :: !best_ratios
+          | _ -> ());
+          match r.Exact.status with
+          | Exact.Proven_optimal ->
+            incr certified;
+            incr successes;
+            ratios := (r.Exact.makespan /. b.heft_makespan) :: !ratios
+          | Exact.Proven_infeasible -> incr certified
+          | Exact.Feasible | Exact.Unknown -> ())
+        baselines;
+      {
+        e_alpha = alpha;
+        e_success_rate =
+          (if !certified = 0 then nan else float_of_int !successes /. float_of_int !certified);
+        e_mean_ratio = Stats.mean !ratios;
+        e_certified = !certified;
+        e_best_ratio = Stats.mean !best_ratios;
+      })
+    alphas

@@ -1,0 +1,67 @@
+(** Memory sweeps: the measurement procedure behind Figures 10-15.
+
+    For each DAG the memory-oblivious HEFT baseline is run first; its
+    measured peak [max(M_blue, M_red)] defines the normalised-memory axis
+    ([alpha = 1] means "as much memory as HEFT uses").  Each sweep point sets
+    [M_blue = M_red = alpha * peak] and runs the memory-aware heuristics. *)
+
+type baseline = {
+  dag : Dag.t;
+  heft_makespan : float;
+  heft_peak : float;
+      (** [max(M^HEFT_blue, M^HEFT_red)], measured with the planner's
+          accounting ({!Sched_state.planned_peak}) so that [alpha = 1]
+          reproduces HEFT exactly *)
+  minmin_makespan : float;
+  minmin_peak : float;
+  lower_bound : float;  (** critical-path / work-area makespan bound *)
+}
+
+val baseline : Platform.t -> Dag.t -> baseline
+
+type measurement = {
+  feasible : bool;
+  makespan : float;  (** [nan] when infeasible *)
+  ratio : float;  (** makespan / HEFT makespan; [nan] when infeasible *)
+}
+
+val run_bounded :
+  ?options:Sched_state.options ->
+  Platform.t ->
+  baseline ->
+  Heuristics.name ->
+  bound:float ->
+  measurement
+(** Runs one heuristic with [M_blue = M_red = bound]. *)
+
+type aggregate = {
+  alpha : float;
+  success_rate : float;
+  mean_ratio : float;  (** over successful instances; [nan] if none *)
+}
+
+val normalized_sweep :
+  ?options:Sched_state.options ->
+  Platform.t ->
+  alphas:float list ->
+  Heuristics.name ->
+  baseline list ->
+  aggregate list
+(** One aggregate per [alpha], averaged over the instance set (the solid and
+    dotted lines of Figures 10 and 12). *)
+
+type exact_aggregate = {
+  e_alpha : float;
+  e_success_rate : float;  (** fraction with a feasibility certificate *)
+  e_mean_ratio : float;  (** over certified optima *)
+  e_certified : int;  (** instances where the search finished *)
+  e_best_ratio : float;
+      (** over every incumbent found (certified or not): an upper bound on
+          the mean optimal ratio *)
+}
+
+val exact_sweep :
+  node_limit:int -> Platform.t -> alphas:float list -> baseline list -> exact_aggregate list
+(** The "Optimal" series: branch-and-bound per instance and per alpha.
+    Instances where the node budget expires without a certificate count as
+    uncertified and are excluded from the success rate denominator. *)

@@ -1,0 +1,18 @@
+let small_rand_set ?(count = 50) ?(seed = 2014) () =
+  let rng = Rng.create seed in
+  List.init count (fun _ -> Daggen.generate rng Daggen.small_rand_params)
+
+let tiny_rand_set ?(count = 20) ?(seed = 2015) () =
+  let rng = Rng.create seed in
+  let params = { Daggen.small_rand_params with Daggen.size = 10 } in
+  List.init count (fun _ -> Daggen.generate rng params)
+
+let large_rand_set ?(count = 100) ?(size = 1000) ?(seed = 2016) () =
+  let rng = Rng.create seed in
+  let params = { Daggen.large_rand_params with Daggen.size = size } in
+  List.init count (fun _ -> Daggen.generate rng params)
+
+let lu ?(n = 13) () = Lu.generate ~n ()
+let cholesky ?(n = 13) () = Cholesky.generate ~n ()
+let platform_random = Platform.unbounded ~p_blue:2 ~p_red:2
+let platform_mirage = Platform.unbounded ~p_blue:12 ~p_red:3

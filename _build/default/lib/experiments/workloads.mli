@@ -1,0 +1,28 @@
+(** The four instance families of §6.1, with their platforms.
+
+    All sets are deterministic given their seed, so every figure is exactly
+    reproducible. *)
+
+val small_rand_set : ?count:int -> ?seed:int -> unit -> Dag.t list
+(** SmallRandSet: 50 DAGs, 30 tasks (Figure 10). *)
+
+val tiny_rand_set : ?count:int -> ?seed:int -> unit -> Dag.t list
+(** Companion set of 10-task DAGs on which the exact solver terminates with a
+    certificate (used for the "Optimal" series; see DESIGN.md). *)
+
+val large_rand_set : ?count:int -> ?size:int -> ?seed:int -> unit -> Dag.t list
+(** LargeRandSet: [count] (default 100) DAGs of [size] (default 1000) tasks
+    (Figure 12). *)
+
+val lu : ?n:int -> unit -> Dag.t
+(** LUSet member: tiled LU of an [n x n] (default 13) tiled matrix. *)
+
+val cholesky : ?n:int -> unit -> Dag.t
+(** CholeskySet member: tiled Cholesky, default 13 x 13. *)
+
+val platform_random : Platform.t
+(** Dual-memory platform used for the random sets: 2 blue + 2 red
+    processors, unbounded memories (bounds are set per sweep point). *)
+
+val platform_mirage : Platform.t
+(** The mirage machine of §6.1.2: 12 CPU cores (blue) + 3 GPUs (red). *)

@@ -1,0 +1,1 @@
+lib/generators/broadcast.ml: Array Dag List Printf String

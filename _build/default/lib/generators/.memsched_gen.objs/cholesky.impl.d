@@ -1,0 +1,1 @@
+lib/generators/cholesky.ml: Kernels Printf Tiled

@@ -1,0 +1,1 @@
+lib/generators/daggen.ml: Array Dag Float List Printf Rng

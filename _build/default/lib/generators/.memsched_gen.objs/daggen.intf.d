@@ -1,0 +1,1 @@
+lib/generators/daggen.mli: Dag Rng

@@ -1,0 +1,1 @@
+lib/generators/kernels.mli:

@@ -1,0 +1,1 @@
+lib/generators/lu.ml: Kernels Printf Tiled

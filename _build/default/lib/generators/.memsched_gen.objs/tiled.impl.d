@@ -1,0 +1,1 @@
+lib/generators/tiled.ml: Broadcast Dag Hashtbl Kernels List

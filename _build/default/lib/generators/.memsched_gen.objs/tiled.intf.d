@@ -1,0 +1,1 @@
+lib/generators/tiled.mli: Dag Kernels

@@ -1,0 +1,1 @@
+lib/generators/toy.ml: Array Dag Printf

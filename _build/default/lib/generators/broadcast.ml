@@ -1,0 +1,74 @@
+let relay_prefix = "bcast_"
+
+let linearize ?(max_fanout = 1) g =
+  if max_fanout < 1 then invalid_arg "Broadcast.linearize: max_fanout must be >= 1";
+  let b = Dag.Builder.create () in
+  (* Original tasks keep their ids because they are added first, in order. *)
+  Array.iter
+    (fun (t : Dag.task) ->
+      ignore (Dag.Builder.add_task b ~name:t.Dag.name ~w_blue:t.Dag.w_blue ~w_red:t.Dag.w_red ()))
+    (Dag.tasks g);
+  for i = 0 to Dag.n_tasks g - 1 do
+    let out = Dag.succ g i in
+    let d = List.length out in
+    if d <= max_fanout then
+      List.iter (fun (e : Dag.edge) -> Dag.Builder.add_edge b ~src:i ~dst:e.Dag.dst ~size:e.Dag.size ~comm:e.Dag.comm) out
+    else begin
+      let sizes_eq =
+        match out with
+        | [] -> true
+        | e0 :: rest ->
+          List.for_all (fun (e : Dag.edge) -> e.Dag.size = e0.Dag.size && e.Dag.comm = e0.Dag.comm) rest
+      in
+      if not sizes_eq then
+        invalid_arg
+          (Printf.sprintf "Broadcast.linearize: task %s has heterogeneous outgoing edges"
+             (Dag.task g i).Dag.name);
+      let size = (List.hd out).Dag.size and comm = (List.hd out).Dag.comm in
+      let consumers = List.map (fun (e : Dag.edge) -> e.Dag.dst) out in
+      (* Producer -> relay_1 -> relay_2 -> ... ; relay_k also feeds consumer
+         k; the last relay feeds the final two consumers. *)
+      let rec pipeline src k = function
+        | [] -> ()
+        | [ c ] -> Dag.Builder.add_edge b ~src ~dst:c ~size ~comm
+        | [ c1; c2 ] ->
+          Dag.Builder.add_edge b ~src ~dst:c1 ~size ~comm;
+          Dag.Builder.add_edge b ~src ~dst:c2 ~size ~comm
+        | c :: rest ->
+          Dag.Builder.add_edge b ~src ~dst:c ~size ~comm;
+          let relay =
+            Dag.Builder.add_task b
+              ~name:(Printf.sprintf "%s%s_%d" relay_prefix (Dag.task g i).Dag.name k)
+              ~w_blue:0. ~w_red:0. ()
+          in
+          Dag.Builder.add_edge b ~src ~dst:relay ~size ~comm;
+          pipeline relay (k + 1) rest
+      in
+      (* First hop: producer feeds the first relay (or directly its consumers
+         when d is small). *)
+      (match consumers with
+      | [] -> ()
+      | [ c ] -> Dag.Builder.add_edge b ~src:i ~dst:c ~size ~comm
+      | consumers ->
+        let relay0 =
+          Dag.Builder.add_task b
+            ~name:(Printf.sprintf "%s%s_0" relay_prefix (Dag.task g i).Dag.name)
+            ~w_blue:0. ~w_red:0. ()
+        in
+        Dag.Builder.add_edge b ~src:i ~dst:relay0 ~size ~comm;
+        pipeline relay0 1 consumers)
+    end
+  done;
+  Dag.Builder.finalize b
+
+let is_fictitious g i =
+  let name = (Dag.task g i).Dag.name in
+  String.length name >= String.length relay_prefix
+  && String.sub name 0 (String.length relay_prefix) = relay_prefix
+
+let n_fictitious g =
+  let count = ref 0 in
+  for i = 0 to Dag.n_tasks g - 1 do
+    if is_fictitious g i then incr count
+  done;
+  !count

@@ -1,0 +1,19 @@
+(** Task graph of the tiled Cholesky factorisation of an [n x n] tiled
+    symmetric matrix (CholeskySet, §6.1.2).
+
+    At step [k]: POTRF factors the diagonal tile [(k,k)]; TRSM processes the
+    tiles [(i,k)] of the first column; SYRK updates the diagonal tiles
+    [(i,i)]; GEMM updates the remaining tiles [(i,j)], [k < j < i].  The
+    graph counts [n*(n+1)*(n+2)/6 ~ n^3/6] kernel tasks (the paper's
+    "2/3 n^3" counts flops-weighted kernels) plus [O(n^2)] fictitious
+    broadcast relays. *)
+
+val generate : ?pipeline_broadcasts:bool -> n:int -> unit -> Dag.t
+(** @raise Invalid_argument when [n <= 0]. *)
+
+val n_kernel_tasks : n:int -> int
+(** Number of non-fictitious tasks. *)
+
+val n_lower_tiles : n:int -> int
+(** [n (n+1) / 2]: tiles of the lower half, the paper's reference for where
+    MemHEFT stops finding feasible schedules. *)

@@ -1,0 +1,33 @@
+type kernel = Getrf | Gemm | Trsm_l | Trsm_u | Potrf | Syrk | Fictitious
+
+let cpu_ms = function
+  | Getrf -> 450.
+  | Gemm -> 1450.
+  | Trsm_l -> 990.
+  | Trsm_u -> 830.
+  | Potrf -> 450.
+  | Syrk -> 990.
+  | Fictitious -> 0.
+
+let gpu_ms = function
+  | Getrf -> 900. (* panel factorisation: ~2x slower on the GPU *)
+  | Gemm -> 145. (* ~10x faster *)
+  | Trsm_l -> 198. (* ~5x faster *)
+  | Trsm_u -> 166. (* ~5x faster *)
+  | Potrf -> 900. (* ~2x slower *)
+  | Syrk -> 124. (* ~8x faster *)
+  | Fictitious -> 0.
+
+let tile_transfer_ms = 50.
+let tile_size = 1.
+
+let name = function
+  | Getrf -> "getrf"
+  | Gemm -> "gemm"
+  | Trsm_l -> "trsm_l"
+  | Trsm_u -> "trsm_u"
+  | Potrf -> "potrf"
+  | Syrk -> "syrk"
+  | Fictitious -> "fictitious"
+
+let all = [ Getrf; Gemm; Trsm_l; Trsm_u; Potrf; Syrk; Fictitious ]

@@ -1,0 +1,28 @@
+(** Linear-algebra kernel timing model (Table 1 of the paper).
+
+    CPU ("blue") times are the Table 1 measurements on a 192x192 double tile
+    of the mirage platform, in milliseconds.  The report does not print the
+    GPU-side times, so the "red" times are derived from public MAGMA-era
+    speedups: update kernels (GEMM, TRSM, SYRK) are much faster on the GPU,
+    panel factorisations (GETRF, POTRF) are slower (see DESIGN.md).  Only
+    these relative affinities drive the scheduling decisions. *)
+
+type kernel = Getrf | Gemm | Trsm_l | Trsm_u | Potrf | Syrk | Fictitious
+
+val cpu_ms : kernel -> float
+(** Blue-processor time.  Table 1: getrf 450, gemm 1450, trsm_l 990,
+    trsm_u 830, potrf 450, syrk 990; fictitious broadcast tasks cost 0. *)
+
+val gpu_ms : kernel -> float
+(** Red-processor time: gemm 145, trsm_l 198, trsm_u 166, syrk 124 (approx.),
+    getrf 900, potrf 900; fictitious tasks cost 0. *)
+
+val tile_transfer_ms : float
+(** CPU<->GPU transfer of one tile: 50 ms (paper, §6.1.2). *)
+
+val tile_size : float
+(** Memory footprint of one tile: 1 unit ("one unit of memory corresponding
+    to one tile"). *)
+
+val name : kernel -> string
+val all : kernel list

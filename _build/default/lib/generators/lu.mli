@@ -1,0 +1,15 @@
+(** Task graph of the tiled LU factorisation (no pivoting) of an [n x n]
+    tiled matrix (LUSet, §6.1.2).
+
+    At step [k]: GETRF factors the diagonal tile; TRSM_L eliminates the row
+    tiles [(k,j)]; TRSM_U eliminates the column tiles [(i,k)]; GEMM updates
+    the trailing tiles [(i,j)], [i, j > k].  The graph counts roughly
+    [n^3/3] kernel tasks plus [O(n^2)] fictitious broadcast relays. *)
+
+val generate : ?pipeline_broadcasts:bool -> n:int -> unit -> Dag.t
+(** @raise Invalid_argument when [n <= 0]. *)
+
+val n_kernel_tasks : n:int -> int
+val n_tiles : n:int -> int
+(** [n * n]: the paper's reference point — MemHEFT stops finding feasible
+    schedules when both memories together barely hold the full matrix. *)

@@ -1,0 +1,26 @@
+type t = {
+  builder : Dag.Builder.t;
+  last_writer : (int * int, int) Hashtbl.t;
+}
+
+let create () = { builder = Dag.Builder.create (); last_writer = Hashtbl.create 64 }
+
+let add_kernel t kernel ~name ~reads ~writes =
+  let id =
+    Dag.Builder.add_task t.builder ~name ~w_blue:(Kernels.cpu_ms kernel)
+      ~w_red:(Kernels.gpu_ms kernel) ()
+  in
+  let deps =
+    List.filter_map (Hashtbl.find_opt t.last_writer) (writes :: reads)
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun src ->
+      Dag.Builder.add_edge t.builder ~src ~dst:id ~size:Kernels.tile_size
+        ~comm:Kernels.tile_transfer_ms)
+    deps;
+  Hashtbl.replace t.last_writer writes id
+
+let finalize ?(pipeline_broadcasts = true) t =
+  let g = Dag.Builder.finalize t.builder in
+  if pipeline_broadcasts then Broadcast.linearize g else g

@@ -1,0 +1,22 @@
+(** Shared machinery for tiled dense linear-algebra DAGs (§6.1.2).
+
+    Tasks read and write 192x192 tiles tracked by coordinates; an edge is
+    added from the last writer of each tile a task reads (including the tile
+    it updates in place).  Every edge carries one tile ([F = 1]) and costs
+    one CPU<->GPU transfer ([C = 50] ms).  After construction the graph is
+    passed through {!Broadcast.linearize} so that multi-consumer tiles are
+    broadcast through pipelines of fictitious zero-work tasks, as in the
+    paper. *)
+
+type t
+
+val create : unit -> t
+
+val add_kernel : t -> Kernels.kernel -> name:string -> reads:(int * int) list -> writes:int * int -> unit
+(** Adds a task running the given kernel; dependencies come from the last
+    writers of [reads] plus the last writer of [writes] (in-place update).
+    Duplicate tile reads are de-duplicated. *)
+
+val finalize : ?pipeline_broadcasts:bool -> t -> Dag.t
+(** Builds the DAG; [pipeline_broadcasts] (default true) applies
+    {!Broadcast.linearize}. *)

@@ -1,0 +1,56 @@
+let dex () =
+  let b = Dag.Builder.create () in
+  let t1 = Dag.Builder.add_task b ~name:"T1" ~w_blue:3. ~w_red:1. () in
+  let t2 = Dag.Builder.add_task b ~name:"T2" ~w_blue:2. ~w_red:2. () in
+  let t3 = Dag.Builder.add_task b ~name:"T3" ~w_blue:6. ~w_red:3. () in
+  let t4 = Dag.Builder.add_task b ~name:"T4" ~w_blue:1. ~w_red:1. () in
+  Dag.Builder.add_edge b ~src:t1 ~dst:t2 ~size:1. ~comm:1.;
+  Dag.Builder.add_edge b ~src:t1 ~dst:t3 ~size:2. ~comm:1.;
+  Dag.Builder.add_edge b ~src:t2 ~dst:t4 ~size:1. ~comm:1.;
+  Dag.Builder.add_edge b ~src:t3 ~dst:t4 ~size:2. ~comm:1.;
+  Dag.Builder.finalize b
+
+let chain ~n ~w ~f ~c =
+  if n <= 0 then invalid_arg "Toy.chain: n must be positive";
+  let b = Dag.Builder.create () in
+  let ids = Array.init n (fun k -> Dag.Builder.add_task b ~name:(Printf.sprintf "c%d" k) ~w_blue:w ~w_red:w ()) in
+  for k = 0 to n - 2 do
+    Dag.Builder.add_edge b ~src:ids.(k) ~dst:ids.(k + 1) ~size:f ~comm:c
+  done;
+  Dag.Builder.finalize b
+
+let fork_join ~width ~w ~f ~c =
+  if width <= 0 then invalid_arg "Toy.fork_join: width must be positive";
+  let b = Dag.Builder.create () in
+  let src = Dag.Builder.add_task b ~name:"fork" ~w_blue:w ~w_red:w () in
+  let mids =
+    Array.init width (fun k ->
+        Dag.Builder.add_task b ~name:(Printf.sprintf "m%d" k) ~w_blue:w ~w_red:w ())
+  in
+  let sink = Dag.Builder.add_task b ~name:"join" ~w_blue:w ~w_red:w () in
+  Array.iter
+    (fun m ->
+      Dag.Builder.add_edge b ~src ~dst:m ~size:f ~comm:c;
+      Dag.Builder.add_edge b ~src:m ~dst:sink ~size:f ~comm:c)
+    mids;
+  Dag.Builder.finalize b
+
+let diamond () =
+  let b = Dag.Builder.create () in
+  let s = Dag.Builder.add_task b ~name:"s" ~w_blue:1. ~w_red:1. () in
+  let l = Dag.Builder.add_task b ~name:"l" ~w_blue:1. ~w_red:1. () in
+  let r = Dag.Builder.add_task b ~name:"r" ~w_blue:1. ~w_red:1. () in
+  let t = Dag.Builder.add_task b ~name:"t" ~w_blue:1. ~w_red:1. () in
+  Dag.Builder.add_edge b ~src:s ~dst:l ~size:1. ~comm:1.;
+  Dag.Builder.add_edge b ~src:s ~dst:r ~size:1. ~comm:1.;
+  Dag.Builder.add_edge b ~src:l ~dst:t ~size:1. ~comm:1.;
+  Dag.Builder.add_edge b ~src:r ~dst:t ~size:1. ~comm:1.;
+  Dag.Builder.finalize b
+
+let independent ~n ~w_blue ~w_red =
+  if n <= 0 then invalid_arg "Toy.independent: n must be positive";
+  let b = Dag.Builder.create () in
+  for k = 0 to n - 1 do
+    ignore (Dag.Builder.add_task b ~name:(Printf.sprintf "i%d" k) ~w_blue ~w_red ())
+  done;
+  Dag.Builder.finalize b

@@ -1,0 +1,19 @@
+(** Small hand-built graphs used in the paper's examples and in tests. *)
+
+val dex : unit -> Dag.t
+(** The toy DAG of Figure 2: tasks T1..T4 (ids 0..3) with
+    [W^(1) = (3, 2, 6, 1)], [W^(2) = (1, 2, 3, 1)], edges
+    [(T1,T2) F=1], [(T1,T3) F=2], [(T2,T4) F=1], [(T3,T4) F=2],
+    all transfer times equal to 1. *)
+
+val chain : n:int -> w:float -> f:float -> c:float -> Dag.t
+(** A linear chain of [n] identical tasks. *)
+
+val fork_join : width:int -> w:float -> f:float -> c:float -> Dag.t
+(** One source fanning out to [width] parallel tasks joined by one sink. *)
+
+val diamond : unit -> Dag.t
+(** Four tasks: source, two independent middles, sink; unit costs. *)
+
+val independent : n:int -> w_blue:float -> w_red:float -> Dag.t
+(** [n] tasks with no dependencies. *)

@@ -1,0 +1,1 @@
+lib/ilp/exact.ml: Array Dag Heuristics List Outcome Paths Platform Sched_state Schedule

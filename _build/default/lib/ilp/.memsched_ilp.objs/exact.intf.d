@@ -1,0 +1,1 @@
+lib/ilp/exact.mli: Dag Platform Schedule

@@ -1,0 +1,1 @@
+lib/ilp/ilp_model.ml: Array Dag Float List Lp Platform Printf Schedule

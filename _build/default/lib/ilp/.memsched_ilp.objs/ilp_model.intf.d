@@ -1,0 +1,1 @@
+lib/ilp/ilp_model.mli: Dag Lp Platform Schedule

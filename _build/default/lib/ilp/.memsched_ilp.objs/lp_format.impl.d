@@ -1,0 +1,1 @@
+lib/ilp/lp_format.ml: Array Buffer Fun List Lp Printf String

@@ -1,0 +1,1 @@
+lib/ilp/lp_format.mli: Lp

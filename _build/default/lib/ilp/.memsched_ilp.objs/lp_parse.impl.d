@@ -1,0 +1,1 @@
+lib/ilp/lp_parse.ml: Buffer Fun Hashtbl List Lp Option Printf String

@@ -1,0 +1,1 @@
+lib/ilp/mip.ml: Array Float List Lp Option Simplex Sys

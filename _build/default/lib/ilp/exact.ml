@@ -1,0 +1,95 @@
+type status = Proven_optimal | Feasible | Proven_infeasible | Unknown
+
+type result = {
+  status : status;
+  schedule : Schedule.t option;
+  makespan : float;
+  nodes : int;
+}
+
+let eps = 1e-9
+
+let solve ?(node_limit = 2_000_000) ?(seed_incumbent = true) g platform =
+  let n = Dag.n_tasks g in
+  (* Static per-task lower bound on the remaining critical path: min-duration
+     bottom level with free transfers. *)
+  let bottom = Paths.bottom_levels g ~node_weight:(Dag.w_min g) ~edge_weight:(fun _ -> 0.) in
+  let incumbent = ref infinity in
+  let best_schedule = ref None in
+  if seed_incumbent then
+    List.iter
+      (fun h ->
+        let o = Outcome.run h g platform in
+        if o.Outcome.feasible && o.Outcome.makespan < !incumbent then begin
+          incumbent := o.Outcome.makespan;
+          best_schedule := o.Outcome.schedule
+        end)
+      [ Heuristics.MemHEFT; Heuristics.MemMinMin ];
+  let nodes = ref 0 in
+  let capped = ref false in
+  (* Depth-first over (ready task, memory) decisions. *)
+  let rec explore state current_max =
+    if !nodes >= node_limit then capped := true
+    else begin
+      incr nodes;
+      if Sched_state.n_assigned state = n then begin
+        if current_max < !incumbent -. eps then begin
+          incumbent := current_max;
+          best_schedule := Some (Sched_state.schedule (Sched_state.copy state))
+        end
+      end
+      else begin
+        let ready = Sched_state.ready_tasks state in
+        (* Candidate decisions with their optimistic completion bound. *)
+        let candidates =
+          List.concat_map
+            (fun i ->
+              List.filter_map
+                (fun mu ->
+                  match Sched_state.estimate state i mu with
+                  | Some e ->
+                    let lb = max current_max (e.Sched_state.est +. bottom.(i)) in
+                    if lb >= !incumbent -. eps then None else Some (e, lb)
+                  | None -> None)
+                Platform.memories)
+            ready
+        in
+        let candidates =
+          List.sort
+            (fun (a, _) (b, _) -> compare a.Sched_state.eft b.Sched_state.eft)
+            candidates
+        in
+        List.iter
+          (fun (e, lb) ->
+            if lb < !incumbent -. eps && not !capped then begin
+              let child = Sched_state.copy state in
+              (* Estimates are state-dependent: recompute on the copy. *)
+              match Sched_state.estimate child e.Sched_state.task e.Sched_state.memory with
+              | Some e' ->
+                Sched_state.commit child e';
+                explore child (max current_max e'.Sched_state.eft)
+              | None -> ()
+            end)
+          candidates
+      end
+    end
+  in
+  explore (Sched_state.create g platform) 0.;
+  let status =
+    match (!best_schedule, !capped) with
+    | Some _, false -> Proven_optimal
+    | Some _, true -> Feasible
+    | None, false -> Proven_infeasible
+    | None, true -> Unknown
+  in
+  {
+    status;
+    schedule = !best_schedule;
+    makespan = (if !best_schedule = None then nan else !incumbent);
+    nodes = !nodes;
+  }
+
+let optimal_makespan ?node_limit g platform =
+  match solve ?node_limit g platform with
+  | { status = Proven_optimal; makespan; _ } -> Some makespan
+  | _ -> None

@@ -1,0 +1,37 @@
+(** Exact branch-and-bound scheduler — the "Optimal" reference of Figures 10
+    and 11.
+
+    The search enumerates every interleaving of (ready task, memory)
+    decisions; each decision places the task at its earliest feasible start
+    (the four EST components of §5.1) with just-in-time transfers.  Subtrees
+    are pruned with the critical-path/work-area lower bound against the best
+    incumbent (seeded from MemHEFT/MemMinMin when they succeed).
+
+    This explores the same decision space the paper's ILP encodes, restricted
+    to schedules where every task starts as early as its commitment order
+    allows — the standard policy class for this kind of search; because the
+    search branches over {e all} commitment orders, deliberate idling is
+    covered by committing other tasks first.  The solver is cross-checked
+    against the ILP (via {!Mip}) on toy instances in the test suite.  A
+    {!result} is [Proven_optimal] only when the search space was exhausted
+    within the node budget. *)
+
+type status =
+  | Proven_optimal  (** search exhausted: best found is optimal (in-class) *)
+  | Feasible  (** node budget hit with an incumbent *)
+  | Proven_infeasible  (** search exhausted without any feasible schedule *)
+  | Unknown  (** node budget hit without an incumbent *)
+
+type result = {
+  status : status;
+  schedule : Schedule.t option;
+  makespan : float;  (** [nan] without an incumbent *)
+  nodes : int;
+}
+
+val solve : ?node_limit:int -> ?seed_incumbent:bool -> Dag.t -> Platform.t -> result
+(** Defaults: [node_limit = 2_000_000], [seed_incumbent = true] (run the
+    heuristics first to obtain an upper bound). *)
+
+val optimal_makespan : ?node_limit:int -> Dag.t -> Platform.t -> float option
+(** Convenience: [Some makespan] when [Proven_optimal], [None] otherwise. *)

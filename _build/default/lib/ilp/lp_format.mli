@@ -1,0 +1,12 @@
+(** CPLEX-LP file writer.
+
+    The paper solved its ILP with CPLEX 12.5; this writer exports any {!Lp}
+    model in the standard LP file format so the same instance can be fed to
+    CPLEX, Gurobi, SCIP, HiGHS or glpsol outside this sealed environment. *)
+
+val to_string : Lp.t -> string
+val write : Lp.t -> string -> unit
+(** [write lp path]. *)
+
+val sanitize : string -> string
+(** LP-format-safe identifier (used for all variable/constraint names). *)

@@ -1,0 +1,92 @@
+type status = Optimal | Feasible | Infeasible | Unknown
+
+type solution = {
+  status : status;
+  incumbent : (float array * float) option;
+  best_bound : float;
+  nodes : int;
+}
+
+let solve ?(node_limit = 200_000) ?time_limit ?(int_tol = 1e-6) ?(gap_tol = 1e-6) ?incumbent lp =
+  let deadline = Option.map (fun s -> Sys.time () +. s) time_limit in
+  let out_of_time () = match deadline with Some d -> Sys.time () > d | None -> false in
+  let n = Lp.n_vars lp in
+  let original =
+    Array.init n (fun i ->
+        let v = Lp.var lp i in
+        (v.Lp.lb, v.Lp.ub))
+  in
+  let restore () = Array.iteri (fun v (lb, ub) -> Lp.override_bounds lp v ~lb ~ub) original in
+  let best : (float array * float) option ref = ref None in
+  let upper = ref (Option.value ~default:infinity incumbent) in
+  let nodes = ref 0 in
+  let capped = ref false in
+  let open_bounds = ref [] in
+  (* DFS.  Each node's bound overrides are applied before its relaxation and
+     undone by re-applying the parent's full fixing list. *)
+  let rec explore fixings =
+    if !nodes >= node_limit || out_of_time () then capped := true
+    else begin
+      incr nodes;
+      restore ();
+      (* Oldest first, so a re-branched variable keeps its newest bounds. *)
+      List.iter (fun (v, lb, ub) -> Lp.override_bounds lp v ~lb ~ub) (List.rev fixings);
+      match Simplex.solve_relaxation lp with
+      | Simplex.Infeasible -> ()
+      | Simplex.Unbounded | Simplex.Capped ->
+        (* No valid bound for this subtree: remember it stays open. *)
+        open_bounds := neg_infinity :: !open_bounds;
+        capped := true
+      | Simplex.Optimal { x; obj } ->
+        if obj >= !upper -. gap_tol then ()
+        else begin
+          (* Most fractional integer variable. *)
+          let frac_var = ref (-1) in
+          let frac_dist = ref int_tol in
+          for v = 0 to n - 1 do
+            match (Lp.var lp v).Lp.kind with
+            | Lp.Continuous -> ()
+            | Lp.Binary | Lp.General_integer ->
+              let d = abs_float (x.(v) -. Float.round x.(v)) in
+              if d > !frac_dist then begin
+                frac_dist := d;
+                frac_var := v
+              end
+          done;
+          if !frac_var < 0 then begin
+            if obj < !upper then begin
+              upper := obj;
+              best := Some (Array.copy x, obj)
+            end
+          end
+          else begin
+            let v = !frac_var in
+            let lb0, ub0 =
+              match List.find_opt (fun (v', _, _) -> v' = v) fixings with
+              | Some (_, lb, ub) -> (lb, ub)
+              | None -> original.(v)
+            in
+            let xv = x.(v) in
+            let lo = (v, lb0, floor xv) and hi = (v, ceil xv, ub0) in
+            let first, second = if xv -. floor xv <= 0.5 then (lo, hi) else (hi, lo) in
+            explore (first :: fixings);
+            explore (second :: fixings)
+          end
+        end
+    end
+  in
+  explore [];
+  restore ();
+  let status =
+    match (!best, !capped) with
+    | Some _, false -> Optimal
+    | Some _, true -> Feasible
+    | None, false -> Infeasible
+    | None, true -> Unknown
+  in
+  let best_bound =
+    match status with
+    | Optimal -> ( match !best with Some (_, obj) -> obj | None -> neg_infinity)
+    | Feasible | Unknown | Infeasible -> neg_infinity
+  in
+  { status; incumbent = !best; best_bound; nodes = !nodes }

@@ -1,0 +1,34 @@
+(** Branch-and-bound over the LP relaxation: a small MILP solver sufficient
+    for toy instances of the paper's ILP (CPLEX stands in for anything
+    larger via the {!Lp_format} export).
+
+    Branching: the integer variable whose relaxation value is farthest from
+    integrality; depth-first with best-bound pruning against the incumbent.
+    Minimisation only. *)
+
+type status =
+  | Optimal  (** proven optimal within tolerances *)
+  | Feasible  (** node or iteration budget exhausted with an incumbent *)
+  | Infeasible  (** proven infeasible *)
+  | Unknown  (** budget exhausted without an incumbent *)
+
+type solution = {
+  status : status;
+  incumbent : (float array * float) option;  (** assignment and objective *)
+  best_bound : float;  (** global lower bound on the optimum *)
+  nodes : int;  (** branch-and-bound nodes explored *)
+}
+
+val solve :
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?int_tol:float ->
+  ?gap_tol:float ->
+  ?incumbent:float ->
+  Lp.t ->
+  solution
+(** [incumbent] seeds an upper bound (e.g. from a heuristic schedule);
+    branches proving [bound >= incumbent - gap_tol] are pruned.
+    [time_limit] is in CPU seconds ({!Sys.time}).  Defaults:
+    [node_limit = 200_000], no time limit, [int_tol = 1e-6],
+    [gap_tol = 1e-6]. *)

@@ -1,0 +1,284 @@
+type result =
+  | Optimal of { x : float array; obj : float }
+  | Infeasible
+  | Unbounded
+  | Capped
+
+let tol = 1e-7
+
+(* Equality-form tableau.  Variables fixed by bounds (lb = ub) are
+   substituted out as constants, which keeps branch-and-bound subproblems
+   small.  Rows whose slack enters positively start basic on their slack;
+   only the remaining rows get artificial columns. *)
+type tableau = {
+  m : int;
+  ncols : int;
+  a : float array array;
+  b : float array;
+  basis : int array;
+  n_real : int;  (** structural + slack columns (artificials beyond) *)
+  col_of_var : int array;  (** -1 when the variable is fixed *)
+  fixed_value : float array;  (** meaningful when col_of_var = -1 *)
+  n_art : int;
+}
+
+let build lp =
+  let nv = Lp.n_vars lp in
+  let vars = Lp.vars lp in
+  Array.iter
+    (fun v ->
+      if v.Lp.lb = neg_infinity then invalid_arg "Simplex: variables must have finite lower bounds")
+    vars;
+  let col_of_var = Array.make nv (-1) in
+  let fixed_value = Array.make nv 0. in
+  let ncols_struct = ref 0 in
+  Array.iter
+    (fun v ->
+      if v.Lp.ub -. v.Lp.lb <= 1e-12 then fixed_value.(v.Lp.idx) <- v.Lp.lb
+      else begin
+        col_of_var.(v.Lp.idx) <- !ncols_struct;
+        incr ncols_struct
+      end)
+    vars;
+  let constrs = Lp.constrs lp in
+  let ub_rows =
+    Array.to_list vars
+    |> List.filter_map (fun v ->
+           if col_of_var.(v.Lp.idx) >= 0 && v.Lp.ub < infinity then
+             Some (v.Lp.idx, v.Lp.ub -. v.Lp.lb)
+           else None)
+  in
+  let m = Array.length constrs + List.length ub_rows in
+  let n_slack =
+    Array.fold_left
+      (fun acc c -> match c.Lp.sense with Lp.Le | Lp.Ge -> acc + 1 | Lp.Eq -> acc)
+      0 constrs
+    + List.length ub_rows
+  in
+  let n_real = !ncols_struct + n_slack in
+  (* First pass fills structural+slack coefficients and remembers each row's
+     slack column/sign; artificials are appended afterwards. *)
+  let a = Array.init m (fun _ -> Array.make n_real 0.) in
+  let b = Array.make m 0. in
+  let slack_col = Array.make m (-1) in
+  let slack_sign = Array.make m 0. in
+  let slack_cursor = ref !ncols_struct in
+  let row = ref 0 in
+  let emit_terms r terms rhs =
+    let rhs = ref rhs in
+    List.iter
+      (fun (coef, v) ->
+        (* shift by lb; constants leave entirely *)
+        rhs := !rhs -. (coef *. vars.(v).Lp.lb);
+        let col = col_of_var.(v) in
+        if col >= 0 then a.(r).(col) <- a.(r).(col) +. coef
+        else rhs := !rhs -. (coef *. (fixed_value.(v) -. vars.(v).Lp.lb)))
+      terms;
+    b.(r) <- !rhs
+  in
+  Array.iter
+    (fun c ->
+      let r = !row in
+      emit_terms r c.Lp.terms c.Lp.rhs;
+      (match c.Lp.sense with
+      | Lp.Le ->
+        a.(r).(!slack_cursor) <- 1.;
+        slack_col.(r) <- !slack_cursor;
+        slack_sign.(r) <- 1.;
+        incr slack_cursor
+      | Lp.Ge ->
+        a.(r).(!slack_cursor) <- -1.;
+        slack_col.(r) <- !slack_cursor;
+        slack_sign.(r) <- -1.;
+        incr slack_cursor
+      | Lp.Eq -> ());
+      incr row)
+    constrs;
+  List.iter
+    (fun (v, ub) ->
+      let r = !row in
+      a.(r).(col_of_var.(v)) <- 1.;
+      a.(r).(!slack_cursor) <- 1.;
+      slack_col.(r) <- !slack_cursor;
+      slack_sign.(r) <- 1.;
+      incr slack_cursor;
+      b.(r) <- ub;
+      incr row)
+    ub_rows;
+  (* Normalise to b >= 0 and decide each row's starting basis. *)
+  let needs_art = Array.make m false in
+  let n_art = ref 0 in
+  for r = 0 to m - 1 do
+    if b.(r) < 0. then begin
+      b.(r) <- -.b.(r);
+      for j = 0 to n_real - 1 do
+        a.(r).(j) <- -.a.(r).(j)
+      done;
+      slack_sign.(r) <- -.slack_sign.(r)
+    end;
+    if not (slack_col.(r) >= 0 && slack_sign.(r) > 0.) then begin
+      needs_art.(r) <- true;
+      incr n_art
+    end
+  done;
+  let ncols = n_real + !n_art in
+  let a' = Array.init m (fun r -> Array.append a.(r) (Array.make !n_art 0.)) in
+  let basis = Array.make m (-1) in
+  let art_cursor = ref n_real in
+  for r = 0 to m - 1 do
+    if needs_art.(r) then begin
+      a'.(r).(!art_cursor) <- 1.;
+      basis.(r) <- !art_cursor;
+      incr art_cursor
+    end
+    else basis.(r) <- slack_col.(r)
+  done;
+  { m; ncols; a = a'; b; basis; n_real; col_of_var; fixed_value; n_art = !n_art }
+
+let reduced_costs t c =
+  let z = Array.copy c in
+  let obj = ref 0. in
+  for r = 0 to t.m - 1 do
+    let cb = c.(t.basis.(r)) in
+    if cb <> 0. then begin
+      obj := !obj +. (cb *. t.b.(r));
+      let arow = t.a.(r) in
+      for j = 0 to t.ncols - 1 do
+        z.(j) <- z.(j) -. (cb *. arow.(j))
+      done
+    end
+  done;
+  (z, !obj)
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let inv = 1. /. arow.(col) in
+  for j = 0 to t.ncols - 1 do
+    arow.(j) <- arow.(j) *. inv
+  done;
+  t.b.(row) <- t.b.(row) *. inv;
+  for r = 0 to t.m - 1 do
+    if r <> row then begin
+      let arr = t.a.(r) in
+      let f = arr.(col) in
+      if f <> 0. then begin
+        for j = 0 to t.ncols - 1 do
+          arr.(j) <- arr.(j) -. (f *. arow.(j))
+        done;
+        t.b.(r) <- t.b.(r) -. (f *. t.b.(row))
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+type phase_result = Phase_optimal | Phase_unbounded | Phase_capped
+
+let run_phase t c ~allowed ~max_iters =
+  let iters = ref 0 in
+  let result = ref None in
+  while !result = None do
+    incr iters;
+    let z, _ = reduced_costs t c in
+    let bland = !iters > max_iters / 2 in
+    let enter = ref (-1) in
+    let best = ref (-.tol) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if allowed j && z.(j) < -.tol then begin
+           if bland then begin
+             enter := j;
+             raise Exit
+           end
+           else if z.(j) < !best then begin
+             best := z.(j);
+             enter := j
+           end
+         end
+       done
+     with Exit -> ());
+    if !enter < 0 then result := Some Phase_optimal
+    else begin
+      let col = !enter in
+      let leave = ref (-1) in
+      let best_ratio = ref infinity in
+      for r = 0 to t.m - 1 do
+        if t.a.(r).(col) > tol then begin
+          let ratio = t.b.(r) /. t.a.(r).(col) in
+          if
+            ratio < !best_ratio -. tol
+            || (ratio < !best_ratio +. tol && (!leave < 0 || t.basis.(r) < t.basis.(!leave)))
+          then begin
+            best_ratio := ratio;
+            leave := r
+          end
+        end
+      done;
+      if !leave < 0 then result := Some Phase_unbounded
+      else begin
+        pivot t ~row:!leave ~col;
+        if !iters >= max_iters then result := Some Phase_capped
+      end
+    end
+  done;
+  Option.get !result
+
+let solve_relaxation ?(max_iters = 20000) lp =
+  let t = build lp in
+  let nv = Lp.n_vars lp in
+  let vars = Lp.vars lp in
+  (* Phase 1 (only when artificials exist). *)
+  let phase1_capped =
+    if t.n_art = 0 then false
+    else begin
+      let c1 = Array.make t.ncols 0. in
+      for j = t.n_real to t.ncols - 1 do
+        c1.(j) <- 1.
+      done;
+      match run_phase t c1 ~allowed:(fun _ -> true) ~max_iters with
+      | Phase_unbounded -> assert false (* bounded below by 0 *)
+      | Phase_optimal -> false
+      | Phase_capped -> true
+    end
+  in
+  let infeas = ref 0. in
+  for r = 0 to t.m - 1 do
+    if t.basis.(r) >= t.n_real then infeas := !infeas +. t.b.(r)
+  done;
+  if !infeas > 1e-6 then (if phase1_capped then Capped else Infeasible)
+  else begin
+    (* Drive remaining zero-level artificials out of the basis. *)
+    for r = 0 to t.m - 1 do
+      if t.basis.(r) >= t.n_real then begin
+        let col = ref (-1) in
+        for j = 0 to t.n_real - 1 do
+          if !col < 0 && abs_float t.a.(r).(j) > tol then col := j
+        done;
+        if !col >= 0 then pivot t ~row:r ~col:!col
+      end
+    done;
+    let c2 = Array.make t.ncols 0. in
+    let sign, terms =
+      match Lp.objective lp with Lp.Minimize e -> (1., e) | Lp.Maximize e -> (-1., e)
+    in
+    List.iter
+      (fun (coef, v) ->
+        let col = t.col_of_var.(v) in
+        if col >= 0 then c2.(col) <- c2.(col) +. (sign *. coef))
+      terms;
+    let allowed j = j < t.n_real in
+    match run_phase t c2 ~allowed ~max_iters with
+    | Phase_unbounded -> Unbounded
+    | Phase_capped -> Capped
+    | Phase_optimal ->
+      let y = Array.make t.ncols 0. in
+      for r = 0 to t.m - 1 do
+        y.(t.basis.(r)) <- t.b.(r)
+      done;
+      let x =
+        Array.init nv (fun v ->
+            let col = t.col_of_var.(v) in
+            if col >= 0 then y.(col) +. vars.(v).Lp.lb else t.fixed_value.(v))
+      in
+      let obj = List.fold_left (fun acc (coef, v) -> acc +. (coef *. x.(v))) 0. terms in
+      Optimal { x; obj }
+  end

@@ -1,0 +1,21 @@
+(** Dense two-phase primal simplex for the LP relaxation of {!Lp} models.
+
+    Bounds are handled by shifting every variable to its (finite) lower
+    bound and materialising finite upper bounds as rows; all rows then get a
+    full artificial basis for phase 1.  This is a compact, dependable solver
+    for the small instances the paper's ILP is used on — not a
+    high-performance LP code. *)
+
+type result =
+  | Optimal of { x : float array; obj : float }
+      (** [x] is indexed by the model's variable indices. *)
+  | Infeasible
+  | Unbounded
+  | Capped
+      (** iteration cap hit before convergence: the result carries no valid
+          bound and must not be used for pruning *)
+
+val solve_relaxation : ?max_iters:int -> Lp.t -> result
+(** Solves the LP obtained by dropping integrality.
+    @raise Invalid_argument if some variable has an infinite lower bound
+    (the paper's models never do). *)

@@ -1,0 +1,1 @@
+lib/multi/mheuristics.ml: Array Dag Fp Fun List Mplatform Mproblem Mschedule Paths Result Rng Staircase

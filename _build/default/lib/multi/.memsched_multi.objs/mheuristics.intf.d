@@ -1,0 +1,1 @@
+lib/multi/mheuristics.mli: Mplatform Mproblem Mschedule Result Rng

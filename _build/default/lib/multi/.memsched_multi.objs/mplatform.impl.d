@@ -1,0 +1,1 @@
+lib/multi/mplatform.ml: Array Format List Platform

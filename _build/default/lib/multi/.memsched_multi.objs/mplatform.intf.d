@@ -1,0 +1,1 @@
+lib/multi/mplatform.mli: Format Platform

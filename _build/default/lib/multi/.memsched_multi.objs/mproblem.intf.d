@@ -1,0 +1,1 @@
+lib/multi/mproblem.mli: Dag

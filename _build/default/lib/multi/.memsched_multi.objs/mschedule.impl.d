@@ -1,0 +1,1 @@
+lib/multi/mschedule.ml: Array Dag List Mplatform Mproblem Printf String

@@ -1,0 +1,1 @@
+lib/multi/mschedule.mli: Dag Mplatform Mproblem

@@ -1,0 +1,17 @@
+(** MemHEFT and MemMinMin generalised to [k] memory pools (the paper's §7
+    future work).  The machinery mirrors {!Sched_state}: per-pool [free_mem]
+    staircases, the four EST components, per-edge just-in-time transfers.
+    On a 2-pool platform the results coincide with the dual-memory
+    implementation (property-tested). *)
+
+type failure = { reason : string; n_scheduled : int }
+type result = (Mschedule.t, failure) Result.t
+
+val upward_ranks : Mproblem.t -> float array
+(** Mean duration over all pools plus [C/2] edge costs, as in §5.1. *)
+
+val memheft : ?rng:Rng.t -> Mproblem.t -> Mplatform.t -> result
+val memminmin : Mproblem.t -> Mplatform.t -> result
+
+val heft : ?rng:Rng.t -> Mproblem.t -> Mplatform.t -> Mschedule.t
+(** Memory-oblivious reference (unbounded pools). *)

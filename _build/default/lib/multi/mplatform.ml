@@ -1,0 +1,56 @@
+type pool = {
+  procs : int;
+  capacity : float;
+}
+
+type t = { pools : pool array }
+
+let make pools =
+  if pools = [] then invalid_arg "Mplatform.make: at least one pool required";
+  List.iter
+    (fun p ->
+      if p.procs <= 0 then invalid_arg "Mplatform.make: processor counts must be positive";
+      if p.capacity < 0. then invalid_arg "Mplatform.make: negative capacity")
+    pools;
+  { pools = Array.of_list pools }
+
+let of_dual platform =
+  make
+    [ { procs = Platform.n_procs_of platform Platform.Blue;
+        capacity = Platform.capacity platform Platform.Blue };
+      { procs = Platform.n_procs_of platform Platform.Red;
+        capacity = Platform.capacity platform Platform.Red } ]
+
+let n_pools t = Array.length t.pools
+let pool t k = t.pools.(k)
+let n_procs t = Array.fold_left (fun acc p -> acc + p.procs) 0 t.pools
+let capacity t k = t.pools.(k).capacity
+
+let with_capacities t caps =
+  if List.length caps <> n_pools t then invalid_arg "Mplatform.with_capacities: arity mismatch";
+  make (List.map2 (fun p c -> { p with capacity = c }) (Array.to_list t.pools) caps)
+
+let pool_of_proc t proc =
+  if proc < 0 then invalid_arg "Mplatform.pool_of_proc: out of range";
+  let rec find k base =
+    if k >= n_pools t then invalid_arg "Mplatform.pool_of_proc: out of range"
+    else if proc < base + t.pools.(k).procs then k
+    else find (k + 1) (base + t.pools.(k).procs)
+  in
+  find 0 0
+
+let procs_of t k =
+  let base = ref 0 in
+  for j = 0 to k - 1 do
+    base := !base + t.pools.(j).procs
+  done;
+  List.init t.pools.(k).procs (fun i -> !base + i)
+
+let pp ppf t =
+  Format.fprintf ppf "mplatform{";
+  Array.iteri
+    (fun k p ->
+      if k > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "pool%d: %d procs, M=%g" k p.procs p.capacity)
+    t.pools;
+  Format.fprintf ppf "}"

@@ -1,0 +1,34 @@
+(** Generalised platform with [k >= 1] memory pools — the paper's §7 future
+    work ("hybrid platforms with several types of accelerators, and/or
+    including more than two memories").
+
+    Pool [0] plays the role of the blue memory; pools are otherwise
+    symmetric.  Processors are numbered consecutively pool by pool. *)
+
+type pool = {
+  procs : int;  (** processors attached to this memory *)
+  capacity : float;  (** memory capacity; [infinity] = unbounded *)
+}
+
+type t = private { pools : pool array }
+
+val make : pool list -> t
+(** @raise Invalid_argument on an empty list, non-positive processor counts
+    or negative capacities. *)
+
+val of_dual : Platform.t -> t
+(** The dual-memory platform as the 2-pool special case (blue first). *)
+
+val n_pools : t -> int
+val pool : t -> int -> pool
+val n_procs : t -> int
+val capacity : t -> int -> float
+val with_capacities : t -> float list -> t
+
+val pool_of_proc : t -> int -> int
+(** @raise Invalid_argument on an out-of-range processor index. *)
+
+val procs_of : t -> int -> int list
+(** Global processor indices of a pool. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,133 @@
+type t = {
+  starts : float array;
+  procs : int array;
+  comm_starts : float option array;
+}
+
+let create g =
+  {
+    starts = Array.make (Dag.n_tasks g) 0.;
+    procs = Array.make (Dag.n_tasks g) 0;
+    comm_starts = Array.make (Dag.n_edges g) None;
+  }
+
+let pool_of platform s i = Mplatform.pool_of_proc platform s.procs.(i)
+let duration problem platform s i = Mproblem.duration problem i (pool_of platform s i)
+let finish problem platform s i = s.starts.(i) +. duration problem platform s i
+
+let makespan problem platform s =
+  let m = ref 0. in
+  for i = 0 to Array.length s.starts - 1 do
+    m := max !m (finish problem platform s i)
+  done;
+  !m
+
+let is_cut platform s (e : Dag.edge) = pool_of platform s e.Dag.src <> pool_of platform s e.Dag.dst
+
+type report = {
+  makespan : float;
+  peaks : float array;
+}
+
+(* Event sweep per pool; frees before allocations at equal instants, as in
+   the dual-memory Events module. *)
+let usage_trace problem platform s =
+  let g = problem.Mproblem.graph in
+  let k = Mplatform.n_pools platform in
+  let events = ref [] in
+  let push time kind pool delta = if delta <> 0. then events := (time, kind, pool, delta) :: !events in
+  for i = 0 to Dag.n_tasks g - 1 do
+    let pool = pool_of platform s i in
+    push s.starts.(i) 1 pool (Dag.out_size g i);
+    push (finish problem platform s i) 0 pool (-.Dag.in_size g i)
+  done;
+  Array.iter
+    (fun (e : Dag.edge) ->
+      if is_cut platform s e then begin
+        match s.comm_starts.(e.Dag.eid) with
+        | Some tau ->
+          push tau 1 (pool_of platform s e.Dag.dst) e.Dag.size;
+          push (tau +. e.Dag.comm) 0 (pool_of platform s e.Dag.src) (-.e.Dag.size)
+        | None -> invalid_arg "Mschedule: cut edge without transfer"
+      end)
+    (Dag.edges g);
+  let events = List.sort compare !events in
+  let usage = Array.make k 0. in
+  let peaks = Array.make k 0. in
+  let min_usage = Array.make k 0. in
+  List.iter
+    (fun (_, _, pool, delta) ->
+      usage.(pool) <- usage.(pool) +. delta;
+      if usage.(pool) > peaks.(pool) then peaks.(pool) <- usage.(pool);
+      if usage.(pool) < min_usage.(pool) then min_usage.(pool) <- usage.(pool))
+    events;
+  (peaks, min_usage, usage)
+
+let validate ?(eps = 1e-6) problem platform s =
+  let g = problem.Mproblem.graph in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let name i = (Dag.task g i).Dag.name in
+  for i = 0 to Dag.n_tasks g - 1 do
+    if s.procs.(i) < 0 || s.procs.(i) >= Mplatform.n_procs platform then
+      err "task %s: processor %d out of range" (name i) s.procs.(i);
+    if s.starts.(i) < -.eps then err "task %s: negative start" (name i)
+  done;
+  if !errors <> [] then Error (List.rev !errors)
+  else begin
+    Array.iter
+      (fun (e : Dag.edge) ->
+        let cut = is_cut platform s e in
+        match (cut, s.comm_starts.(e.Dag.eid)) with
+        | true, None -> err "edge %s->%s: cut edge without a transfer" (name e.Dag.src) (name e.Dag.dst)
+        | false, Some _ ->
+          err "edge %s->%s: same-pool edge with a transfer" (name e.Dag.src) (name e.Dag.dst)
+        | true, Some tau ->
+          if finish problem platform s e.Dag.src > tau +. eps then
+            err "edge %s->%s: transfer before producer finishes" (name e.Dag.src) (name e.Dag.dst);
+          if tau +. e.Dag.comm > s.starts.(e.Dag.dst) +. eps then
+            err "edge %s->%s: transfer ends after consumer starts" (name e.Dag.src) (name e.Dag.dst)
+        | false, None ->
+          if finish problem platform s e.Dag.src > s.starts.(e.Dag.dst) +. eps then
+            err "edge %s->%s: consumer before producer" (name e.Dag.src) (name e.Dag.dst))
+      (Dag.edges g);
+    (* Resource exclusivity per processor. *)
+    for p = 0 to Mplatform.n_procs platform - 1 do
+      let tasks = ref [] in
+      for i = Dag.n_tasks g - 1 downto 0 do
+        if s.procs.(i) = p then tasks := i :: !tasks
+      done;
+      let sorted =
+        List.sort
+          (fun a b ->
+            compare (s.starts.(a), finish problem platform s a) (s.starts.(b), finish problem platform s b))
+          !tasks
+      in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          if finish problem platform s a > s.starts.(b) +. eps then
+            err "processor %d: tasks %s and %s overlap" p (name a) (name b);
+          check rest
+        | _ -> ()
+      in
+      check sorted
+    done;
+    if !errors <> [] then Error (List.rev !errors)
+    else begin
+      let peaks, min_usage, _final = usage_trace problem platform s in
+      Array.iteri
+        (fun k peak ->
+          if peak > Mplatform.capacity platform k +. eps then
+            err "pool %d: usage %g exceeds capacity %g" k peak (Mplatform.capacity platform k);
+          if min_usage.(k) < -.eps then err "pool %d: negative usage (bad file lifetimes)" k)
+        peaks;
+      match List.rev !errors with
+      | [] -> Ok { makespan = makespan problem platform s; peaks }
+      | errs -> Error errs
+    end
+  end
+
+let validate_exn ?eps problem platform s =
+  match validate ?eps problem platform s with
+  | Ok r -> r
+  | Error errs -> failwith (String.concat "\n" errs)

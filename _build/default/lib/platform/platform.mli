@@ -1,0 +1,46 @@
+(** The dual-memory platform of §3.1 (Figure 1).
+
+    [p_blue] identical processors share the blue memory (capacity
+    [m_blue]) and [p_red] identical processors share the red memory
+    (capacity [m_red]).  Processors are numbered [0 .. p_blue - 1] (blue)
+    then [p_blue .. p_blue + p_red - 1] (red). *)
+
+type memory = Blue | Red
+
+val other : memory -> memory
+val memory_to_string : memory -> string
+val pp_memory : Format.formatter -> memory -> unit
+val memories : memory list
+
+type t = private {
+  p_blue : int;
+  p_red : int;
+  m_blue : float;  (** blue memory capacity; [infinity] = unbounded *)
+  m_red : float;  (** red memory capacity; [infinity] = unbounded *)
+}
+
+val make : p_blue:int -> p_red:int -> m_blue:float -> m_red:float -> t
+(** @raise Invalid_argument unless both processor counts are positive and
+    both capacities non-negative. *)
+
+val unbounded : p_blue:int -> p_red:int -> t
+(** Both memories unbounded: the memory-oblivious setting of HEFT/MinMin. *)
+
+val with_bounds : t -> m_blue:float -> m_red:float -> t
+
+val n_procs : t -> int
+val capacity : t -> memory -> float
+val n_procs_of : t -> memory -> int
+
+val memory_of_proc : t -> int -> memory
+(** @raise Invalid_argument on an out-of-range processor index. *)
+
+val procs_of : t -> memory -> int list
+(** Processor indices operating on the given memory. *)
+
+val first_proc : t -> memory -> int
+
+val w : Dag.t -> int -> memory -> float
+(** Processing time of a task on a processor of the given memory. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/events.ml: Array Dag List Platform Schedule

@@ -1,0 +1,1 @@
+lib/sim/events.mli: Dag Platform Schedule

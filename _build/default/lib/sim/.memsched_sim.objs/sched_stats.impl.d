@@ -1,0 +1,1 @@
+lib/sim/sched_stats.ml: Array Dag Events Format List Platform Schedule

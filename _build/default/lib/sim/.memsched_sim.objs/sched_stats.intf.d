@@ -1,0 +1,1 @@
+lib/sim/sched_stats.mli: Dag Format Platform Schedule

@@ -1,0 +1,1 @@
+lib/sim/schedule.ml: Array Dag Format List Platform

@@ -1,0 +1,1 @@
+lib/sim/schedule_io.ml: Array Buffer Dag Fun List Printf Schedule String

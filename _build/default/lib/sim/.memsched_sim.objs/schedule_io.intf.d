@@ -1,0 +1,1 @@
+lib/sim/schedule_io.mli: Dag Schedule

@@ -1,0 +1,1 @@
+lib/sim/validator.ml: Array Dag Events List Platform Printf Schedule String

@@ -1,0 +1,81 @@
+type trace = {
+  times : float array;
+  blue : float array;
+  red : float array;
+}
+
+(* kind 0 = free (applied first at equal times), kind 1 = alloc *)
+type event = { time : float; kind : int; mem : Platform.memory; delta : float }
+
+let events_of g platform s =
+  let acc = ref [] in
+  let push time kind mem delta = if delta <> 0. then acc := { time; kind; mem; delta } :: !acc in
+  for i = 0 to Dag.n_tasks g - 1 do
+    let mem = Schedule.memory_of platform s i in
+    push s.Schedule.starts.(i) 1 mem (Dag.out_size g i);
+    push (Schedule.finish g platform s i) 0 mem (-.Dag.in_size g i)
+  done;
+  Array.iter
+    (fun (e : Dag.edge) ->
+      if Schedule.is_cut platform s e then begin
+        match s.Schedule.comm_starts.(e.Dag.eid) with
+        | Some tau ->
+          let src_mem = Schedule.memory_of platform s e.Dag.src in
+          push tau 1 (Platform.other src_mem) e.Dag.size;
+          push (tau +. e.Dag.comm) 0 src_mem (-.e.Dag.size)
+        | None -> invalid_arg "Events.memory_trace: cut edge without transfer"
+      end)
+    (Dag.edges g);
+  List.sort (fun a b -> compare (a.time, a.kind) (b.time, b.kind)) !acc
+
+let memory_trace g platform s =
+  let evs = events_of g platform s in
+  let times = ref [ 0. ] and blue = ref [ 0. ] and red = ref [ 0. ] in
+  let cur_blue = ref 0. and cur_red = ref 0. in
+  let flush_step t =
+    match !times with
+    | last :: _ when last = t ->
+      (* overwrite the step we just opened at the same instant *)
+      blue := !cur_blue :: List.tl !blue;
+      red := !cur_red :: List.tl !red
+    | _ ->
+      times := t :: !times;
+      blue := !cur_blue :: !blue;
+      red := !cur_red :: !red
+  in
+  List.iter
+    (fun ev ->
+      (match ev.mem with
+      | Platform.Blue -> cur_blue := !cur_blue +. ev.delta
+      | Platform.Red -> cur_red := !cur_red +. ev.delta);
+      flush_step ev.time)
+    evs;
+  {
+    times = Array.of_list (List.rev !times);
+    blue = Array.of_list (List.rev !blue);
+    red = Array.of_list (List.rev !red);
+  }
+
+let step_index trace t =
+  let lo = ref 0 and hi = ref (Array.length trace.times - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if trace.times.(mid) <= t then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let usage_at trace mem t =
+  let k = step_index trace t in
+  match mem with Platform.Blue -> trace.blue.(k) | Platform.Red -> trace.red.(k)
+
+let peak trace mem =
+  let a = match mem with Platform.Blue -> trace.blue | Platform.Red -> trace.red in
+  Array.fold_left max 0. a
+
+let peaks g platform s =
+  let trace = memory_trace g platform s in
+  (peak trace Platform.Blue, peak trace Platform.Red)
+
+let usage_at_task_start g platform s i =
+  let trace = memory_trace g platform s in
+  usage_at trace (Schedule.memory_of platform s i) s.Schedule.starts.(i)

@@ -1,0 +1,30 @@
+(** Discrete-event reconstruction of memory usage over time (§3.2 semantics).
+
+    Allocation rules implied by the paper's [BlueMemUsed]/[RedMemUsed]:
+    a task's output files are allocated in its memory at its {e start};
+    its input files are freed from its memory at its {e end}; a cross-memory
+    transfer allocates the file in the destination memory at its start and
+    frees it from the source memory at its end.  At equal instants, frees are
+    applied before allocations, which matches the worked example of Figure 3
+    (e.g. [RedMemUsed(T4) = F24 + F34]). *)
+
+type trace = {
+  times : float array;  (** event instants, strictly increasing, starts at 0. *)
+  blue : float array;  (** blue usage on [\[times.(k), times.(k+1))] *)
+  red : float array;
+}
+
+val memory_trace : Dag.t -> Platform.t -> Schedule.t -> trace
+
+val usage_at : trace -> Platform.memory -> float -> float
+(** Usage at a given instant (right-continuous step function). *)
+
+val peak : trace -> Platform.memory -> float
+(** The paper's memory peak [M^s_mu(D)]. *)
+
+val peaks : Dag.t -> Platform.t -> Schedule.t -> float * float
+(** [(peak blue, peak red)] of a schedule. *)
+
+val usage_at_task_start : Dag.t -> Platform.t -> Schedule.t -> int -> float
+(** The paper's [MemUsed(s, i)]: usage of task [i]'s memory during its
+    processing (sampled just after its start, frees-first tie rule). *)

@@ -1,0 +1,10 @@
+(** ASCII Gantt charts: one lane per processor plus one lane per memory
+    showing usage over time — the textual analogue of Figures 3 and 4. *)
+
+val render : ?width:int -> Dag.t -> Platform.t -> Schedule.t -> string
+(** [render ~width g p s] draws the schedule scaled to [width] character
+    columns (default 72).  Task lanes show the first letters of task names;
+    memory lanes show usage digits scaled to the peak. *)
+
+val render_memory_profile : ?width:int -> Dag.t -> Platform.t -> Schedule.t -> string
+(** Just the two memory-usage lanes with their numeric peaks. *)

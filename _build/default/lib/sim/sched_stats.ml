@@ -1,0 +1,112 @@
+type per_proc = {
+  proc : int;
+  memory : Platform.memory;
+  n_tasks : int;
+  busy : float;
+  idle : float;
+}
+
+type t = {
+  makespan : float;
+  total_work : float;
+  per_proc : per_proc list;
+  mean_utilisation : float;
+  n_transfers : int;
+  transfer_volume : float;
+  transfer_time : float;
+  peak_blue : float;
+  peak_red : float;
+  avg_blue : float;
+  avg_red : float;
+  tasks_on_blue : int;
+  tasks_on_red : int;
+}
+
+let time_average trace usage horizon =
+  if horizon <= 0. then 0.
+  else begin
+    let times = trace.Events.times in
+    let acc = ref 0. in
+    Array.iteri
+      (fun k u ->
+        let t0 = times.(k) in
+        let t1 = if k + 1 < Array.length times then times.(k + 1) else horizon in
+        let t1 = min t1 horizon in
+        if t1 > t0 then acc := !acc +. (u *. (t1 -. t0)))
+      usage;
+    !acc /. horizon
+  end
+
+let compute g platform s =
+  let makespan = Schedule.makespan g platform s in
+  let nprocs = Platform.n_procs platform in
+  let busy = Array.make nprocs 0. in
+  let counts = Array.make nprocs 0 in
+  let total_work = ref 0. in
+  let on_blue = ref 0 and on_red = ref 0 in
+  for i = 0 to Dag.n_tasks g - 1 do
+    let p = s.Schedule.procs.(i) in
+    let w = Schedule.duration g platform s i in
+    busy.(p) <- busy.(p) +. w;
+    counts.(p) <- counts.(p) + 1;
+    total_work := !total_work +. w;
+    match Schedule.memory_of platform s i with
+    | Platform.Blue -> incr on_blue
+    | Platform.Red -> incr on_red
+  done;
+  let per_proc =
+    List.init nprocs (fun p ->
+        {
+          proc = p;
+          memory = Platform.memory_of_proc platform p;
+          n_tasks = counts.(p);
+          busy = busy.(p);
+          idle = max 0. (makespan -. busy.(p));
+        })
+  in
+  let n_transfers = ref 0 and volume = ref 0. and ttime = ref 0. in
+  Array.iter
+    (fun (e : Dag.edge) ->
+      match s.Schedule.comm_starts.(e.Dag.eid) with
+      | Some _ ->
+        incr n_transfers;
+        volume := !volume +. e.Dag.size;
+        ttime := !ttime +. e.Dag.comm
+      | None -> ())
+    (Dag.edges g);
+  let trace = Events.memory_trace g platform s in
+  {
+    makespan;
+    total_work = !total_work;
+    per_proc;
+    mean_utilisation =
+      (if makespan <= 0. then 0.
+       else Array.fold_left ( +. ) 0. busy /. (float_of_int nprocs *. makespan));
+    n_transfers = !n_transfers;
+    transfer_volume = !volume;
+    transfer_time = !ttime;
+    peak_blue = Events.peak trace Platform.Blue;
+    peak_red = Events.peak trace Platform.Red;
+    avg_blue = time_average trace trace.Events.blue makespan;
+    avg_red = time_average trace trace.Events.red makespan;
+    tasks_on_blue = !on_blue;
+    tasks_on_red = !on_red;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "makespan:          %g@," t.makespan;
+  Format.fprintf ppf "total work:        %g (utilisation %.0f%%)@," t.total_work
+    (100. *. t.mean_utilisation);
+  Format.fprintf ppf "task placement:    %d blue, %d red@," t.tasks_on_blue t.tasks_on_red;
+  Format.fprintf ppf "transfers:         %d (volume %g, time %g)@," t.n_transfers t.transfer_volume
+    t.transfer_time;
+  Format.fprintf ppf "memory peaks:      blue %g, red %g@," t.peak_blue t.peak_red;
+  Format.fprintf ppf "memory avg:        blue %.1f, red %.1f@," t.avg_blue t.avg_red;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "proc %-2d (%-4s):    %d tasks, busy %g, idle %g@," p.proc
+        (Platform.memory_to_string p.memory)
+        p.n_tasks p.busy p.idle)
+    t.per_proc;
+  Format.fprintf ppf "@]"

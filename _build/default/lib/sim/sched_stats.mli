@@ -1,0 +1,30 @@
+(** Descriptive statistics of a schedule, for reports and the CLI: where the
+    time goes (busy/idle per processor), how much data crosses the memories,
+    and how full each memory runs. *)
+
+type per_proc = {
+  proc : int;
+  memory : Platform.memory;
+  n_tasks : int;
+  busy : float;  (** total processing time *)
+  idle : float;  (** horizon minus busy *)
+}
+
+type t = {
+  makespan : float;
+  total_work : float;  (** sum of all processing times *)
+  per_proc : per_proc list;
+  mean_utilisation : float;  (** busy / horizon averaged over processors *)
+  n_transfers : int;
+  transfer_volume : float;  (** total file mass moved across memories *)
+  transfer_time : float;  (** total transfer busy time *)
+  peak_blue : float;
+  peak_red : float;
+  avg_blue : float;  (** time-averaged blue memory usage *)
+  avg_red : float;
+  tasks_on_blue : int;
+  tasks_on_red : int;
+}
+
+val compute : Dag.t -> Platform.t -> Schedule.t -> t
+val pp : Format.formatter -> t -> unit

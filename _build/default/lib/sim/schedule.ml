@@ -1,0 +1,65 @@
+type t = {
+  starts : float array;
+  procs : int array;
+  comm_starts : float option array;
+}
+
+let create g =
+  {
+    starts = Array.make (Dag.n_tasks g) 0.;
+    procs = Array.make (Dag.n_tasks g) 0;
+    comm_starts = Array.make (Dag.n_edges g) None;
+  }
+
+let memory_of platform s i = Platform.memory_of_proc platform s.procs.(i)
+let duration g platform s i = Platform.w g i (memory_of platform s i)
+let finish g platform s i = s.starts.(i) +. duration g platform s i
+
+let is_cut platform s (e : Dag.edge) =
+  memory_of platform s e.Dag.src <> memory_of platform s e.Dag.dst
+
+let comm_duration platform s (e : Dag.edge) = if is_cut platform s e then e.Dag.comm else 0.
+
+let comm_finish g platform s (e : Dag.edge) =
+  if is_cut platform s e then begin
+    match s.comm_starts.(e.Dag.eid) with
+    | Some tau -> tau +. e.Dag.comm
+    | None -> invalid_arg "Schedule.comm_finish: cut edge without transfer"
+  end
+  else finish g platform s e.Dag.src
+
+let makespan g platform s =
+  let n = Dag.n_tasks g in
+  let m = ref 0. in
+  for i = 0 to n - 1 do
+    m := max !m (finish g platform s i)
+  done;
+  !m
+
+let tasks_of_proc g platform s p =
+  let on_p = ref [] in
+  for i = Dag.n_tasks g - 1 downto 0 do
+    if s.procs.(i) = p then on_p := i :: !on_p
+  done;
+  (* Sort by (start, finish) so that a zero-duration task sharing its start
+     instant with a longer task is ordered first (it legally precedes it). *)
+  List.sort
+    (fun a b -> compare (s.starts.(a), finish g platform s a) (s.starts.(b), finish g platform s b))
+    !on_p
+
+let pp g platform ppf s =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to Dag.n_tasks g - 1 do
+    Format.fprintf ppf "%s: proc %d (%a) [%g, %g)@,"
+      (Dag.task g i).Dag.name s.procs.(i) Platform.pp_memory (memory_of platform s i)
+      s.starts.(i) (finish g platform s i)
+  done;
+  Array.iter
+    (fun (e : Dag.edge) ->
+      match s.comm_starts.(e.Dag.eid) with
+      | Some tau ->
+        Format.fprintf ppf "comm %s->%s [%g, %g)@,"
+          (Dag.task g e.Dag.src).Dag.name (Dag.task g e.Dag.dst).Dag.name tau (tau +. e.Dag.comm)
+      | None -> ())
+    (Dag.edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,71 @@
+let to_string (s : Schedule.t) =
+  let buf = Buffer.create 1024 in
+  let n_comms =
+    Array.fold_left (fun acc c -> if c = None then acc else acc + 1) 0 s.Schedule.comm_starts
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "schedule %d %d\n" (Array.length s.Schedule.starts) n_comms);
+  Array.iteri
+    (fun i start ->
+      Buffer.add_string buf (Printf.sprintf "task %d %d %.17g\n" i s.Schedule.procs.(i) start))
+    s.Schedule.starts;
+  Array.iteri
+    (fun eid tau ->
+      match tau with
+      | Some tau -> Buffer.add_string buf (Printf.sprintf "comm %d %.17g\n" eid tau)
+      | None -> ())
+    s.Schedule.comm_starts;
+  Buffer.contents buf
+
+let of_string g text =
+  let fail fmt = Printf.ksprintf invalid_arg ("Schedule_io.of_string: " ^^ fmt) in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> fail "empty input"
+  | header :: rest ->
+    let n, m =
+      match String.split_on_char ' ' header with
+      | [ "schedule"; n; m ] -> (
+        match (int_of_string_opt n, int_of_string_opt m) with
+        | Some n, Some m -> (n, m)
+        | _ -> fail "bad header %S" header)
+      | _ -> fail "bad header %S" header
+    in
+    if n <> Dag.n_tasks g then fail "expected %d tasks, header says %d" (Dag.n_tasks g) n;
+    let s = Schedule.create g in
+    let tasks_seen = ref 0 and comms_seen = ref 0 in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "task"; id; proc; start ] -> (
+          match (int_of_string_opt id, int_of_string_opt proc, float_of_string_opt start) with
+          | Some id, Some proc, Some start when id >= 0 && id < n ->
+            s.Schedule.starts.(id) <- start;
+            s.Schedule.procs.(id) <- proc;
+            incr tasks_seen
+          | _ -> fail "bad task line %S" line)
+        | [ "comm"; eid; start ] -> (
+          match (int_of_string_opt eid, float_of_string_opt start) with
+          | Some eid, Some start when eid >= 0 && eid < Dag.n_edges g ->
+            s.Schedule.comm_starts.(eid) <- Some start;
+            incr comms_seen
+          | _ -> fail "bad comm line %S" line)
+        | _ -> fail "unknown line %S" line)
+      rest;
+    if !tasks_seen <> n then fail "expected %d task lines, got %d" n !tasks_seen;
+    if !comms_seen <> m then fail "expected %d comm lines, got %d" m !comms_seen;
+    s
+
+let write s path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string s))
+
+let read g path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string g (really_input_string ic (in_channel_length ic)))

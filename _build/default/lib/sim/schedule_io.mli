@@ -1,0 +1,19 @@
+(** Text (de)serialisation of schedules, so that schedules can be stored,
+    exchanged and re-validated offline (e.g. by the [memsched validate]
+    subcommand).
+
+    Format (whitespace-separated, [#] comments):
+    {v
+    schedule <n_tasks> <n_comms>
+    task <id> <proc> <start>
+    comm <eid> <start>
+    v} *)
+
+val to_string : Schedule.t -> string
+
+val of_string : Dag.t -> string -> Schedule.t
+(** @raise Invalid_argument on malformed input or task/edge counts that do
+    not match the graph. *)
+
+val write : Schedule.t -> string -> unit
+val read : Dag.t -> string -> Schedule.t

@@ -1,0 +1,95 @@
+type report = {
+  makespan : float;
+  peak_blue : float;
+  peak_red : float;
+}
+
+let validate ?(eps = 1e-6) g platform s =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let n = Dag.n_tasks g in
+  let name i = (Dag.task g i).Dag.name in
+  (* Placement sanity. *)
+  for i = 0 to n - 1 do
+    if s.Schedule.procs.(i) < 0 || s.Schedule.procs.(i) >= Platform.n_procs platform then
+      err "task %s: processor %d out of range" (name i) s.Schedule.procs.(i);
+    if s.Schedule.starts.(i) < -.eps then err "task %s: negative start %g" (name i) s.Schedule.starts.(i)
+  done;
+  if !errors <> [] then Error (List.rev !errors)
+  else begin
+    (* Transfer bookkeeping and flow constraints. *)
+    Array.iter
+      (fun (e : Dag.edge) ->
+        let cut = Schedule.is_cut platform s e in
+        let tau = s.Schedule.comm_starts.(e.Dag.eid) in
+        match (cut, tau) with
+        | true, None -> err "edge %s->%s: cut edge without a transfer" (name e.Dag.src) (name e.Dag.dst)
+        | false, Some _ ->
+          err "edge %s->%s: same-memory edge with a spurious transfer" (name e.Dag.src)
+            (name e.Dag.dst)
+        | true, Some tau ->
+          let f_src = Schedule.finish g platform s e.Dag.src in
+          if f_src > tau +. eps then
+            err "edge %s->%s: transfer starts at %g before producer finishes at %g" (name e.Dag.src)
+              (name e.Dag.dst) tau f_src;
+          if tau +. e.Dag.comm > s.Schedule.starts.(e.Dag.dst) +. eps then
+            err "edge %s->%s: transfer ends at %g after consumer starts at %g" (name e.Dag.src)
+              (name e.Dag.dst) (tau +. e.Dag.comm) s.Schedule.starts.(e.Dag.dst);
+          if tau < -.eps then err "edge %s->%s: negative transfer start" (name e.Dag.src) (name e.Dag.dst)
+        | false, None ->
+          let f_src = Schedule.finish g platform s e.Dag.src in
+          if f_src > s.Schedule.starts.(e.Dag.dst) +. eps then
+            err "edge %s->%s: consumer starts at %g before producer finishes at %g" (name e.Dag.src)
+              (name e.Dag.dst) s.Schedule.starts.(e.Dag.dst) f_src)
+      (Dag.edges g);
+    (* Resource constraints: sweep each processor's tasks by start time.
+       Zero-duration tasks may share an instant with anything. *)
+    for p = 0 to Platform.n_procs platform - 1 do
+      let tasks = Schedule.tasks_of_proc g platform s p in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          let fin_a = Schedule.finish g platform s a in
+          if fin_a > s.Schedule.starts.(b) +. eps then
+            err "processor %d: tasks %s and %s overlap ([%g,%g) vs start %g)" p (name a) (name b)
+              s.Schedule.starts.(a) fin_a s.Schedule.starts.(b);
+          check rest
+        | _ -> ()
+      in
+      check tasks
+    done;
+    (* Memory constraints — only reconstructible when the transfer
+       bookkeeping is sound, so stop here otherwise. *)
+    if !errors <> [] then Error (List.rev !errors)
+    else begin
+    let trace = Events.memory_trace g platform s in
+    let check_mem mem =
+      let cap = Platform.capacity platform mem in
+      let usage = match mem with Platform.Blue -> trace.Events.blue | Platform.Red -> trace.Events.red in
+      Array.iteri
+        (fun k u ->
+          if u > cap +. eps then
+            err "%s memory: usage %g exceeds capacity %g at time %g"
+              (Platform.memory_to_string mem) u cap trace.Events.times.(k);
+          if u < -.eps then
+            err "%s memory: negative usage %g at time %g (inconsistent file lifetimes)"
+              (Platform.memory_to_string mem) u trace.Events.times.(k))
+        usage
+    in
+    check_mem Platform.Blue;
+    check_mem Platform.Red;
+    match List.rev !errors with
+    | [] ->
+      Ok
+        {
+          makespan = Schedule.makespan g platform s;
+          peak_blue = Events.peak trace Platform.Blue;
+          peak_red = Events.peak trace Platform.Red;
+        }
+    | errs -> Error errs
+    end
+  end
+
+let validate_exn ?eps g platform s =
+  match validate ?eps g platform s with
+  | Ok r -> r
+  | Error errs -> failwith (String.concat "\n" errs)

@@ -1,0 +1,27 @@
+(** Full validity oracle for schedules: re-checks every constraint of §3
+    independently of how the schedule was produced.  Every scheduler in this
+    repository (heuristics, exact solver, MILP extraction) is tested against
+    this module. *)
+
+type report = {
+  makespan : float;
+  peak_blue : float;
+  peak_red : float;
+}
+
+val validate :
+  ?eps:float -> Dag.t -> Platform.t -> Schedule.t -> (report, string list) result
+(** Checks, with tolerance [eps] (default [1e-6]):
+    - placement sanity: processor indices in range, non-negative times;
+    - transfer bookkeeping: every cut edge has a transfer, no same-memory
+      edge does;
+    - flow constraints: [sigma(i) + W_i <= tau(i,j)] and
+      [tau(i,j) + COMM(i,j) <= sigma(j)] for every edge;
+    - resource constraints: no two tasks overlap on the same processor;
+    - memory constraints: the reconstructed usage of each memory never
+      exceeds its capacity.
+
+    On success the report carries the makespan and both memory peaks. *)
+
+val validate_exn : ?eps:float -> Dag.t -> Platform.t -> Schedule.t -> report
+(** @raise Failure with all accumulated error messages. *)

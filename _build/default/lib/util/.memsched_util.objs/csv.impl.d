@@ -1,0 +1,1 @@
+lib/util/csv.ml: Buffer Filename Fun List Printf String Sys

@@ -1,0 +1,44 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let row_to_string fields = String.concat "," (List.map escape_field fields)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let write path ~header rows =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (row_to_string header);
+      output_char oc '\n';
+      List.iter
+        (fun row ->
+          output_string oc (row_to_string row);
+          output_char oc '\n')
+        rows)
+
+let ensure_dir = mkdir_p
+
+let float_cell f =
+  if f = infinity then "inf"
+  else if f = neg_infinity then "-inf"
+  else Printf.sprintf "%g" f

@@ -1,0 +1,16 @@
+(** Minimal CSV writer (RFC-4180 quoting) for experiment result files. *)
+
+val escape_field : string -> string
+(** Quote a field if it contains commas, quotes or newlines. *)
+
+val row_to_string : string list -> string
+
+val write : string -> header:string list -> string list list -> unit
+(** [write path ~header rows] writes a CSV file, creating parent directories
+    as needed. *)
+
+val float_cell : float -> string
+(** Compact float rendering ([%g]); infinities map to ["inf"]/["-inf"]. *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p] for result directories. *)

@@ -1,0 +1,3 @@
+let lb_plus t c =
+  let rec fix x = if x -. c >= t then x else fix (Float.succ x) in
+  fix (t +. c)

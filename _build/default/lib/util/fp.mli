@@ -1,0 +1,12 @@
+(** Floating-point helpers for schedule arithmetic.
+
+    The planners verify memory availability over a window starting at some
+    breakpoint [t] and later place a transfer at [est -. c] with
+    [est >= t +. c].  Plain float arithmetic can give
+    [(t +. c) -. c < t], silently moving the allocation below the verified
+    window; {!lb_plus} computes the least float [x >= t +. c] such that
+    [x -. c >= t] holds exactly in float arithmetic. *)
+
+val lb_plus : float -> float -> float
+(** [lb_plus t c] with [c >= 0]: the smallest float [x] such that
+    [x >= t +. c] and [x -. c >= t]. *)

@@ -1,0 +1,66 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix64 s }
+
+(* Non-negative 62-bit integer from the top bits (avoids sign issues). *)
+let bits_nonneg g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to keep the distribution exactly uniform. *)
+  let max = (1 lsl 62) - 1 in
+  let limit = max - (max mod bound) in
+  let rec draw () =
+    let v = bits_nonneg g in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let int_incl g lo hi =
+  if lo > hi then invalid_arg "Rng.int_incl: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_distinct g ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_distinct";
+  (* Floyd's algorithm: k iterations, set-based. *)
+  let module S = Set.Make (Int) in
+  let s = ref S.empty in
+  for j = n - k to n - 1 do
+    let v = int g (j + 1) in
+    if S.mem v !s then s := S.add j !s else s := S.add v !s
+  done;
+  S.elements !s
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int g (Array.length a))

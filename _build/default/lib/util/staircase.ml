@@ -1,0 +1,127 @@
+(* Breakpoints stored in two parallel growable arrays, sorted by time.
+   Invariants: len >= 1, xs.(0) = 0., xs strictly increasing.
+   Adjacent equal values may appear transiently; [coalesce] removes them. *)
+
+type t = {
+  mutable xs : float array;
+  mutable vs : float array;
+  mutable len : int;
+}
+
+let eps = 1e-9
+
+let create v = { xs = [| 0. |]; vs = [| v |]; len = 1 }
+
+let copy s = { xs = Array.copy s.xs; vs = Array.copy s.vs; len = s.len }
+
+let ensure_capacity s n =
+  let cap = Array.length s.xs in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let xs' = Array.make cap' 0. and vs' = Array.make cap' 0. in
+    Array.blit s.xs 0 xs' 0 s.len;
+    Array.blit s.vs 0 vs' 0 s.len;
+    s.xs <- xs';
+    s.vs <- vs'
+  end
+
+(* Index of the step containing time [t]: largest i with xs.(i) <= t. *)
+let step_index s t =
+  let lo = ref 0 and hi = ref (s.len - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if s.xs.(mid) <= t then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let value s t =
+  if t < 0. then invalid_arg "Staircase.value: negative time";
+  s.vs.(step_index s t)
+
+let final_value s = s.vs.(s.len - 1)
+
+let coalesce s =
+  let w = ref 0 in
+  for r = 1 to s.len - 1 do
+    if abs_float (s.vs.(r) -. s.vs.(!w)) > eps then begin
+      incr w;
+      s.xs.(!w) <- s.xs.(r);
+      s.vs.(!w) <- s.vs.(r)
+    end
+  done;
+  s.len <- !w + 1
+
+let add_from s t delta =
+  if t < 0. then invalid_arg "Staircase.add_from: negative time";
+  if delta <> 0. then begin
+    let i = step_index s t in
+    let start =
+      if s.xs.(i) = t then i
+      else begin
+        (* Split step [i] at [t]. *)
+        ensure_capacity s (s.len + 1);
+        Array.blit s.xs (i + 1) s.xs (i + 2) (s.len - i - 1);
+        Array.blit s.vs (i + 1) s.vs (i + 2) (s.len - i - 1);
+        s.xs.(i + 1) <- t;
+        s.vs.(i + 1) <- s.vs.(i);
+        s.len <- s.len + 1;
+        i + 1
+      end
+    in
+    for j = start to s.len - 1 do
+      s.vs.(j) <- s.vs.(j) +. delta
+    done;
+    coalesce s
+  end
+
+let add_range s t1 t2 delta =
+  if t1 > t2 then invalid_arg "Staircase.add_range: t1 > t2";
+  if t1 < t2 && delta <> 0. then begin
+    add_from s t1 delta;
+    add_from s t2 (-.delta)
+  end
+
+let min_from s t =
+  let i = step_index s t in
+  let m = ref s.vs.(i) in
+  for j = i + 1 to s.len - 1 do
+    if s.vs.(j) < !m then m := s.vs.(j)
+  done;
+  !m
+
+let min_on s t1 t2 =
+  if t1 >= t2 then invalid_arg "Staircase.min_on: empty interval";
+  let i = step_index s t1 in
+  let m = ref s.vs.(i) in
+  let j = ref (i + 1) in
+  while !j < s.len && s.xs.(!j) < t2 do
+    if s.vs.(!j) < !m then m := s.vs.(!j);
+    incr j
+  done;
+  !m
+
+let earliest_suffix_ge s ~level ~from =
+  if final_value s +. eps < level then None
+  else begin
+    (* The answer is the breakpoint following the last step whose value is
+       below [level] (or [from] when no step from [from] on is below). *)
+    let answer = ref from in
+    for j = 0 to s.len - 2 do
+      if s.vs.(j) +. eps < level then answer := max !answer s.xs.(j + 1)
+    done;
+    Some !answer
+  end
+
+let breakpoints s =
+  let rec build i acc = if i < 0 then acc else build (i - 1) ((s.xs.(i), s.vs.(i)) :: acc) in
+  build (s.len - 1) []
+
+let length s = s.len
+
+let pp ppf s =
+  Format.fprintf ppf "@[<h>";
+  for i = 0 to s.len - 1 do
+    if i > 0 then Format.fprintf ppf " ";
+    Format.fprintf ppf "[%g:%g]" s.xs.(i) s.vs.(i)
+  done;
+  Format.fprintf ppf "@]"

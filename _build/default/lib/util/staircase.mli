@@ -1,0 +1,54 @@
+(** Piecewise-constant, right-continuous functions of time.
+
+    The scheduling heuristics of the paper maintain, for each memory, the
+    function [free_mem(t)] giving the amount of memory still free at time [t]
+    in the partial schedule (§5.1).  Because every allocation and release in
+    the model takes effect from some instant {e onwards} (output files are
+    held from the task start, input files are released at the task end, ...),
+    all updates are of the form "add [delta] on [\[t, +inf)]", which keeps the
+    representation compact: a sorted list of breakpoints.
+
+    A staircase [s] is defined on [\[0, +inf)]; [value s t] is constant
+    between consecutive breakpoints and equal to the value attached to the
+    breakpoint at or before [t]. *)
+
+type t
+
+val create : float -> t
+(** [create v] is the constant function [t -> v]. *)
+
+val value : t -> float -> float
+(** [value s t] for [t >= 0]. *)
+
+val final_value : t -> float
+(** Value on the unbounded last step. *)
+
+val add_from : t -> float -> float -> unit
+(** [add_from s t delta] adds [delta] to [s] on [\[t, +inf)]. *)
+
+val add_range : t -> float -> float -> float -> unit
+(** [add_range s t1 t2 delta] adds [delta] on [\[t1, t2)].  [t1 <= t2]. *)
+
+val min_from : t -> float -> float
+(** [min_from s t] is [inf { s t' | t' >= t }]. *)
+
+val min_on : t -> float -> float -> float
+(** [min_on s t1 t2] is the minimum of [s] on [\[t1, t2)] ([t1 < t2]). *)
+
+val earliest_suffix_ge : t -> level:float -> from:float -> float option
+(** [earliest_suffix_ge s ~level ~from] is the smallest [t >= from] such that
+    [s t' >= level] for every [t' >= t], or [None] when the final step is
+    below [level] (the paper's [task_mem_EST] / [comm_mem_EST] primitives).
+    A small epsilon tolerance absorbs floating-point dust from repeated
+    updates. *)
+
+val breakpoints : t -> (float * float) list
+(** Normalised breakpoint list [(x, v)]: value [v] holds on [\[x, x')] where
+    [x'] is the next breakpoint.  First breakpoint is at time [0.]. *)
+
+val length : t -> int
+(** Number of stored breakpoints (after lazy coalescing). *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** ASCII table rendering for benchmark and experiment reports. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with a separator line under the
+    header.  Ragged rows are padded with empty cells.  [align] gives the
+    per-column alignment (default: first column left, others right). *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val cell_f : float -> string
+(** Numeric cell: ["%.3f"], or ["-"] for [nan], ["inf"] for infinities. *)
+
+val cell_pct : float -> string
+(** Percentage cell from a ratio in [\[0,1\]], e.g. [0.42 -> "42%"]. *)

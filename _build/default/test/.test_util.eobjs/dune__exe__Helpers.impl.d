@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Daggen Platform QCheck QCheck_alcotest Rng String Validator

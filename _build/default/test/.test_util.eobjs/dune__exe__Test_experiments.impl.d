@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dag Figures Filename Float Helpers Heuristics List Platform Plots String Sweep Sys Workloads

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Array Broadcast Cholesky Dag Daggen Fun Helpers Heuristics Kernels List Lu Option Platform Printf QCheck Result Rng Schedule Toy Validator

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Dag Exact Filename Helpers Heuristics Ilp_model List Lower_bound Lp Lp_format Lp_parse Mip Outcome Platform QCheck Result Simplex String Sys Toy Validator

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Array Dag Fun Helpers Heuristics List Mheuristics Mplatform Mproblem Mschedule Outcome Platform Result Rng Schedule Toy

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dag Events Filename Format Gantt Helpers List Option Platform Result Sched_stats Schedule Schedule_io String Toy Validator

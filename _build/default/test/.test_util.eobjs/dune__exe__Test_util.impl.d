@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csv Filename Float Fp Fun Helpers List Pqueue QCheck Rng Staircase Stats String Table

@@ -1,0 +1,26 @@
+(* Shared test helpers. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* Deterministic small random DAG from an integer seed (shrinks well). *)
+let dag_of_seed ?(size = 12) seed =
+  let params = { Daggen.small_rand_params with Daggen.size } in
+  Daggen.generate (Rng.create seed) params
+
+let seed_arb = QCheck.int_range 0 10_000
+
+(* A platform with two processors per memory and the given symmetric bound. *)
+let platform ?(p_blue = 2) ?(p_red = 2) bound =
+  Platform.make ~p_blue ~p_red ~m_blue:bound ~m_red:bound
+
+let validate_ok g p s =
+  match Validator.validate g p s with
+  | Ok r -> r
+  | Error errs -> Alcotest.failf "invalid schedule:\n%s" (String.concat "\n" errs)

@@ -1,0 +1,473 @@
+(* Tests for the ILP layer: the Lp model object, the simplex solver, the
+   branch-and-bound MIP, the CPLEX-LP writer, the paper's full formulation,
+   and the exact scheduler. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ Lp --- *)
+
+let test_lp_build () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp "x" in
+  let y = Lp.add_var lp ~lb:1. ~ub:4. ~kind:Lp.Binary "y" in
+  Lp.add_constr lp ~name:"c" [ (1., x); (2., y) ] Lp.Le 5.;
+  Lp.set_objective lp (Lp.Minimize [ (1., x) ]);
+  check_int "vars" 2 (Lp.n_vars lp);
+  check_int "constrs" 1 (Lp.n_constrs lp);
+  check_float "binary ub clamped" 1. (Lp.var lp y).Lp.ub;
+  check_float "binary lb clamped" 1. (Lp.var lp y).Lp.lb
+
+let test_lp_normalizes_terms () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp "x" in
+  Lp.add_constr lp ~name:"c" [ (1., x); (2., x); (0., x) ] Lp.Eq 3.;
+  match (Lp.constrs lp).(0).Lp.terms with
+  | [ (c, v) ] ->
+    check_float "merged" 3. c;
+    check_int "var" x v
+  | _ -> Alcotest.fail "expected one merged term"
+
+let test_lp_violations () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:2. "x" in
+  Lp.add_constr lp ~name:"c" [ (1., x) ] Lp.Ge 1.;
+  check_float "feasible point" 0. (Lp.constraint_violation lp [| 1.5 |]);
+  check_float "constraint violated" 1. (Lp.constraint_violation lp [| 0. |]);
+  check_float "bound violated" 1. (Lp.constraint_violation lp [| 3. |])
+
+let test_lp_integer_violation () =
+  let lp = Lp.create () in
+  let _x = Lp.add_var lp ~kind:Lp.Binary "x" in
+  let _y = Lp.add_var lp "y" in
+  check_float "frac" 0.4 (Lp.integer_violation lp [| 0.4; 0.7 |]);
+  check_float "integral" 0. (Lp.integer_violation lp [| 1.; 0.7 |])
+
+let test_lp_fix_and_override () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:5. "x" in
+  Lp.fix lp x 2.;
+  check_float "fixed lb" 2. (Lp.var lp x).Lp.lb;
+  check_float "fixed ub" 2. (Lp.var lp x).Lp.ub;
+  Lp.override_bounds lp x ~lb:0. ~ub:1.;
+  check_float "restored" 1. (Lp.var lp x).Lp.ub;
+  Alcotest.check_raises "bad fix" (Invalid_argument "Lp.fix: value out of bounds") (fun () ->
+      Lp.fix lp x 9.)
+
+(* ------------------------------------------------------------- simplex --- *)
+
+let solve_expect lp =
+  match Simplex.solve_relaxation lp with
+  | Simplex.Optimal { x; obj } -> (x, obj)
+  | Simplex.Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpectedly unbounded"
+  | Simplex.Capped -> Alcotest.fail "iteration cap hit"
+
+let test_simplex_basic () =
+  (* max x + y s.t. x + 2y <= 4, 3x + y <= 6  ->  min -(x+y), opt at (8/5, 6/5). *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp "x" and y = Lp.add_var lp "y" in
+  Lp.add_constr lp ~name:"a" [ (1., x); (2., y) ] Lp.Le 4.;
+  Lp.add_constr lp ~name:"b" [ (3., x); (1., y) ] Lp.Le 6.;
+  Lp.set_objective lp (Lp.Maximize [ (1., x); (1., y) ]);
+  let sol, obj = solve_expect lp in
+  check_float_eps 1e-6 "x" 1.6 sol.(x);
+  check_float_eps 1e-6 "y" 1.2 sol.(y);
+  check_float_eps 1e-6 "obj" 2.8 obj
+
+let test_simplex_equality_and_ge () =
+  (* min x + y s.t. x + y >= 2, x - y = 1  ->  (1.5, 0.5). *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp "x" and y = Lp.add_var lp "y" in
+  Lp.add_constr lp ~name:"a" [ (1., x); (1., y) ] Lp.Ge 2.;
+  Lp.add_constr lp ~name:"b" [ (1., x); (-1., y) ] Lp.Eq 1.;
+  Lp.set_objective lp (Lp.Minimize [ (1., x); (1., y) ]);
+  let sol, obj = solve_expect lp in
+  check_float_eps 1e-6 "obj" 2. obj;
+  check_float_eps 1e-6 "x" 1.5 sol.(x)
+
+let test_simplex_bounds () =
+  (* min x with 1 <= x <= 3 -> 1; max x -> 3 (via upper-bound row). *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~lb:1. ~ub:3. "x" in
+  Lp.set_objective lp (Lp.Minimize [ (1., x) ]);
+  let sol, _ = solve_expect lp in
+  check_float_eps 1e-6 "min at lb" 1. sol.(x);
+  Lp.set_objective lp (Lp.Maximize [ (1., x) ]);
+  let sol, _ = solve_expect lp in
+  check_float_eps 1e-6 "max at ub" 3. sol.(x)
+
+let test_simplex_fixed_vars_substituted () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:10. "x" in
+  let y = Lp.add_var lp ~ub:10. "y" in
+  Lp.fix lp y 4.;
+  Lp.add_constr lp ~name:"a" [ (1., x); (1., y) ] Lp.Ge 6.;
+  Lp.set_objective lp (Lp.Minimize [ (1., x) ]);
+  let sol, obj = solve_expect lp in
+  check_float_eps 1e-6 "x adjusts to the constant" 2. sol.(x);
+  check_float_eps 1e-6 "fixed var reported" 4. sol.(y);
+  check_float_eps 1e-6 "obj" 2. obj
+
+let test_simplex_infeasible () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:1. "x" in
+  Lp.add_constr lp ~name:"a" [ (1., x) ] Lp.Ge 2.;
+  Lp.set_objective lp (Lp.Minimize [ (1., x) ]);
+  check_bool "infeasible" true (Simplex.solve_relaxation lp = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp "x" in
+  Lp.set_objective lp (Lp.Maximize [ (1., x) ]);
+  check_bool "unbounded" true (Simplex.solve_relaxation lp = Simplex.Unbounded)
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex: several constraints meet at the optimum. *)
+  let lp = Lp.create () in
+  let x = Lp.add_var lp "x" and y = Lp.add_var lp "y" in
+  Lp.add_constr lp ~name:"a" [ (1., x); (1., y) ] Lp.Le 1.;
+  Lp.add_constr lp ~name:"b" [ (1., x) ] Lp.Le 1.;
+  Lp.add_constr lp ~name:"c" [ (1., y) ] Lp.Le 1.;
+  Lp.set_objective lp (Lp.Maximize [ (1., x); (1., y) ]);
+  let _, obj = solve_expect lp in
+  check_float_eps 1e-6 "obj" 1. obj
+
+let test_simplex_rejects_free_vars () =
+  let lp = Lp.create () in
+  let _ = Lp.add_var lp ~lb:neg_infinity "x" in
+  Lp.set_objective lp (Lp.Minimize []);
+  Alcotest.check_raises "free vars unsupported"
+    (Invalid_argument "Simplex: variables must have finite lower bounds") (fun () ->
+      ignore (Simplex.solve_relaxation lp))
+
+(* ----------------------------------------------------------------- mip --- *)
+
+let test_mip_knapsack () =
+  (* max 5a + 4b + 3c s.t. 2a + 3b + c <= 4, binaries -> a=1, c=1, obj 8
+     (b too heavy with a). *)
+  let lp = Lp.create () in
+  let a = Lp.add_var lp ~kind:Lp.Binary "a" in
+  let b = Lp.add_var lp ~kind:Lp.Binary "b" in
+  let c = Lp.add_var lp ~kind:Lp.Binary "c" in
+  Lp.add_constr lp ~name:"w" [ (2., a); (3., b); (1., c) ] Lp.Le 4.;
+  Lp.set_objective lp (Lp.Maximize [ (5., a); (4., b); (3., c) ]);
+  (* Mip minimises: negate through Maximize support in Simplex; Mip compares
+     objective values as reported by the relaxation, which follows the model
+     objective.  Use an equivalent minimisation. *)
+  let lp2 = Lp.create () in
+  let a2 = Lp.add_var lp2 ~kind:Lp.Binary "a" in
+  let b2 = Lp.add_var lp2 ~kind:Lp.Binary "b" in
+  let c2 = Lp.add_var lp2 ~kind:Lp.Binary "c" in
+  Lp.add_constr lp2 ~name:"w" [ (2., a2); (3., b2); (1., c2) ] Lp.Le 4.;
+  Lp.set_objective lp2 (Lp.Minimize [ (-5., a2); (-4., b2); (-3., c2) ]);
+  let sol = Mip.solve lp2 in
+  check_bool "optimal" true (sol.Mip.status = Mip.Optimal);
+  (match sol.Mip.incumbent with
+  | Some (x, obj) ->
+    check_float_eps 1e-6 "objective" (-8.) obj;
+    check_float_eps 1e-6 "a" 1. x.(a2);
+    check_float_eps 1e-6 "b" 0. x.(b2);
+    check_float_eps 1e-6 "c" 1. x.(c2)
+  | None -> Alcotest.fail "no incumbent");
+  ignore (a, b, c, lp)
+
+let test_mip_integer_rounding () =
+  (* min y s.t. y >= 1.5, y integer -> 2. *)
+  let lp = Lp.create () in
+  let y = Lp.add_var lp ~ub:10. ~kind:Lp.General_integer "y" in
+  Lp.add_constr lp ~name:"a" [ (1., y) ] Lp.Ge 1.5;
+  Lp.set_objective lp (Lp.Minimize [ (1., y) ]);
+  let sol = Mip.solve lp in
+  (match sol.Mip.incumbent with
+  | Some (_, obj) -> check_float_eps 1e-6 "rounded up" 2. obj
+  | None -> Alcotest.fail "no incumbent")
+
+let test_mip_infeasible () =
+  let lp = Lp.create () in
+  let y = Lp.add_var lp ~ub:1. ~kind:Lp.Binary "y" in
+  Lp.add_constr lp ~name:"a" [ (1., y) ] Lp.Ge 0.25;
+  Lp.add_constr lp ~name:"b" [ (1., y) ] Lp.Le 0.75;
+  Lp.set_objective lp (Lp.Minimize [ (1., y) ]);
+  check_bool "no integral point" true ((Mip.solve lp).Mip.status = Mip.Infeasible)
+
+let test_mip_incumbent_prunes () =
+  (* Seeding an incumbent below the optimum proves nothing better exists. *)
+  let lp = Lp.create () in
+  let y = Lp.add_var lp ~ub:10. ~kind:Lp.General_integer "y" in
+  Lp.add_constr lp ~name:"a" [ (1., y) ] Lp.Ge 3.;
+  Lp.set_objective lp (Lp.Minimize [ (1., y) ]);
+  let sol = Mip.solve ~incumbent:2.5 lp in
+  check_bool "pruned everything" true (sol.Mip.incumbent = None)
+
+let test_mip_bounds_restored () =
+  let lp = Lp.create () in
+  let y = Lp.add_var lp ~ub:10. ~kind:Lp.General_integer "y" in
+  Lp.add_constr lp ~name:"a" [ (1., y) ] Lp.Ge 1.5;
+  Lp.set_objective lp (Lp.Minimize [ (1., y) ]);
+  ignore (Mip.solve lp);
+  check_float "lb restored" 0. (Lp.var lp y).Lp.lb;
+  check_float "ub restored" 10. (Lp.var lp y).Lp.ub
+
+(* ----------------------------------------------------------- lp_format --- *)
+
+let contains sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_lp_format_sections () =
+  let lp = Lp.create () in
+  let x = Lp.add_var lp ~ub:2. "x" in
+  let b = Lp.add_var lp ~kind:Lp.Binary "flag" in
+  let k = Lp.add_var lp ~lb:1. ~ub:4. ~kind:Lp.General_integer "p 1" in
+  Lp.add_constr lp ~name:"cap" [ (1., x); (2., b); (1., k) ] Lp.Le 5.;
+  Lp.set_objective lp (Lp.Minimize [ (1., x) ]);
+  let out = Lp_format.to_string lp in
+  check_bool "minimize" true (contains "Minimize" out);
+  check_bool "subject to" true (contains "Subject To" out);
+  check_bool "bounds" true (contains "Bounds" out);
+  check_bool "binaries" true (contains "Binaries" out);
+  check_bool "generals" true (contains "Generals" out);
+  check_bool "end" true (contains "End" out);
+  check_bool "sanitised name" true (contains "p_1" out);
+  check_bool "no raw space name" false (contains "p 1" out)
+
+let test_lp_format_sanitize () =
+  check_string "spaces" "a_b" (Lp_format.sanitize "a b");
+  check_string "empty" "v" (Lp_format.sanitize "")
+
+let test_lp_format_write () =
+  let lp = Lp.create () in
+  let _ = Lp.add_var lp "x" in
+  Lp.set_objective lp (Lp.Minimize []);
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "memsched_test.lp" in
+  Lp_format.write lp path;
+  check_bool "file exists" true (Sys.file_exists path)
+
+(* ------------------------------------------------------------- lp_parse --- *)
+
+let test_lp_parse_simple () =
+  let text =
+    "\\ comment\nMinimize\n obj: 2 x + 3 y\nSubject To\n c1: x + y >= 2\n c2: x - y <= 1\n\
+     Bounds\n 0 <= x <= 10\n y <= 5\nEnd\n"
+  in
+  let lp = Lp_parse.of_string text in
+  check_int "vars" 2 (Lp.n_vars lp);
+  check_int "constrs" 2 (Lp.n_constrs lp);
+  match Simplex.solve_relaxation lp with
+  | Simplex.Optimal { obj; _ } -> check_float_eps 1e-6 "optimum" 4.5 obj
+  | _ -> Alcotest.fail "should solve"
+
+let test_lp_parse_sections () =
+  let text =
+    "Maximize\n obj: x + y + z\nSubject To\n c: x + y + z <= 2\nBounds\n z <= 5\n\
+     Binaries\n x\n y\nGenerals\n z\nEnd\n"
+  in
+  let lp = Lp_parse.of_string text in
+  let kind_of name =
+    let rec find i =
+      if i >= Lp.n_vars lp then Alcotest.failf "var %s missing" name
+      else if (Lp.var lp i).Lp.vname = name then (Lp.var lp i).Lp.kind
+      else find (i + 1)
+    in
+    find 0
+  in
+  check_bool "x binary" true (kind_of "x" = Lp.Binary);
+  check_bool "z integer" true (kind_of "z" = Lp.General_integer)
+
+let test_lp_parse_negative_rhs_and_free () =
+  let text = "Minimize\n obj: x\nSubject To\n c: x >= - 3\nBounds\n x free\nEnd\n" in
+  let lp = Lp_parse.of_string text in
+  check_float "free lb" neg_infinity (Lp.var lp 0).Lp.lb;
+  check_float "rhs sign" (-3.) (Lp.constrs lp).(0).Lp.rhs
+
+let test_lp_parse_rejects () =
+  let bad text = try ignore (Lp_parse.of_string text); false with Invalid_argument _ -> true in
+  check_bool "garbage" true (bad "x + y <= 1\n");
+  check_bool "relation in objective" true (bad "Minimize\n x <= 1\nEnd\n")
+
+(* Round-trip: the paper's ILP for the toy chain survives write -> parse with
+   the same optimum. *)
+let test_lp_roundtrip_ilp () =
+  let g = Toy.chain ~n:2 ~w:2. ~f:1. ~c:1. in
+  let p = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:3. ~m_red:3. in
+  let model = Ilp_model.build g p in
+  let lp2 = Lp_parse.of_string (Lp_format.to_string (Ilp_model.lp model)) in
+  check_int "vars preserved" (Lp.n_vars (Ilp_model.lp model)) (Lp.n_vars lp2);
+  check_int "constrs preserved" (Lp.n_constrs (Ilp_model.lp model)) (Lp.n_constrs lp2);
+  let a = Mip.solve ~node_limit:5_000 ~time_limit:60. (Ilp_model.lp model) in
+  let b = Mip.solve ~node_limit:5_000 ~time_limit:60. lp2 in
+  match (a.Mip.incumbent, b.Mip.incumbent) with
+  | Some (_, oa), Some (_, ob) -> check_float_eps 1e-6 "same optimum" oa ob
+  | _ -> Alcotest.fail "both should solve"
+
+(* ----------------------------------------------------------- ilp_model --- *)
+
+let test_ilp_sizes () =
+  let g = Toy.chain ~n:3 ~w:2. ~f:1. ~c:1. in
+  let p = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:4. ~m_red:4. in
+  let model = Ilp_model.build g p in
+  check_int "variables" 100 (Ilp_model.n_vars model);
+  check_int "constraints" 257 (Ilp_model.n_constrs model);
+  check_float "mmax" (12. +. 2.) (Ilp_model.mmax model)
+
+let test_ilp_rejects_unbounded () =
+  let g = Toy.dex () in
+  let p = Platform.unbounded ~p_blue:1 ~p_red:1 in
+  Alcotest.check_raises "needs finite capacities"
+    (Invalid_argument "Ilp_model.build: memory capacities must be finite") (fun () ->
+      ignore (Ilp_model.build g p))
+
+(* The single-task ILP is solvable by pure LP reasoning: the task runs on the
+   faster resource at time 0. *)
+let test_ilp_single_task () =
+  let b = Dag.Builder.create () in
+  let _ = Dag.Builder.add_task b ~name:"solo" ~w_blue:5. ~w_red:2. () in
+  let g = Dag.Builder.finalize b in
+  let p = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:1. ~m_red:1. in
+  let model = Ilp_model.build g p in
+  let sol = Mip.solve ~node_limit:1_000 (Ilp_model.lp model) in
+  (match sol.Mip.incumbent with
+  | Some (x, obj) ->
+    check_float_eps 1e-6 "runs on the red resource" 2. obj;
+    let s = Ilp_model.extract_schedule model x in
+    let r = validate_ok g p s in
+    check_float "validated makespan" 2. r.Validator.makespan
+  | None -> Alcotest.fail "no incumbent")
+
+(* MIP on the 2-task chain agrees with the exact scheduler and validates. *)
+let test_ilp_chain2_matches_exact () =
+  let g = Toy.chain ~n:2 ~w:2. ~f:1. ~c:1. in
+  let p = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:3. ~m_red:3. in
+  let model = Ilp_model.build g p in
+  let sol = Mip.solve ~node_limit:5_000 ~time_limit:60. (Ilp_model.lp model) in
+  let exact = Exact.solve g p in
+  check_bool "exact proved" true (exact.Exact.status = Exact.Proven_optimal);
+  match sol.Mip.incumbent with
+  | Some (x, obj) ->
+    check_float_eps 1e-6 "same optimum" exact.Exact.makespan obj;
+    let s = Ilp_model.extract_schedule model x in
+    ignore (validate_ok g p s)
+  | None -> Alcotest.fail "MIP found nothing"
+
+let test_ilp_presolve_consistent () =
+  (* Presolve must not change the optimum. *)
+  let g = Toy.chain ~n:2 ~w:1. ~f:1. ~c:1. in
+  let p = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:3. ~m_red:3. in
+  let with_presolve = Mip.solve ~time_limit:60. (Ilp_model.lp (Ilp_model.build ~presolve:true g p)) in
+  let without = Mip.solve ~time_limit:60. (Ilp_model.lp (Ilp_model.build ~presolve:false g p)) in
+  match (with_presolve.Mip.incumbent, without.Mip.incumbent) with
+  | Some (_, a), Some (_, b) -> check_float_eps 1e-6 "same optimum" a b
+  | _ -> Alcotest.fail "both should solve"
+
+(* --------------------------------------------------------------- exact --- *)
+
+let dex = Toy.dex ()
+let dex_platform m = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:m ~m_red:m
+
+let test_exact_dex_paper_values () =
+  (* SS 3.3: at M = 5 the optimum is s1 (makespan 6); at M = 4 it is s2
+     (makespan 7); at M = 3 no schedule exists. *)
+  let r5 = Exact.solve dex (dex_platform 5.) in
+  check_bool "M=5 proven" true (r5.Exact.status = Exact.Proven_optimal);
+  check_float "M=5 makespan" 6. r5.Exact.makespan;
+  let r4 = Exact.solve dex (dex_platform 4.) in
+  check_bool "M=4 proven" true (r4.Exact.status = Exact.Proven_optimal);
+  check_float "M=4 makespan" 7. r4.Exact.makespan;
+  let r3 = Exact.solve dex (dex_platform 3.) in
+  check_bool "M=3 infeasible" true (r3.Exact.status = Exact.Proven_infeasible)
+
+let test_exact_schedule_validates () =
+  let p = dex_platform 4. in
+  match (Exact.solve dex p).Exact.schedule with
+  | Some s ->
+    let r = validate_ok dex p s in
+    check_float "makespan" 7. r.Validator.makespan
+  | None -> Alcotest.fail "expected schedule"
+
+let test_exact_node_budget () =
+  let r = Exact.solve ~node_limit:2 dex (dex_platform 5.) in
+  check_bool "budget respected" true (r.Exact.nodes <= 2);
+  check_bool "not proven" true
+    (r.Exact.status = Exact.Feasible || r.Exact.status = Exact.Unknown)
+
+let test_exact_optimal_makespan () =
+  Alcotest.(check (option (float 1e-9))) "helper" (Some 7.)
+    (Exact.optimal_makespan dex (dex_platform 4.));
+  Alcotest.(check (option (float 1e-9))) "infeasible" None
+    (Exact.optimal_makespan dex (dex_platform 3.))
+
+let exact_dominates_heuristics =
+  qtest ~count:15 "exact <= heuristics, >= lower bound"
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let g = dag_of_seed ~size:8 seed in
+      let p0 = Platform.unbounded ~p_blue:2 ~p_red:2 in
+      let peak = Outcome.peak_max (Outcome.run Heuristics.HEFT g p0) in
+      let p = Platform.with_bounds p0 ~m_blue:(0.8 *. peak) ~m_red:(0.8 *. peak) in
+      match Exact.solve ~node_limit:500_000 g p with
+      | { Exact.status = Exact.Proven_optimal; makespan; _ } ->
+        makespan +. 1e-6 >= Lower_bound.makespan g p
+        && List.for_all
+             (fun h ->
+               let o = Outcome.run h g p in
+               (not o.Outcome.feasible) || o.Outcome.makespan +. 1e-6 >= makespan)
+             [ Heuristics.MemHEFT; Heuristics.MemMinMin ]
+      | _ -> true (* budget exceeded: nothing to check *))
+
+let exact_schedules_validate =
+  qtest ~count:15 "exact schedules pass the oracle" QCheck.(int_range 0 500) (fun seed ->
+      let g = dag_of_seed ~size:8 seed in
+      let p0 = Platform.unbounded ~p_blue:2 ~p_red:2 in
+      let peak = Outcome.peak_max (Outcome.run Heuristics.HEFT g p0) in
+      let p = Platform.with_bounds p0 ~m_blue:(0.7 *. peak) ~m_red:(0.7 *. peak) in
+      match (Exact.solve ~node_limit:500_000 g p).Exact.schedule with
+      | Some s -> Result.is_ok (Validator.validate g p s)
+      | None -> true)
+
+let () =
+  Alcotest.run "ilp"
+    [ ( "lp",
+        [ Alcotest.test_case "build" `Quick test_lp_build;
+          Alcotest.test_case "normalise terms" `Quick test_lp_normalizes_terms;
+          Alcotest.test_case "violations" `Quick test_lp_violations;
+          Alcotest.test_case "integer violation" `Quick test_lp_integer_violation;
+          Alcotest.test_case "fix/override" `Quick test_lp_fix_and_override ] );
+      ( "simplex",
+        [ Alcotest.test_case "basic max" `Quick test_simplex_basic;
+          Alcotest.test_case "equality and >=" `Quick test_simplex_equality_and_ge;
+          Alcotest.test_case "bounds" `Quick test_simplex_bounds;
+          Alcotest.test_case "fixed vars substituted" `Quick test_simplex_fixed_vars_substituted;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "rejects free vars" `Quick test_simplex_rejects_free_vars ] );
+      ( "mip",
+        [ Alcotest.test_case "knapsack" `Quick test_mip_knapsack;
+          Alcotest.test_case "integer rounding" `Quick test_mip_integer_rounding;
+          Alcotest.test_case "infeasible" `Quick test_mip_infeasible;
+          Alcotest.test_case "incumbent prunes" `Quick test_mip_incumbent_prunes;
+          Alcotest.test_case "bounds restored" `Quick test_mip_bounds_restored ] );
+      ( "lp_format",
+        [ Alcotest.test_case "sections" `Quick test_lp_format_sections;
+          Alcotest.test_case "sanitize" `Quick test_lp_format_sanitize;
+          Alcotest.test_case "write" `Quick test_lp_format_write ] );
+      ( "lp_parse",
+        [ Alcotest.test_case "simple model" `Quick test_lp_parse_simple;
+          Alcotest.test_case "sections" `Quick test_lp_parse_sections;
+          Alcotest.test_case "negative rhs / free" `Quick test_lp_parse_negative_rhs_and_free;
+          Alcotest.test_case "rejects" `Quick test_lp_parse_rejects;
+          Alcotest.test_case "ILP roundtrip" `Slow test_lp_roundtrip_ilp ] );
+      ( "ilp_model",
+        [ Alcotest.test_case "sizes" `Quick test_ilp_sizes;
+          Alcotest.test_case "rejects unbounded" `Quick test_ilp_rejects_unbounded;
+          Alcotest.test_case "single task" `Quick test_ilp_single_task;
+          Alcotest.test_case "chain2 matches exact" `Slow test_ilp_chain2_matches_exact;
+          Alcotest.test_case "presolve consistent" `Slow test_ilp_presolve_consistent ] );
+      ( "exact",
+        [ Alcotest.test_case "dex paper values" `Quick test_exact_dex_paper_values;
+          Alcotest.test_case "schedule validates" `Quick test_exact_schedule_validates;
+          Alcotest.test_case "node budget" `Quick test_exact_node_budget;
+          Alcotest.test_case "optimal_makespan" `Quick test_exact_optimal_makespan;
+          exact_dominates_heuristics;
+          exact_schedules_validate ] ) ]

@@ -1,0 +1,198 @@
+(* Tests for the k-memory generalisation (lib/multi) — the paper's SS 7
+   future work.  The central property: on 2-pool platforms the generalised
+   heuristics coincide with the dual-memory implementation. *)
+
+open Helpers
+
+let three_pool ?(caps = [ 20.; 20.; 20. ]) () =
+  Mplatform.make
+    (List.map (fun c -> { Mplatform.procs = 2; Mplatform.capacity = c }) caps)
+
+(* A 3-pool problem: durations favour a different pool per task class. *)
+let three_pool_problem seed =
+  let g = dag_of_seed ~size:15 seed in
+  let rng = Rng.create (seed + 1000) in
+  let durations =
+    Array.init (Dag.n_tasks g) (fun _ ->
+        Array.init 3 (fun _ -> float_of_int (Rng.int_incl rng 1 20)))
+  in
+  Mproblem.make g ~durations
+
+(* ----------------------------------------------------------- mplatform --- *)
+
+let test_mplatform_basics () =
+  let p = three_pool () in
+  check_int "pools" 3 (Mplatform.n_pools p);
+  check_int "procs" 6 (Mplatform.n_procs p);
+  check_int "pool of proc 0" 0 (Mplatform.pool_of_proc p 0);
+  check_int "pool of proc 3" 1 (Mplatform.pool_of_proc p 3);
+  check_int "pool of proc 5" 2 (Mplatform.pool_of_proc p 5);
+  Alcotest.(check (list int)) "procs of pool 1" [ 2; 3 ] (Mplatform.procs_of p 1)
+
+let test_mplatform_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mplatform.make: at least one pool required")
+    (fun () -> ignore (Mplatform.make []));
+  Alcotest.check_raises "zero procs"
+    (Invalid_argument "Mplatform.make: processor counts must be positive") (fun () ->
+      ignore (Mplatform.make [ { Mplatform.procs = 0; Mplatform.capacity = 1. } ]))
+
+let test_mplatform_of_dual () =
+  let dual = Platform.make ~p_blue:3 ~p_red:2 ~m_blue:7. ~m_red:9. in
+  let p = Mplatform.of_dual dual in
+  check_int "two pools" 2 (Mplatform.n_pools p);
+  check_int "blue procs" 3 (Mplatform.pool p 0).Mplatform.procs;
+  check_float "red capacity" 9. (Mplatform.capacity p 1)
+
+let test_mplatform_with_capacities () =
+  let p = Mplatform.with_capacities (three_pool ()) [ 1.; 2.; 3. ] in
+  check_float "updated" 2. (Mplatform.capacity p 1);
+  Alcotest.check_raises "arity" (Invalid_argument "Mplatform.with_capacities: arity mismatch")
+    (fun () -> ignore (Mplatform.with_capacities p [ 1. ]))
+
+(* ------------------------------------------------------------ mproblem --- *)
+
+let test_mproblem_of_dual () =
+  let g = Toy.dex () in
+  let p = Mproblem.of_dual g in
+  check_int "pools" 2 (Mproblem.n_pools p);
+  check_float "T1 pool0" 3. (Mproblem.duration p 0 0);
+  check_float "T1 pool1" 1. (Mproblem.duration p 0 1);
+  check_float "w_min" 1. (Mproblem.w_min p 0);
+  check_float "mean" 2. (Mproblem.mean_duration p 0)
+
+let test_mproblem_rejects () =
+  let g = Toy.dex () in
+  check_bool "ragged" true
+    (try ignore (Mproblem.make g ~durations:[| [| 1. |]; [| 1.; 2. |]; [| 1. |]; [| 1. |] |]); false
+     with Invalid_argument _ -> true);
+  check_bool "wrong rows" true
+    (try ignore (Mproblem.make g ~durations:[| [| 1. |] |]); false
+     with Invalid_argument _ -> true);
+  check_bool "negative" true
+    (try ignore (Mproblem.make g ~durations:(Array.make 4 [| -1. |])); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------- 2-pool = dual memory --- *)
+
+let dual_consistency =
+  qtest ~count:50 "2-pool generalisation = dual-memory implementation" seed_arb (fun seed ->
+      let g = dag_of_seed seed in
+      let dual = Platform.unbounded ~p_blue:2 ~p_red:2 in
+      let peak = Outcome.peak_max (Outcome.run Heuristics.HEFT g dual) in
+      let bound = 0.8 *. peak in
+      let dual_b = Platform.with_bounds dual ~m_blue:bound ~m_red:bound in
+      let multi_b = Mplatform.of_dual dual_b in
+      let problem = Mproblem.of_dual g in
+      let same_result (a : Heuristics.result) (b : Mheuristics.result) =
+        match (a, b) with
+        | Error _, Error _ -> true
+        | Ok sa, Ok sb ->
+          List.for_all
+            (fun i ->
+              sa.Schedule.starts.(i) = sb.Mschedule.starts.(i)
+              && sa.Schedule.procs.(i) = sb.Mschedule.procs.(i))
+            (List.init (Dag.n_tasks g) Fun.id)
+        | _ -> false
+      in
+      same_result (Heuristics.memheft g dual_b) (Mheuristics.memheft problem multi_b)
+      && same_result (Heuristics.memminmin g dual_b) (Mheuristics.memminmin problem multi_b))
+
+(* -------------------------------------------------------------- 3 pools --- *)
+
+let three_pool_validity =
+  qtest ~count:40 "3-pool schedules pass the oracle" seed_arb (fun seed ->
+      let problem = three_pool_problem seed in
+      let p = three_pool ~caps:[ 40.; 40.; 40. ] () in
+      List.for_all
+        (fun run ->
+          match run problem p with
+          | Ok s -> Result.is_ok (Mschedule.validate problem p s)
+          | Error _ -> true)
+        [ (fun pr pl -> Mheuristics.memheft pr pl); (fun pr pl -> Mheuristics.memminmin pr pl) ])
+
+let three_pool_bounds_respected =
+  qtest ~count:40 "3-pool peaks within capacities" seed_arb (fun seed ->
+      let problem = three_pool_problem seed in
+      let p = three_pool ~caps:[ 25.; 30.; 35. ] () in
+      match Mheuristics.memheft problem p with
+      | Error _ -> true
+      | Ok s -> (
+        match Mschedule.validate problem p s with
+        | Ok r ->
+          r.Mschedule.peaks.(0) <= 25. +. 1e-6
+          && r.Mschedule.peaks.(1) <= 30. +. 1e-6
+          && r.Mschedule.peaks.(2) <= 35. +. 1e-6
+        | Error _ -> false))
+
+let test_three_pool_feasible_case () =
+  let problem = three_pool_problem 7 in
+  let p = three_pool ~caps:[ 1000.; 1000.; 1000. ] () in
+  match Mheuristics.memheft problem p with
+  | Ok s ->
+    let r = Mschedule.validate_exn problem p s in
+    check_bool "positive makespan" true (r.Mschedule.makespan > 0.)
+  | Error f -> Alcotest.failf "unexpected failure: %s" f.Mheuristics.reason
+
+let test_three_pool_infeasible_case () =
+  let problem = three_pool_problem 7 in
+  let p = three_pool ~caps:[ 1.; 1.; 1. ] () in
+  check_bool "refused" true (Result.is_error (Mheuristics.memheft problem p))
+
+let test_heft_unbounded () =
+  let problem = three_pool_problem 3 in
+  let p = three_pool ~caps:[ 1.; 1.; 1. ] () in
+  (* the memory-oblivious wrapper ignores the (tiny) capacities *)
+  let s = Mheuristics.heft problem p in
+  let unbounded = Mplatform.with_capacities p [ infinity; infinity; infinity ] in
+  ignore (Mschedule.validate_exn problem unbounded s)
+
+let test_more_pools_help () =
+  (* Splitting the same processors across more pools cannot be checked in
+     general, but a third fast pool must not hurt a pool-2-favouring
+     workload: makespan with 3 pools <= makespan with pool 2 removed when
+     every task is fastest there. *)
+  let g = Toy.independent ~n:8 ~w_blue:8. ~w_red:8. in
+  let durations = Array.init 8 (fun _ -> [| 8.; 8.; 1. |]) in
+  let problem3 = Mproblem.make g ~durations in
+  let p3 =
+    Mplatform.make
+      [ { Mplatform.procs = 1; Mplatform.capacity = infinity };
+        { Mplatform.procs = 1; Mplatform.capacity = infinity };
+        { Mplatform.procs = 1; Mplatform.capacity = infinity } ]
+  in
+  let s3 = Mheuristics.heft problem3 p3 in
+  let m3 = Mschedule.makespan problem3 p3 s3 in
+  let problem2 = Mproblem.of_dual g in
+  let p2 = Mplatform.of_dual (Platform.unbounded ~p_blue:1 ~p_red:1) in
+  let s2 = Mheuristics.heft problem2 p2 in
+  let m2 = Mschedule.makespan problem2 p2 s2 in
+  check_bool "fast third pool helps" true (m3 < m2)
+
+(* ------------------------------------------------------------ validator --- *)
+
+let test_mvalidate_rejects () =
+  let problem = Mproblem.of_dual (Toy.dex ()) in
+  let p = Mplatform.of_dual (Platform.make ~p_blue:1 ~p_red:1 ~m_blue:5. ~m_red:5.) in
+  let s = Mschedule.create (Toy.dex ()) in
+  (* all tasks at time 0 on proc 0: precedence + overlap violations *)
+  check_bool "rejected" true (Result.is_error (Mschedule.validate problem p s))
+
+let () =
+  Alcotest.run "multi"
+    [ ( "mplatform",
+        [ Alcotest.test_case "basics" `Quick test_mplatform_basics;
+          Alcotest.test_case "rejects" `Quick test_mplatform_rejects;
+          Alcotest.test_case "of_dual" `Quick test_mplatform_of_dual;
+          Alcotest.test_case "with_capacities" `Quick test_mplatform_with_capacities ] );
+      ( "mproblem",
+        [ Alcotest.test_case "of_dual" `Quick test_mproblem_of_dual;
+          Alcotest.test_case "rejects" `Quick test_mproblem_rejects ] );
+      ("consistency", [ dual_consistency ]);
+      ( "three-pools",
+        [ three_pool_validity;
+          three_pool_bounds_respected;
+          Alcotest.test_case "feasible case" `Quick test_three_pool_feasible_case;
+          Alcotest.test_case "infeasible case" `Quick test_three_pool_infeasible_case;
+          Alcotest.test_case "oblivious wrapper" `Quick test_heft_unbounded;
+          Alcotest.test_case "fast third pool helps" `Quick test_more_pools_help ] );
+      ("validator", [ Alcotest.test_case "rejects" `Quick test_mvalidate_rejects ]) ]

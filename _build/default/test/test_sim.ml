@@ -1,0 +1,309 @@
+(* Tests for the schedule representation, the discrete-event memory trace and
+   the validity oracle, anchored on the paper's worked example (Figures 2-4:
+   schedule s1 and the memory usages computed in SS 3.2). *)
+
+open Helpers
+
+let dex = Toy.dex ()
+let plat ~mb ~mr = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:mb ~m_red:mr
+
+(* Schedule s1 of Figure 3: T1, T3, T4 on the red processor, T2 on the blue
+   one; transfers (T1,T2) at time 1 and (T2,T4) at time 4. *)
+let s1 () =
+  let s = Schedule.create dex in
+  s.Schedule.starts.(0) <- 0.;
+  s.Schedule.starts.(1) <- 2.;
+  s.Schedule.starts.(2) <- 1.;
+  s.Schedule.starts.(3) <- 5.;
+  s.Schedule.procs.(0) <- 1;
+  s.Schedule.procs.(1) <- 0;
+  s.Schedule.procs.(2) <- 1;
+  s.Schedule.procs.(3) <- 1;
+  (match Dag.find_edge dex ~src:0 ~dst:1 with
+  | Some e -> s.Schedule.comm_starts.(e.Dag.eid) <- Some 1.
+  | None -> assert false);
+  (match Dag.find_edge dex ~src:1 ~dst:3 with
+  | Some e -> s.Schedule.comm_starts.(e.Dag.eid) <- Some 4.
+  | None -> assert false);
+  s
+
+(* ----------------------------------------------------------- schedule --- *)
+
+let test_memory_of () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  check_bool "T1 red" true (Schedule.memory_of p s 0 = Platform.Red);
+  check_bool "T2 blue" true (Schedule.memory_of p s 1 = Platform.Blue)
+
+let test_durations () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  check_float "T1 red duration" 1. (Schedule.duration dex p s 0);
+  check_float "T3 red duration" 3. (Schedule.duration dex p s 2);
+  check_float "T1 finish" 1. (Schedule.finish dex p s 0);
+  check_float "makespan" 6. (Schedule.makespan dex p s)
+
+let test_cut_edges () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  let e01 = Option.get (Dag.find_edge dex ~src:0 ~dst:1) in
+  let e02 = Option.get (Dag.find_edge dex ~src:0 ~dst:2) in
+  check_bool "T1->T2 cut" true (Schedule.is_cut p s e01);
+  check_bool "T1->T3 same memory" false (Schedule.is_cut p s e02);
+  check_float "cut comm duration" 1. (Schedule.comm_duration p s e01);
+  check_float "same-mem comm duration" 0. (Schedule.comm_duration p s e02);
+  check_float "cut comm finish" 2. (Schedule.comm_finish dex p s e01);
+  check_float "same-mem available at producer finish" 1. (Schedule.comm_finish dex p s e02)
+
+let test_tasks_of_proc () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  Alcotest.(check (list int)) "red proc order" [ 0; 2; 3 ] (Schedule.tasks_of_proc dex p s 1);
+  Alcotest.(check (list int)) "blue proc" [ 1 ] (Schedule.tasks_of_proc dex p s 0)
+
+(* ------------------------------------------------------------- events --- *)
+
+let test_memory_usage_paper_values () =
+  (* SS 3.2: RedMemUsed(T1)=3, BlueMemUsed(T2)=2, RedMemUsed(T3)=5,
+     RedMemUsed(T4)=3. *)
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  check_float "T1" 3. (Events.usage_at_task_start dex p s 0);
+  check_float "T2" 2. (Events.usage_at_task_start dex p s 1);
+  check_float "T3" 5. (Events.usage_at_task_start dex p s 2);
+  check_float "T4" 3. (Events.usage_at_task_start dex p s 3)
+
+let test_memory_peaks_paper () =
+  (* M^s1_blue = 2 and M^s1_red = 5. *)
+  let p = plat ~mb:5. ~mr:5. in
+  let pb, pr = Events.peaks dex p (s1 ()) in
+  check_float "blue peak" 2. pb;
+  check_float "red peak" 5. pr
+
+let test_trace_shape () =
+  let p = plat ~mb:5. ~mr:5. in
+  let trace = Events.memory_trace dex p (s1 ()) in
+  let times = trace.Events.times in
+  check_float "starts at 0" 0. times.(0);
+  let sorted = ref true in
+  for k = 0 to Array.length times - 2 do
+    if times.(k) >= times.(k + 1) then sorted := false
+  done;
+  check_bool "strictly increasing" true !sorted;
+  Array.iter (fun u -> check_bool "non-negative blue" true (u >= -1e-9)) trace.Events.blue;
+  Array.iter (fun u -> check_bool "non-negative red" true (u >= -1e-9)) trace.Events.red;
+  check_float "all memory released at the end" 0.
+    (trace.Events.blue.(Array.length times - 1) +. trace.Events.red.(Array.length times - 1))
+
+let test_usage_at_interpolation () =
+  let p = plat ~mb:5. ~mr:5. in
+  let trace = Events.memory_trace dex p (s1 ()) in
+  (* Red holds F12+F13 = 3 during (0,1). *)
+  check_float "mid-step" 3. (Events.usage_at trace Platform.Red 0.5);
+  (* During the transfer (T2,T4) on [4,5) the file is in both memories. *)
+  check_float "double residency red" 3. (Events.usage_at trace Platform.Red 4.5)
+
+(* ---------------------------------------------------------- validator --- *)
+
+let test_validator_accepts_s1 () =
+  let p = plat ~mb:5. ~mr:5. in
+  let r = validate_ok dex p (s1 ()) in
+  check_float "makespan" 6. r.Validator.makespan;
+  check_float "peak blue" 2. r.Validator.peak_blue;
+  check_float "peak red" 5. r.Validator.peak_red
+
+let test_validator_rejects_memory () =
+  let p = plat ~mb:5. ~mr:4. in
+  match Validator.validate dex p (s1 ()) with
+  | Ok _ -> Alcotest.fail "should exceed red memory"
+  | Error errs ->
+    check_bool "mentions red memory" true
+      (List.exists (fun e -> String.length e >= 3 && String.sub e 0 3 = "red") errs)
+
+let test_validator_rejects_overlap () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  s.Schedule.starts.(2) <- 0.5 (* T3 now overlaps T1 on the red processor *);
+  check_bool "overlap detected" true (Result.is_error (Validator.validate dex p s))
+
+let test_validator_rejects_missing_comm () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  let e = Option.get (Dag.find_edge dex ~src:0 ~dst:1) in
+  s.Schedule.comm_starts.(e.Dag.eid) <- None;
+  check_bool "missing transfer" true (Result.is_error (Validator.validate dex p s))
+
+let test_validator_rejects_spurious_comm () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  let e = Option.get (Dag.find_edge dex ~src:0 ~dst:2) in
+  s.Schedule.comm_starts.(e.Dag.eid) <- Some 1. (* same-memory edge *);
+  check_bool "spurious transfer" true (Result.is_error (Validator.validate dex p s))
+
+let test_validator_rejects_late_comm () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  let e = Option.get (Dag.find_edge dex ~src:0 ~dst:1) in
+  s.Schedule.comm_starts.(e.Dag.eid) <- Some 1.5 (* ends after T2 starts at 2 *);
+  check_bool "late transfer" true (Result.is_error (Validator.validate dex p s))
+
+let test_validator_rejects_early_comm () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  let e = Option.get (Dag.find_edge dex ~src:0 ~dst:1) in
+  s.Schedule.comm_starts.(e.Dag.eid) <- Some 0.5 (* before T1 finishes at 1 *);
+  check_bool "early transfer" true (Result.is_error (Validator.validate dex p s))
+
+let test_validator_rejects_precedence () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  s.Schedule.starts.(3) <- 2. (* T4 before its same-memory parent T3 ends at 4 *);
+  check_bool "precedence violated" true (Result.is_error (Validator.validate dex p s))
+
+let test_validator_rejects_bad_proc () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  s.Schedule.procs.(0) <- 9;
+  check_bool "processor range" true (Result.is_error (Validator.validate dex p s))
+
+let test_validator_rejects_negative_start () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  s.Schedule.starts.(0) <- -1.;
+  check_bool "negative start" true (Result.is_error (Validator.validate dex p s))
+
+let test_validator_zero_duration_share_instant () =
+  (* A zero-duration task may legally share its start instant with a longer
+     task on the same processor (broadcast relays do this constantly). *)
+  let b = Dag.Builder.create () in
+  let a = Dag.Builder.add_task b ~name:"a" ~w_blue:0. ~w_red:0. () in
+  let c = Dag.Builder.add_task b ~name:"c" ~w_blue:2. ~w_red:2. () in
+  ignore a;
+  ignore c;
+  let g = Dag.Builder.finalize b in
+  let p = plat ~mb:5. ~mr:5. in
+  let s = Schedule.create g in
+  (* both on blue proc 0, both starting at 0; relay has zero duration *)
+  ignore (validate_ok g p s);
+  check_float "makespan from long task" 2. (Schedule.makespan g p s)
+
+let test_validate_exn () =
+  let p = plat ~mb:5. ~mr:4. in
+  Alcotest.check_raises "raises on invalid"
+    (Failure "red memory: usage 5 exceeds capacity 4 at time 1") (fun () ->
+      ignore (Validator.validate_exn dex p (s1 ())))
+
+(* -------------------------------------------------------------- gantt --- *)
+
+let contains sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_gantt_render () =
+  let p = plat ~mb:5. ~mr:5. in
+  let out = Gantt.render ~width:40 dex p (s1 ()) in
+  check_bool "shows makespan" true (contains "makespan = 6" out);
+  check_bool "shows lanes" true (contains "P0" out && contains "P1" out);
+  check_bool "shows memory peaks" true (contains "peak=5" out)
+
+let test_gantt_memory_profile () =
+  let p = plat ~mb:5. ~mr:5. in
+  let out = Gantt.render_memory_profile ~width:40 dex p (s1 ()) in
+  check_bool "two lanes" true (contains "blue" out && contains "red" out)
+
+(* -------------------------------------------------------- serialisation --- *)
+
+let test_schedule_io_roundtrip () =
+  let s = s1 () in
+  let s' = Schedule_io.of_string dex (Schedule_io.to_string s) in
+  Alcotest.(check (array (float 1e-12))) "starts" s.Schedule.starts s'.Schedule.starts;
+  Alcotest.(check (array int)) "procs" s.Schedule.procs s'.Schedule.procs;
+  for e = 0 to Dag.n_edges dex - 1 do
+    Alcotest.(check (option (float 1e-12))) "comm" s.Schedule.comm_starts.(e) s'.Schedule.comm_starts.(e)
+  done
+
+let test_schedule_io_file_roundtrip () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "memsched_s1.sched" in
+  Schedule_io.write (s1 ()) path;
+  let s' = Schedule_io.read dex path in
+  let p = plat ~mb:5. ~mr:5. in
+  let r = validate_ok dex p s' in
+  check_float "still valid after roundtrip" 6. r.Validator.makespan
+
+let test_schedule_io_errors () =
+  let bad text = try ignore (Schedule_io.of_string dex text); false with Invalid_argument _ -> true in
+  check_bool "empty" true (bad "");
+  check_bool "bad header" true (bad "nope");
+  check_bool "wrong task count" true (bad "schedule 2 0\ntask 0 0 0\ntask 1 0 0\n");
+  check_bool "missing comm" true (bad "schedule 4 1\ntask 0 0 0\ntask 1 0 0\ntask 2 0 0\ntask 3 0 0\n");
+  check_bool "bad edge id" true
+    (bad "schedule 4 1\ntask 0 0 0\ntask 1 0 0\ntask 2 0 0\ntask 3 0 0\ncomm 9 1\n")
+
+(* ---------------------------------------------------------------- stats --- *)
+
+let test_sched_stats () =
+  let p = plat ~mb:5. ~mr:5. in
+  let st = Sched_stats.compute dex p (s1 ()) in
+  check_float "makespan" 6. st.Sched_stats.makespan;
+  (* durations: T1 red 1, T2 blue 2, T3 red 3, T4 red 1 *)
+  check_float "total work" 7. st.Sched_stats.total_work;
+  check_int "transfers" 2 st.Sched_stats.n_transfers;
+  check_float "volume" 2. st.Sched_stats.transfer_volume;
+  check_int "blue tasks" 1 st.Sched_stats.tasks_on_blue;
+  check_int "red tasks" 3 st.Sched_stats.tasks_on_red;
+  check_float "peak blue" 2. st.Sched_stats.peak_blue;
+  (match st.Sched_stats.per_proc with
+  | [ p0; p1 ] ->
+    check_float "proc0 busy" 2. p0.Sched_stats.busy;
+    check_float "proc1 busy" 5. p1.Sched_stats.busy;
+    check_float "proc1 idle" 1. p1.Sched_stats.idle
+  | _ -> Alcotest.fail "two processors expected");
+  (* mean utilisation = (2 + 5) / (2 * 6) *)
+  check_float_eps 1e-9 "utilisation" (7. /. 12.) st.Sched_stats.mean_utilisation
+
+let test_sched_stats_pp () =
+  let p = plat ~mb:5. ~mr:5. in
+  let st = Sched_stats.compute dex p (s1 ()) in
+  check_bool "prints" true (String.length (Format.asprintf "%a" Sched_stats.pp st) > 0)
+
+(* --------------------------------------------------- heuristic schedules
+   are also exercised against the oracle in test_heuristics; here we only
+   pin the paper example. *)
+
+let () =
+  Alcotest.run "sim"
+    [ ( "schedule",
+        [ Alcotest.test_case "memory_of" `Quick test_memory_of;
+          Alcotest.test_case "durations" `Quick test_durations;
+          Alcotest.test_case "cut edges" `Quick test_cut_edges;
+          Alcotest.test_case "tasks_of_proc" `Quick test_tasks_of_proc ] );
+      ( "events",
+        [ Alcotest.test_case "paper usage values" `Quick test_memory_usage_paper_values;
+          Alcotest.test_case "paper peaks" `Quick test_memory_peaks_paper;
+          Alcotest.test_case "trace shape" `Quick test_trace_shape;
+          Alcotest.test_case "usage_at" `Quick test_usage_at_interpolation ] );
+      ( "validator",
+        [ Alcotest.test_case "accepts s1" `Quick test_validator_accepts_s1;
+          Alcotest.test_case "rejects memory overflow" `Quick test_validator_rejects_memory;
+          Alcotest.test_case "rejects overlap" `Quick test_validator_rejects_overlap;
+          Alcotest.test_case "rejects missing transfer" `Quick test_validator_rejects_missing_comm;
+          Alcotest.test_case "rejects spurious transfer" `Quick test_validator_rejects_spurious_comm;
+          Alcotest.test_case "rejects late transfer" `Quick test_validator_rejects_late_comm;
+          Alcotest.test_case "rejects early transfer" `Quick test_validator_rejects_early_comm;
+          Alcotest.test_case "rejects precedence violation" `Quick test_validator_rejects_precedence;
+          Alcotest.test_case "rejects bad processor" `Quick test_validator_rejects_bad_proc;
+          Alcotest.test_case "rejects negative start" `Quick test_validator_rejects_negative_start;
+          Alcotest.test_case "zero-duration tasks share instants" `Quick
+            test_validator_zero_duration_share_instant;
+          Alcotest.test_case "validate_exn" `Quick test_validate_exn ] );
+      ( "serialisation",
+        [ Alcotest.test_case "string roundtrip" `Quick test_schedule_io_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_schedule_io_file_roundtrip;
+          Alcotest.test_case "errors" `Quick test_schedule_io_errors ] );
+      ( "stats",
+        [ Alcotest.test_case "paper example" `Quick test_sched_stats;
+          Alcotest.test_case "pp" `Quick test_sched_stats_pp ] );
+      ( "gantt",
+        [ Alcotest.test_case "render" `Quick test_gantt_render;
+          Alcotest.test_case "memory profile" `Quick test_gantt_memory_profile ] ) ]

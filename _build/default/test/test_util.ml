@@ -1,0 +1,351 @@
+(* Tests for the utility substrate: Rng, Staircase, Pqueue, Stats, Csv,
+   Table. *)
+
+open Helpers
+
+(* ---------------------------------------------------------------- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_bool "different seeds diverge" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues the stream" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  check_bool "split differs from parent" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let g = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_incl_bounds () =
+  let g = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_incl g (-5) 5 in
+    check_bool "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_int_rejects () =
+  let g = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int g 0))
+
+let test_rng_float_bounds () =
+  let g = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.float g 2.5 in
+    check_bool "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_int_covers () =
+  (* All residues of a small bound appear. *)
+  let g = Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int g 5) <- true
+  done;
+  check_bool "all values hit" true (Array.for_all Fun.id seen)
+
+let rng_shuffle_permutation =
+  qtest "shuffle is a permutation" QCheck.(pair small_int (list small_int)) (fun (seed, l) ->
+      let a = Array.of_list l in
+      Rng.shuffle (Rng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let rng_sample_distinct =
+  qtest "sample_distinct: k distinct sorted values in range"
+    QCheck.(pair small_int (pair (int_range 0 30) (int_range 0 30)))
+    (fun (seed, (a, b)) ->
+      let k = min a b and n = max a b in
+      let s = Rng.sample_distinct (Rng.create seed) ~k ~n in
+      List.length s = k
+      && List.for_all (fun v -> v >= 0 && v < n) s
+      && List.sort_uniq compare s = s)
+
+(* ---------------------------------------------------------- Staircase --- *)
+
+let test_stair_constant () =
+  let s = Staircase.create 5. in
+  check_float "value at 0" 5. (Staircase.value s 0.);
+  check_float "value far" 5. (Staircase.value s 1e9);
+  check_float "final" 5. (Staircase.final_value s)
+
+let test_stair_add_from () =
+  let s = Staircase.create 10. in
+  Staircase.add_from s 2. (-3.);
+  check_float "before" 10. (Staircase.value s 1.9);
+  check_float "at" 7. (Staircase.value s 2.);
+  check_float "after" 7. (Staircase.value s 100.);
+  Staircase.add_from s 5. 3.;
+  check_float "released" 10. (Staircase.value s 5.);
+  check_float "middle still low" 7. (Staircase.value s 3.)
+
+let test_stair_add_range () =
+  let s = Staircase.create 0. in
+  Staircase.add_range s 1. 4. 2.;
+  check_float "in range" 2. (Staircase.value s 2.);
+  check_float "outside left" 0. (Staircase.value s 0.5);
+  check_float "outside right" 0. (Staircase.value s 4.)
+
+let test_stair_min_from () =
+  let s = Staircase.create 10. in
+  Staircase.add_range s 2. 4. (-6.);
+  check_float "min over all" 4. (Staircase.min_from s 0.);
+  check_float "min after dip" 10. (Staircase.min_from s 4.);
+  check_float "min inside dip" 4. (Staircase.min_from s 3.)
+
+let test_stair_min_on () =
+  let s = Staircase.create 10. in
+  Staircase.add_range s 2. 4. (-6.);
+  check_float "window before dip" 10. (Staircase.min_on s 0. 2.);
+  check_float "window over dip" 4. (Staircase.min_on s 0. 3.);
+  check_float "window after" 10. (Staircase.min_on s 4. 9.)
+
+let test_stair_suffix () =
+  let s = Staircase.create 10. in
+  Staircase.add_range s 2. 4. (-6.);
+  (match Staircase.earliest_suffix_ge s ~level:5. ~from:0. with
+  | Some t -> check_float "suffix after dip" 4. t
+  | None -> Alcotest.fail "expected a time");
+  (match Staircase.earliest_suffix_ge s ~level:3. ~from:0. with
+  | Some t -> check_float "level below dip: immediately" 0. t
+  | None -> Alcotest.fail "expected a time");
+  (match Staircase.earliest_suffix_ge s ~level:3. ~from:1. with
+  | Some t -> check_float "from respected" 1. t
+  | None -> Alcotest.fail "expected a time")
+
+let test_stair_suffix_infeasible () =
+  let s = Staircase.create 10. in
+  Staircase.add_from s 3. (-8.);
+  check_bool "tail too low" true (Staircase.earliest_suffix_ge s ~level:5. ~from:0. = None)
+
+let test_stair_infinite_capacity () =
+  let s = Staircase.create infinity in
+  Staircase.add_from s 1. (-5.);
+  check_float "still infinite" infinity (Staircase.value s 2.);
+  match Staircase.earliest_suffix_ge s ~level:1e12 ~from:0. with
+  | Some t -> check_float "always feasible" 0. t
+  | None -> Alcotest.fail "infinite capacity must be feasible"
+
+let test_stair_copy_isolated () =
+  let s = Staircase.create 5. in
+  let c = Staircase.copy s in
+  Staircase.add_from s 1. (-2.);
+  check_float "copy untouched" 5. (Staircase.value c 2.);
+  check_float "original changed" 3. (Staircase.value s 2.)
+
+(* Reference implementation: a staircase as an explicit list of (t, delta)
+   updates, evaluated naively. *)
+let stair_matches_reference =
+  qtest ~count:300 "staircase matches naive reference"
+    QCheck.(list (pair (int_range 0 20) (int_range (-5) 5)))
+    (fun updates ->
+      let s = Staircase.create 100. in
+      let apply (t, d) = Staircase.add_from s (float_of_int t) (float_of_int d) in
+      List.iter apply updates;
+      let reference t =
+        100.
+        +. List.fold_left
+             (fun acc (t0, d) -> if float_of_int t0 <= t then acc +. float_of_int d else acc)
+             0. updates
+      in
+      List.for_all
+        (fun probe ->
+          let t = float_of_int probe /. 2. in
+          abs_float (Staircase.value s t -. reference t) < 1e-6)
+        (List.init 45 Fun.id))
+
+let stair_suffix_is_correct =
+  qtest ~count:300 "earliest_suffix_ge is the true infimum"
+    QCheck.(pair (list (pair (int_range 0 20) (int_range (-5) 5))) (int_range 80 120))
+    (fun (updates, level) ->
+      let level = float_of_int level in
+      let s = Staircase.create 100. in
+      List.iter (fun (t, d) -> Staircase.add_from s (float_of_int t) (float_of_int d)) updates;
+      let ok_from t =
+        (* suffix check on a discrete probe grid (updates at integer times) *)
+        List.for_all
+          (fun k ->
+            let t' = max t (float_of_int k /. 2.) in
+            Staircase.value s t' +. 1e-6 >= level)
+          (List.init 45 Fun.id)
+        && Staircase.final_value s +. 1e-6 >= level
+      in
+      match Staircase.earliest_suffix_ge s ~level ~from:0. with
+      | None -> not (ok_from 21.)
+      | Some t -> ok_from t && (t = 0. || not (ok_from (t -. 0.25))))
+
+(* ----------------------------------------------------------------- Fp --- *)
+
+let fp_lb_plus_sound =
+  qtest ~count:500 "lb_plus: (x -. c) >= t in float arithmetic"
+    QCheck.(pair (float_bound_exclusive 1e6) (float_bound_exclusive 1e4))
+    (fun (t, c) ->
+      let x = Fp.lb_plus t c in
+      x -. c >= t && x >= t +. c)
+
+let test_fp_lb_plus_exact () =
+  check_float "exact case" 3. (Fp.lb_plus 1. 2.);
+  (* the motivating case: times built from non-representable fractions *)
+  let t = 62.225000000000001 and c = 4. in
+  let x = Fp.lb_plus t c in
+  check_bool "window preserved" true (x -. c >= t)
+
+(* ------------------------------------------------------------- Pqueue --- *)
+
+let test_pqueue_basic () =
+  let q = Pqueue.create ~cmp:compare in
+  check_bool "empty" true (Pqueue.is_empty q);
+  Pqueue.push q 3;
+  Pqueue.push q 1;
+  Pqueue.push q 2;
+  check_int "length" 3 (Pqueue.length q);
+  Alcotest.(check (option int)) "peek" (Some 1) (Pqueue.peek q);
+  Alcotest.(check (option int)) "pop" (Some 1) (Pqueue.pop q);
+  Alcotest.(check (option int)) "pop2" (Some 2) (Pqueue.pop q);
+  Alcotest.(check (option int)) "pop3" (Some 3) (Pqueue.pop q);
+  Alcotest.(check (option int)) "drained" None (Pqueue.pop q)
+
+let test_pqueue_pop_exn () =
+  let q = Pqueue.create ~cmp:compare in
+  Alcotest.check_raises "empty pop_exn" (Invalid_argument "Pqueue.pop_exn: empty queue") (fun () ->
+      ignore (Pqueue.pop_exn q))
+
+let test_pqueue_custom_cmp () =
+  let q = Pqueue.of_list ~cmp:(fun a b -> compare b a) [ 1; 5; 3 ] in
+  Alcotest.(check (list int)) "max-heap order" [ 5; 3; 1 ] (Pqueue.to_sorted_list q)
+
+let pqueue_sorts =
+  qtest "pqueue drains in sorted order" QCheck.(list int) (fun l ->
+      let q = Pqueue.of_list ~cmp:compare l in
+      Pqueue.to_sorted_list q = List.sort compare l)
+
+(* -------------------------------------------------------------- Stats --- *)
+
+let test_stats_mean () =
+  check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_bool "empty mean is nan" true (Float.is_nan (Stats.mean []))
+
+let test_stats_geomean () = check_float_eps 1e-9 "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ])
+
+let test_stats_stdev () =
+  check_float_eps 1e-9 "stdev" 1. (Stats.stdev [ 1.; 2.; 3. ]);
+  check_float "single value" 0. (Stats.stdev [ 5. ])
+
+let test_stats_quantile () =
+  let xs = [ 1.; 2.; 3.; 4. ] in
+  check_float "median interpolates" 2.5 (Stats.median xs);
+  check_float "q0" 1. (Stats.quantile 0. xs);
+  check_float "q1" 4. (Stats.quantile 1. xs);
+  Alcotest.check_raises "out of range" (Invalid_argument "Stats.quantile: q out of [0,1]")
+    (fun () -> ignore (Stats.quantile 1.5 xs))
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 3.; 1.; 2. ] in
+  check_int "n" 3 s.Stats.n;
+  check_float "min" 1. s.Stats.min;
+  check_float "max" 3. s.Stats.max;
+  check_float "median" 2. s.Stats.median
+
+(* ---------------------------------------------------------------- Csv --- *)
+
+let test_csv_escape () =
+  check_string "plain" "abc" (Csv.escape_field "abc");
+  check_string "comma" "\"a,b\"" (Csv.escape_field "a,b");
+  check_string "quote" "\"a\"\"b\"" (Csv.escape_field "a\"b");
+  check_string "newline" "\"a\nb\"" (Csv.escape_field "a\nb")
+
+let test_csv_row () = check_string "row" "a,\"b,c\",d" (Csv.row_to_string [ "a"; "b,c"; "d" ])
+
+let test_csv_write_roundtrip () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "memsched_test/sub/test.csv" in
+  Csv.write path ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+  let ic = open_in path in
+  let lines = List.init 3 (fun _ -> input_line ic) in
+  close_in ic;
+  Alcotest.(check (list string)) "contents" [ "x,y"; "1,2"; "3,4" ] lines
+
+let test_csv_float_cell () =
+  check_string "int-like" "2" (Csv.float_cell 2.);
+  check_string "inf" "inf" (Csv.float_cell infinity)
+
+(* -------------------------------------------------------------- Table --- *)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "10"; "200" ] ] in
+  let lines = String.split_on_char '\n' s in
+  check_int "line count" 5 (List.length lines) (* header, sep, 2 rows, trailing *) ;
+  check_bool "separator present" true (String.length (List.nth lines 1) > 0)
+
+let test_table_ragged () =
+  let s = Table.render ~header:[ "a" ] [ [ "1"; "2"; "3" ] ] in
+  check_bool "ragged rows padded" true (String.length s > 0)
+
+let test_table_cells () =
+  check_string "float" "1.500" (Table.cell_f 1.5);
+  check_string "nan" "-" (Table.cell_f nan);
+  check_string "pct" "42%" (Table.cell_pct 0.42)
+
+let () =
+  Alcotest.run "util"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_incl bounds" `Quick test_rng_int_incl_bounds;
+          Alcotest.test_case "int rejects" `Quick test_rng_int_rejects;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "int covers" `Quick test_rng_int_covers;
+          rng_shuffle_permutation;
+          rng_sample_distinct ] );
+      ( "staircase",
+        [ Alcotest.test_case "constant" `Quick test_stair_constant;
+          Alcotest.test_case "add_from" `Quick test_stair_add_from;
+          Alcotest.test_case "add_range" `Quick test_stair_add_range;
+          Alcotest.test_case "min_from" `Quick test_stair_min_from;
+          Alcotest.test_case "min_on" `Quick test_stair_min_on;
+          Alcotest.test_case "earliest_suffix_ge" `Quick test_stair_suffix;
+          Alcotest.test_case "suffix infeasible" `Quick test_stair_suffix_infeasible;
+          Alcotest.test_case "infinite capacity" `Quick test_stair_infinite_capacity;
+          Alcotest.test_case "copy isolation" `Quick test_stair_copy_isolated;
+          stair_matches_reference;
+          stair_suffix_is_correct ] );
+      ( "fp",
+        [ fp_lb_plus_sound; Alcotest.test_case "lb_plus cases" `Quick test_fp_lb_plus_exact ] );
+      ( "pqueue",
+        [ Alcotest.test_case "basic" `Quick test_pqueue_basic;
+          Alcotest.test_case "pop_exn" `Quick test_pqueue_pop_exn;
+          Alcotest.test_case "custom cmp" `Quick test_pqueue_custom_cmp;
+          pqueue_sorts ] );
+      ( "stats",
+        [ Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "stdev" `Quick test_stats_stdev;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "summary" `Quick test_stats_summary ] );
+      ( "csv",
+        [ Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "row" `Quick test_csv_row;
+          Alcotest.test_case "write roundtrip" `Quick test_csv_write_roundtrip;
+          Alcotest.test_case "float cell" `Quick test_csv_float_cell ] );
+      ( "table",
+        [ Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged" `Quick test_table_ragged;
+          Alcotest.test_case "cells" `Quick test_table_cells ] ) ]

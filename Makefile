@@ -1,0 +1,28 @@
+TMP ?= /tmp/memsched-verify
+
+.PHONY: all build test bench verify clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Tier-1 verification plus a smoke run of the parallel runtime: the CLI is
+# driven end-to-end with --jobs 2 (multistart over the domain pool, then a
+# figure regeneration), so the parallel path is exercised on every run.
+verify: build test
+	mkdir -p $(TMP)
+	dune exec bin/memsched_cli.exe -- generate daggen --size 30 --seed 2014 -o $(TMP)/dag.txt
+	dune exec bin/memsched_cli.exe -- schedule $(TMP)/dag.txt -H memheft --restarts 8 --jobs 2
+	dune exec bin/memsched_cli.exe -- experiment figure14 --jobs 2 --out-dir $(TMP)/results
+	@echo "verify OK"
+
+clean:
+	dune clean
+	rm -rf /tmp/memsched-verify

@@ -2,28 +2,60 @@
    (sections printed to stdout, CSVs under results/), then runs Bechamel
    micro-benchmarks of the library's hot paths.
 
-   Usage: main.exe [--quick | --paper] [--skip-micro]
+   Usage: main.exe [--quick | --paper] [--skip-micro] [--skip-figures] [--jobs N]
    Default scale completes in a few minutes; --paper runs the full SS 6
-   campaign (50x30, 100x1000, 13x13 with the complete alpha grid). *)
+   campaign (50x30, 100x1000, 13x13 with the complete alpha grid).
+   --jobs N fans the campaign out over a N-domain Par pool (results are
+   bit-identical for every N; default: recognised CPUs). *)
 
-let run_figures scale out_dir =
+let run_figures scale pool out_dir =
   match scale with
-  | `Quick -> Figures.all_quick ~out_dir ()
-  | `Paper -> Figures.all_paper ~out_dir ()
+  | `Quick -> Figures.all_quick ~out_dir ~pool ()
+  | `Paper -> Figures.all_paper ~out_dir ~pool ()
   | `Default ->
     Figures.table1 ~out_dir ();
     Figures.figure8 ~out_dir ();
     Figures.figure9 ~out_dir ();
-    Figures.figure10 ~out_dir ~count:50 ~exact_nodes:10_000 ~capped_count:15 ~tiny_count:20 ();
-    Figures.figure11 ~out_dir ();
-    Figures.figure12 ~out_dir ~count:30 ~size:1000 ();
-    Figures.figure13 ~out_dir ();
-    Figures.figure14 ~out_dir ~n:13 ();
-    Figures.figure15 ~out_dir ~n:13 ();
-    Figures.ilp_cross_check ~out_dir ~node_limit:20_000 ();
-    Figures.ablations ~out_dir ~count:20 ();
-    Figures.extensions ~out_dir ~count:20 ();
+    Figures.figure10 ~out_dir ~pool ~count:50 ~exact_nodes:10_000 ~capped_count:15 ~tiny_count:20 ();
+    Figures.figure11 ~out_dir ~pool ();
+    Figures.figure12 ~out_dir ~pool ~count:30 ~size:1000 ();
+    Figures.figure13 ~out_dir ~pool ();
+    Figures.figure14 ~out_dir ~pool ~n:13 ();
+    Figures.figure15 ~out_dir ~pool ~n:13 ();
+    Figures.ilp_cross_check ~out_dir ~pool ~node_limit:20_000 ();
+    Figures.ablations ~out_dir ~pool ~count:20 ();
+    Figures.extensions ~out_dir ~pool ~count:20 ();
     Plots.write_gnuplot ~out_dir ()
+
+(* ------------------------------------------------- campaign/sweep-par ---- *)
+
+(* Wall-clock comparison of the serial normalized_sweep against the Par
+   pool, on the same instance set; also cross-checks the determinism
+   contract and prints the pool counters so a speedup regression (or a
+   pool pathology: queue starvation, submit backpressure) is visible. *)
+let run_sweep_par_bench jobs =
+  Printf.printf "\n==== campaign/sweep-par -- serial vs --jobs %d ====\n\n%!" jobs;
+  let platform = Workloads.platform_random in
+  let baselines = Sweep.baselines platform (Workloads.large_rand_set ~count:12 ~size:300 ()) in
+  let alphas = Figures.default_alphas in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sweep ?pool () =
+    List.map
+      (fun h -> Sweep.normalized_sweep ?pool platform ~alphas h baselines)
+      [ Heuristics.MemHEFT; Heuristics.MemMinMin ]
+  in
+  let serial, t_serial = time (fun () -> sweep ()) in
+  Par.with_pool ~jobs (fun pool ->
+      let par, t_par = time (fun () -> sweep ~pool ()) in
+      Printf.printf "serial:   %8.3f s\n--jobs %d: %7.3f s  (speedup %.2fx)\n" t_serial jobs t_par
+        (t_serial /. t_par);
+      (* [compare]: mean ratios are nan where no instance succeeds. *)
+      Printf.printf "aggregates identical across jobs counts: %b\n" (compare serial par = 0);
+      Format.printf "pool counters: %a@." Par.pp_counters (Par.counters pool))
 
 (* ------------------------------------------------------ micro-benchmarks *)
 
@@ -107,7 +139,22 @@ let () =
   let scale =
     if List.mem "--quick" args then `Quick else if List.mem "--paper" args then `Paper else `Default
   in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> n
+        | _ ->
+          prerr_endline "bench: --jobs expects a positive integer";
+          exit 2)
+      | _ :: tl -> find tl
+      | [] -> Par.default_jobs ()
+    in
+    find args
+  in
   let out_dir = "results" in
-  run_figures scale out_dir;
+  if not (List.mem "--skip-figures" args) then
+    Par.with_pool ~jobs (fun pool -> run_figures scale pool out_dir);
+  run_sweep_par_bench jobs;
   if not (List.mem "--skip-micro" args) then run_micro ();
   Printf.printf "\nAll sections complete; CSVs in %s/\n" out_dir

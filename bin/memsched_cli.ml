@@ -13,6 +13,23 @@ open Cmdliner
 
 (* ------------------------------------------------------------ common args *)
 
+let jobs_term =
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error (`Msg "expected a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt jobs_conv (Par.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel runtime (default: number of recognised CPUs; 1 = the \
+           serial code path).  Results are bit-identical for every value.")
+
 let platform_term =
   let p_blue =
     Arg.(value & opt int 2 & info [ "p-blue" ] ~docv:"N" ~doc:"Number of blue (CPU) processors.")
@@ -120,11 +137,13 @@ let schedule_cmd =
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the schedule to a file.")
   in
-  let run platform dag heuristic gantt stats restarts out =
+  let run platform dag heuristic gantt stats restarts jobs out =
     let g = read_dag dag in
     let result =
       if restarts > 0 && heuristic = Heuristics.MemHEFT then begin
-        let m = Multistart.memheft ~restarts g platform in
+        let m =
+          Par.with_pool ~jobs (fun pool -> Multistart.memheft ~pool ~restarts g platform)
+        in
         Printf.printf "multistart: %d/%d runs feasible\n" m.Multistart.n_feasible
           m.Multistart.n_runs;
         m.Multistart.best
@@ -153,7 +172,8 @@ let schedule_cmd =
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Schedule a DAG with one of the list heuristics.")
-    Term.(ret (const run $ platform_term $ dag $ heuristic $ gantt $ stats $ restarts $ out))
+    Term.(
+      ret (const run $ platform_term $ dag $ heuristic $ gantt $ stats $ restarts $ jobs_term $ out))
 
 (* --------------------------------------------------------------- validate *)
 
@@ -238,25 +258,30 @@ let experiment_cmd =
   in
   let paper = Arg.(value & flag & info [ "paper" ] ~doc:"Full paper scale (slower).") in
   let out_dir = Arg.(value & opt string "results" & info [ "out-dir" ] ~doc:"CSV output directory.") in
-  let run which paper out_dir =
+  let run which paper out_dir jobs =
+    Par.with_pool ~jobs @@ fun pool ->
     match which with
     | `T1 -> Figures.table1 ~out_dir ()
     | `F8 -> Figures.figure8 ~out_dir ()
     | `F9 -> Figures.figure9 ~out_dir ()
-    | `F10 -> if paper then Figures.figure10 ~out_dir () else Figures.figure10 ~out_dir ~count:15 ()
-    | `F11 -> Figures.figure11 ~out_dir ()
+    | `F10 ->
+      if paper then Figures.figure10 ~out_dir ~pool ()
+      else Figures.figure10 ~out_dir ~pool ~count:15 ()
+    | `F11 -> Figures.figure11 ~out_dir ~pool ()
     | `F12 ->
-      if paper then Figures.figure12 ~out_dir () else Figures.figure12 ~out_dir ~count:10 ~size:300 ()
-    | `F13 -> Figures.figure13 ~out_dir ()
-    | `F14 -> Figures.figure14 ~out_dir ()
-    | `F15 -> Figures.figure15 ~out_dir ()
-    | `Ilp -> Figures.ilp_cross_check ~out_dir ()
-    | `Abl -> Figures.ablations ~out_dir ()
-    | `All -> if paper then Figures.all_paper ~out_dir () else Figures.all_quick ~out_dir ()
+      if paper then Figures.figure12 ~out_dir ~pool ()
+      else Figures.figure12 ~out_dir ~pool ~count:10 ~size:300 ()
+    | `F13 -> Figures.figure13 ~out_dir ~pool ()
+    | `F14 -> Figures.figure14 ~out_dir ~pool ()
+    | `F15 -> Figures.figure15 ~out_dir ~pool ()
+    | `Ilp -> Figures.ilp_cross_check ~out_dir ~pool ()
+    | `Abl -> Figures.ablations ~out_dir ~pool ()
+    | `All ->
+      if paper then Figures.all_paper ~out_dir ~pool () else Figures.all_quick ~out_dir ~pool ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper.")
-    Term.(const run $ which $ paper $ out_dir)
+    Term.(const run $ which $ paper $ out_dir $ jobs_term)
 
 let () =
   let info =

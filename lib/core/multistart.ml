@@ -5,13 +5,21 @@ type t = {
   makespans : float list;
 }
 
-let memheft ?options ?(restarts = 8) ?(seed = 1) g platform =
+let memheft ?options ?pool ?(restarts = 8) ?(seed = 1) g platform =
   if restarts < 0 then invalid_arg "Multistart.memheft: negative restarts";
   let unbounded = Platform.with_bounds platform ~m_blue:infinity ~m_red:infinity in
-  let runs =
-    Heuristics.memheft ?options g platform
-    :: List.init restarts (fun k ->
+  (* Each pass owns an RNG derived from (seed + index) up front, so the runs
+     are independent tasks and the outcome is the same for every jobs
+     count; the fold below keeps the serial selection order. *)
+  let passes =
+    (fun () -> Heuristics.memheft ?options g platform)
+    :: List.init restarts (fun k () ->
            Heuristics.memheft ?options ~rng:(Rng.create (seed + k)) g platform)
+  in
+  let runs =
+    match pool with
+    | None -> List.map (fun pass -> pass ()) passes
+    | Some pool -> Par.parallel_map pool ~f:(fun pass -> pass ()) passes
   in
   let measure s = Schedule.makespan g unbounded s in
   let head = List.hd runs in

@@ -12,10 +12,18 @@ type t = {
 }
 
 val memheft :
-  ?options:Sched_state.options -> ?restarts:int -> ?seed:int -> Dag.t -> Platform.t -> t
+  ?options:Sched_state.options ->
+  ?pool:Par.t ->
+  ?restarts:int ->
+  ?seed:int ->
+  Dag.t ->
+  Platform.t ->
+  t
 (** One deterministic pass plus [restarts] (default 8) randomly tie-broken
     passes; [best] carries the smallest-makespan schedule found, or the last
-    failure when every pass was refused. *)
+    failure when every pass was refused.  With [?pool] the passes run in
+    parallel; each pass seeds its own RNG from [seed + index], so the
+    result is identical for every jobs count. *)
 
 val improvement : t -> float
 (** Best over worst feasible makespan (1.0 = restarts changed nothing);

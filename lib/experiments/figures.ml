@@ -2,6 +2,11 @@ let default_alphas = List.init 20 (fun k -> 0.05 *. float_of_int (k + 1))
 
 let section title = Printf.printf "\n==== %s ====\n\n%!" title
 
+(* Campaign drivers take an optional shared Par.t; every fan-out below keeps
+   results in input order, so CSVs are byte-identical for every jobs count. *)
+let pool_map ?pool ~f xs =
+  match pool with None -> List.map f xs | Some pool -> Par.parallel_map pool ~f xs
+
 let write_csv out_dir file header rows = Csv.write (Filename.concat out_dir file) ~header rows
 
 let write_file out_dir file contents =
@@ -85,14 +90,15 @@ let print_normalized ~label ~csv out_dir alphas series =
 
 (* --------------------------------------------------------------- Figure 10 *)
 
-let figure10 ?(out_dir = "results") ?(count = 50) ?(alphas = default_alphas)
+let figure10 ?(out_dir = "results") ?pool ?(count = 50) ?(alphas = default_alphas)
     ?(exact_nodes = 10_000) ?(capped_count = 15) ?(tiny_count = 20) ?(tiny_exact_nodes = 200_000)
     () =
   let platform = Workloads.platform_random in
-  let baselines = List.map (Sweep.baseline platform) (Workloads.small_rand_set ~count ()) in
+  let baselines = Sweep.baselines ?pool platform (Workloads.small_rand_set ~count ()) in
   let series =
     List.map
-      (fun h -> (Heuristics.name_to_string h, Sweep.normalized_sweep platform ~alphas h baselines))
+      (fun h ->
+        (Heuristics.name_to_string h, Sweep.normalized_sweep ?pool platform ~alphas h baselines))
       [ Heuristics.MemHEFT; Heuristics.MemMinMin ]
   in
   print_normalized ~label:(Printf.sprintf "Figure 10 -- SmallRandSet (%d DAGs, 30 tasks)" count)
@@ -100,19 +106,22 @@ let figure10 ?(out_dir = "results") ?(count = 50) ?(alphas = default_alphas)
   (* Optimal series: certified on the 10-task companion set; node-capped
      best-effort on the 30-task set. *)
   let exact_alphas = List.filter (fun a -> Float.rem (Float.round (a *. 100.)) 10. = 0.) alphas in
-  let tiny = List.map (Sweep.baseline platform) (Workloads.tiny_rand_set ~count:tiny_count ()) in
+  let tiny = Sweep.baselines ?pool platform (Workloads.tiny_rand_set ~count:tiny_count ()) in
   let tiny_heur =
     List.map
       (fun h ->
-        (Heuristics.name_to_string h, Sweep.normalized_sweep platform ~alphas:exact_alphas h tiny))
+        ( Heuristics.name_to_string h,
+          Sweep.normalized_sweep ?pool platform ~alphas:exact_alphas h tiny ))
       [ Heuristics.MemHEFT; Heuristics.MemMinMin ]
   in
-  let tiny_exact = Sweep.exact_sweep ~node_limit:tiny_exact_nodes platform ~alphas:exact_alphas tiny in
+  let tiny_exact =
+    Sweep.exact_sweep ?pool ~node_limit:tiny_exact_nodes platform ~alphas:exact_alphas tiny
+  in
   let capped_baselines =
     List.filteri (fun k _ -> k < capped_count) baselines
   in
   let capped_exact =
-    Sweep.exact_sweep ~node_limit:exact_nodes platform ~alphas:exact_alphas capped_baselines
+    Sweep.exact_sweep ?pool ~node_limit:exact_nodes platform ~alphas:exact_alphas capped_baselines
   in
   section
     (Printf.sprintf
@@ -156,7 +165,7 @@ let figure10 ?(out_dir = "results") ?(count = 50) ?(alphas = default_alphas)
 
 (* -------------------------------------------- absolute detail (Figs 11/13) *)
 
-let absolute_detail ~label ~csv ?(exact_nodes = None) out_dir platform dag ~points =
+let absolute_detail ~label ~csv ?pool ?(exact_nodes = None) out_dir platform dag ~points =
   section label;
   let b = Sweep.baseline platform dag in
   let max_mem = ceil (max b.Sweep.heft_peak b.Sweep.minmin_peak) in
@@ -182,8 +191,8 @@ let absolute_detail ~label ~csv ?(exact_nodes = None) out_dir platform dag ~poin
     @ [ "HEFT"; "MinMin"; "LowerBound" ]
   in
   let rows =
-    List.map
-      (fun bound ->
+    pool_map ?pool
+      ~f:(fun bound ->
         let mh = Sweep.run_bounded platform b Heuristics.MemHEFT ~bound in
         let mm = Sweep.run_bounded platform b Heuristics.MemMinMin ~bound in
         let opt =
@@ -205,33 +214,34 @@ let absolute_detail ~label ~csv ?(exact_nodes = None) out_dir platform dag ~poin
   Table.print ~header rows;
   write_csv out_dir csv (List.map (String.map (fun c -> if c = ' ' then '_' else c)) header) rows
 
-let figure11 ?(out_dir = "results") ?(dag_index = 0) ?(points = 24) () =
+let figure11 ?(out_dir = "results") ?pool ?(dag_index = 0) ?(points = 24) () =
   let dags = Workloads.small_rand_set ~count:(dag_index + 1) () in
   let dag = List.nth dags dag_index in
   absolute_detail
     ~label:"Figure 11 -- makespan vs memory for one SmallRandSet DAG"
-    ~csv:"figure11.csv" ~exact_nodes:(Some 100_000) out_dir Workloads.platform_random dag ~points
+    ~csv:"figure11.csv" ?pool ~exact_nodes:(Some 100_000) out_dir Workloads.platform_random dag
+    ~points
 
-let figure12 ?(out_dir = "results") ?(count = 100) ?(size = 1000) ?(alphas = default_alphas) () =
+let figure12 ?(out_dir = "results") ?pool ?(count = 100) ?(size = 1000) ?(alphas = default_alphas)
+    () =
   let platform = Workloads.platform_random in
-  let baselines =
-    List.map (Sweep.baseline platform) (Workloads.large_rand_set ~count ~size ())
-  in
+  let baselines = Sweep.baselines ?pool platform (Workloads.large_rand_set ~count ~size ()) in
   let series =
     List.map
-      (fun h -> (Heuristics.name_to_string h, Sweep.normalized_sweep platform ~alphas h baselines))
+      (fun h ->
+        (Heuristics.name_to_string h, Sweep.normalized_sweep ?pool platform ~alphas h baselines))
       [ Heuristics.MemHEFT; Heuristics.MemMinMin ]
   in
   print_normalized
     ~label:(Printf.sprintf "Figure 12 -- LargeRandSet (%d DAGs, %d tasks)" count size)
     ~csv:"figure12.csv" out_dir alphas series
 
-let figure13 ?(out_dir = "results") ?(size = 1000) ?(points = 24) () =
+let figure13 ?(out_dir = "results") ?pool ?(size = 1000) ?(points = 24) () =
   match Workloads.large_rand_set ~count:1 ~size () with
   | [ dag ] ->
     absolute_detail
       ~label:"Figure 13 -- makespan vs memory for one LargeRandSet DAG"
-      ~csv:"figure13.csv" out_dir Workloads.platform_random dag ~points
+      ~csv:"figure13.csv" ?pool out_dir Workloads.platform_random dag ~points
   | _ -> assert false
 
 (* ------------------------------------------------------- Figures 14 and 15 *)
@@ -254,7 +264,7 @@ let min_feasible_memory platform dag heuristic ~hi =
     Some (float_of_int !hi)
   end
 
-let linear_algebra_figure ~label ~csv out_dir dag ~points =
+let linear_algebra_figure ~label ~csv ?pool out_dir dag ~points =
   section label;
   let platform = Workloads.platform_mirage in
   let b = Sweep.baseline platform dag in
@@ -280,8 +290,8 @@ let linear_algebra_figure ~label ~csv out_dir dag ~points =
     build step []
   in
   let rows =
-    List.map
-      (fun bound ->
+    pool_map ?pool
+      ~f:(fun bound ->
         let mh = Sweep.run_bounded platform b Heuristics.MemHEFT ~bound in
         let mm = Sweep.run_bounded platform b Heuristics.MemMinMin ~bound in
         let cell m = if m.Sweep.feasible then Table.cell_f m.Sweep.makespan else "-" in
@@ -292,19 +302,19 @@ let linear_algebra_figure ~label ~csv out_dir dag ~points =
   Table.print ~header:[ "memory (tiles)"; "MemHEFT"; "MemMinMin"; "HEFT"; "MinMin" ] rows;
   write_csv out_dir csv [ "memory_tiles"; "memheft"; "memminmin"; "heft"; "minmin" ] rows
 
-let figure14 ?(out_dir = "results") ?(n = 13) ?(points = 24) () =
+let figure14 ?(out_dir = "results") ?pool ?(n = 13) ?(points = 24) () =
   linear_algebra_figure
     ~label:(Printf.sprintf "Figure 14 -- LU factorisation of a %dx%d tiled matrix" n n)
-    ~csv:"figure14.csv" out_dir (Workloads.lu ~n ()) ~points
+    ~csv:"figure14.csv" ?pool out_dir (Workloads.lu ~n ()) ~points
 
-let figure15 ?(out_dir = "results") ?(n = 13) ?(points = 24) () =
+let figure15 ?(out_dir = "results") ?pool ?(n = 13) ?(points = 24) () =
   linear_algebra_figure
     ~label:(Printf.sprintf "Figure 15 -- Cholesky factorisation of a %dx%d tiled matrix" n n)
-    ~csv:"figure15.csv" out_dir (Workloads.cholesky ~n ()) ~points
+    ~csv:"figure15.csv" ?pool out_dir (Workloads.cholesky ~n ()) ~points
 
 (* ---------------------------------------------------------- ILP validation *)
 
-let ilp_cross_check ?(out_dir = "results") ?(node_limit = 50_000) () =
+let ilp_cross_check ?(out_dir = "results") ?pool ?(node_limit = 50_000) () =
   section "ILP cross-check -- built-in MIP vs exact branch-and-bound (SS 4)";
   let cases =
     [ ("chain2", Toy.chain ~n:2 ~w:2. ~f:1. ~c:1., Platform.make ~p_blue:1 ~p_red:1 ~m_blue:3. ~m_red:3.);
@@ -312,8 +322,8 @@ let ilp_cross_check ?(out_dir = "results") ?(node_limit = 50_000) () =
       ("fork2", Toy.fork_join ~width:2 ~w:1. ~f:1. ~c:1., Platform.make ~p_blue:1 ~p_red:1 ~m_blue:6. ~m_red:6.) ]
   in
   let rows =
-    List.map
-      (fun (name, g, p) ->
+    pool_map ?pool
+      ~f:(fun (name, g, p) ->
         let model = Ilp_model.build g p in
         (* Seed the MIP with the exact solver's value (plus a hair, so the
            optimal node itself survives gap pruning). *)
@@ -360,10 +370,11 @@ let ilp_cross_check ?(out_dir = "results") ?(node_limit = 50_000) () =
 
 (* -------------------------------------------------------------- ablations *)
 
-let ablations ?(out_dir = "results") ?(count = 30) ?(alphas = [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
+let ablations ?(out_dir = "results") ?pool ?(count = 30) ?(alphas = [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ])
+    () =
   section "Ablations -- design choices of the heuristics (SmallRandSet)";
   let platform = Workloads.platform_random in
-  let baselines = List.map (Sweep.baseline platform) (Workloads.small_rand_set ~count ()) in
+  let baselines = Sweep.baselines ?pool platform (Workloads.small_rand_set ~count ()) in
   let variants =
     [ ("jit-per-edge (default)", Sched_state.default_options);
       ("jit-batched (paper formula)",
@@ -380,7 +391,8 @@ let ablations ?(out_dir = "results") ?(count = 30) ?(alphas = [ 0.5; 0.6; 0.7; 0
         "alpha" :: List.concat_map (fun (name, _) -> [ name ^ " ratio"; name ^ " ok" ]) variants
       in
       let aggs =
-        List.map (fun (_, options) -> Sweep.normalized_sweep ~options platform ~alphas h baselines)
+        List.map
+          (fun (_, options) -> Sweep.normalized_sweep ~options ?pool platform ~alphas h baselines)
           variants
       in
       let rows =
@@ -403,48 +415,50 @@ let ablations ?(out_dir = "results") ?(count = 30) ?(alphas = [ 0.5; 0.6; 0.7; 0
 
 (* ---------------------------------------------------------- extensions --- *)
 
-let extensions ?(out_dir = "results") ?(count = 30) ?(alphas = [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
+let extensions ?(out_dir = "results") ?pool ?(count = 30)
+    ?(alphas = [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
   section "Extensions -- MaxMin / Sufferage family vs the paper's heuristics (SmallRandSet)";
   let platform = Workloads.platform_random in
-  let baselines = List.map (Sweep.baseline platform) (Workloads.small_rand_set ~count ()) in
+  let baselines = Sweep.baselines ?pool platform (Workloads.small_rand_set ~count ()) in
   let heuristics =
     [ Heuristics.MemHEFT; Heuristics.MemMinMin; Heuristics.MemMaxMin; Heuristics.MemSufferage ]
   in
   let series =
     List.map
-      (fun h -> (Heuristics.name_to_string h, Sweep.normalized_sweep platform ~alphas h baselines))
+      (fun h ->
+        (Heuristics.name_to_string h, Sweep.normalized_sweep ?pool platform ~alphas h baselines))
       heuristics
   in
   print_normalized ~label:"memory-aware family" ~csv:"extensions.csv" out_dir alphas series
 
 (* ------------------------------------------------------------------ suites *)
 
-let all_quick ?(out_dir = "results") () =
+let all_quick ?(out_dir = "results") ?pool () =
   table1 ~out_dir ();
   figure8 ~out_dir ();
   figure9 ~out_dir ~size:300 ();
-  figure10 ~out_dir ~count:15 ~exact_nodes:5_000 ~capped_count:5 ~tiny_count:10 ();
-  figure11 ~out_dir ();
-  figure12 ~out_dir ~count:10 ~size:300 ();
-  figure13 ~out_dir ~size:300 ();
-  figure14 ~out_dir ~n:8 ();
-  figure15 ~out_dir ~n:8 ();
-  ilp_cross_check ~out_dir ~node_limit:5_000 ();
-  ablations ~out_dir ~count:10 ();
-  extensions ~out_dir ~count:10 ();
+  figure10 ~out_dir ?pool ~count:15 ~exact_nodes:5_000 ~capped_count:5 ~tiny_count:10 ();
+  figure11 ~out_dir ?pool ();
+  figure12 ~out_dir ?pool ~count:10 ~size:300 ();
+  figure13 ~out_dir ?pool ~size:300 ();
+  figure14 ~out_dir ?pool ~n:8 ();
+  figure15 ~out_dir ?pool ~n:8 ();
+  ilp_cross_check ~out_dir ?pool ~node_limit:5_000 ();
+  ablations ~out_dir ?pool ~count:10 ();
+  extensions ~out_dir ?pool ~count:10 ();
   Plots.write_gnuplot ~out_dir ()
 
-let all_paper ?(out_dir = "results") () =
+let all_paper ?(out_dir = "results") ?pool () =
   table1 ~out_dir ();
   figure8 ~out_dir ();
   figure9 ~out_dir ();
-  figure10 ~out_dir ();
-  figure11 ~out_dir ();
-  figure12 ~out_dir ();
-  figure13 ~out_dir ();
-  figure14 ~out_dir ();
-  figure15 ~out_dir ();
-  ilp_cross_check ~out_dir ();
-  ablations ~out_dir ();
-  extensions ~out_dir ~count:50 ();
+  figure10 ~out_dir ?pool ();
+  figure11 ~out_dir ?pool ();
+  figure12 ~out_dir ?pool ();
+  figure13 ~out_dir ?pool ();
+  figure14 ~out_dir ?pool ();
+  figure15 ~out_dir ?pool ();
+  ilp_cross_check ~out_dir ?pool ();
+  ablations ~out_dir ?pool ();
+  extensions ~out_dir ?pool ~count:50 ();
   Plots.write_gnuplot ~out_dir ()

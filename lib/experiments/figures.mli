@@ -1,7 +1,12 @@
 (** One driver per table/figure of the paper's evaluation (§6).  Each driver
     prints a human-readable table on stdout and writes a CSV under
     [out_dir] (default ["results"]).  See EXPERIMENTS.md for the
-    paper-vs-measured record. *)
+    paper-vs-measured record.
+
+    Campaign drivers accept an optional shared {!Par.t} pool ([?pool]) and
+    fan the measurement grid out over it.  The determinism contract of
+    {!Sweep} carries over: tables and CSVs are byte-identical for every
+    jobs count (and for no pool at all). *)
 
 val default_alphas : float list
 (** 0.05 to 1.0 in steps of 0.05 — the normalised-memory axis of
@@ -18,6 +23,7 @@ val figure9 : ?out_dir:string -> ?size:int -> unit -> unit
 
 val figure10 :
   ?out_dir:string ->
+  ?pool:Par.t ->
   ?count:int ->
   ?alphas:float list ->
   ?exact_nodes:int ->
@@ -32,40 +38,41 @@ val figure10 :
     ([exact_nodes]) on the 30-task set (uncertified points are reported as
     such); see DESIGN.md for the CPLEX substitution. *)
 
-val figure11 : ?out_dir:string -> ?dag_index:int -> ?points:int -> unit -> unit
+val figure11 : ?out_dir:string -> ?pool:Par.t -> ?dag_index:int -> ?points:int -> unit -> unit
 (** Figure 11: absolute memory-vs-makespan detail for one SmallRandSet DAG,
     with the HEFT/MinMin reference lines and the makespan lower bound. *)
 
-val figure12 : ?out_dir:string -> ?count:int -> ?size:int -> ?alphas:float list -> unit -> unit
+val figure12 :
+  ?out_dir:string -> ?pool:Par.t -> ?count:int -> ?size:int -> ?alphas:float list -> unit -> unit
 (** Figure 12: LargeRandSet normalised sweep. *)
 
-val figure13 : ?out_dir:string -> ?size:int -> ?points:int -> unit -> unit
+val figure13 : ?out_dir:string -> ?pool:Par.t -> ?size:int -> ?points:int -> unit -> unit
 (** Figure 13: absolute detail for one LargeRandSet DAG. *)
 
-val figure14 : ?out_dir:string -> ?n:int -> ?points:int -> unit -> unit
+val figure14 : ?out_dir:string -> ?pool:Par.t -> ?n:int -> ?points:int -> unit -> unit
 (** Figure 14: LU factorisation of an [n x n] (default 13) tiled matrix on
     the mirage platform; absolute memory sweep in tiles plus the minimum
     feasible memory of each heuristic (found by bisection). *)
 
-val figure15 : ?out_dir:string -> ?n:int -> ?points:int -> unit -> unit
+val figure15 : ?out_dir:string -> ?pool:Par.t -> ?n:int -> ?points:int -> unit -> unit
 (** Figure 15: Cholesky counterpart of Figure 14. *)
 
-val ilp_cross_check : ?out_dir:string -> ?node_limit:int -> unit -> unit
+val ilp_cross_check : ?out_dir:string -> ?pool:Par.t -> ?node_limit:int -> unit -> unit
 (** §4 sanity: solve the full ILP with the built-in MIP on toy instances and
     compare with the exact branch-and-bound scheduler. *)
 
-val ablations : ?out_dir:string -> ?count:int -> ?alphas:float list -> unit -> unit
+val ablations : ?out_dir:string -> ?pool:Par.t -> ?count:int -> ?alphas:float list -> unit -> unit
 (** Design-choice ablations on SmallRandSet: batched vs per-edge transfer
     accounting, eager vs just-in-time transfers, insertion vs
     earliest-available processor policy, random vs deterministic rank ties. *)
 
-val extensions : ?out_dir:string -> ?count:int -> ?alphas:float list -> unit -> unit
+val extensions : ?out_dir:string -> ?pool:Par.t -> ?count:int -> ?alphas:float list -> unit -> unit
 (** Beyond the paper: the MaxMin and Sufferage heuristics (memory-aware
     variants of the other dynamic heuristics of Braun et al., the paper's
     reference [4]) against MemHEFT/MemMinMin. *)
 
-val all_quick : ?out_dir:string -> unit -> unit
+val all_quick : ?out_dir:string -> ?pool:Par.t -> unit -> unit
 (** Every section at a scale that finishes in a few minutes. *)
 
-val all_paper : ?out_dir:string -> unit -> unit
+val all_paper : ?out_dir:string -> ?pool:Par.t -> unit -> unit
 (** Every section at the paper's full scale (50x30, 100x1000, 13x13). *)

@@ -22,6 +22,11 @@ let baseline platform dag =
     lower_bound = Lower_bound.makespan dag platform;
   }
 
+let baselines ?pool platform dags =
+  match pool with
+  | None -> List.map (baseline platform) dags
+  | Some pool -> Par.parallel_map pool ~f:(baseline platform) dags
+
 type measurement = {
   feasible : bool;
   makespan : float;
@@ -41,21 +46,41 @@ type aggregate = {
   mean_ratio : float;
 }
 
-let normalized_sweep ?options platform ~alphas heuristic baselines =
-  List.map
-    (fun alpha ->
+(* The parallel sweeps fan out over the full (alpha x instance) grid — every
+   point is an independent pure computation — and then aggregate serially in
+   the fixed (alpha-major, instance order) layout.  Because the aggregation
+   fold is identical to the historical serial loop, the result is
+   bit-identical for every jobs count, including jobs = 1. *)
+let grid_map ?pool ~f ~alphas baselines =
+  let points =
+    List.concat_map (fun alpha -> List.map (fun b -> (alpha, b)) baselines) alphas
+  in
+  let results =
+    match pool with
+    | None -> List.map f points
+    | Some pool -> Par.parallel_map pool ~f points
+  in
+  Array.of_list results
+
+let normalized_sweep ?options ?pool platform ~alphas heuristic baselines =
+  let measure (alpha, b) =
+    run_bounded ?options platform b heuristic ~bound:(alpha *. b.heft_peak)
+  in
+  let grid = grid_map ?pool ~f:measure ~alphas baselines in
+  let n = List.length baselines in
+  List.mapi
+    (fun ai alpha ->
       let ratios = ref [] and successes = ref 0 in
-      List.iter
-        (fun b ->
-          let m = run_bounded ?options platform b heuristic ~bound:(alpha *. b.heft_peak) in
-          if m.feasible then begin
-            incr successes;
-            ratios := m.ratio :: !ratios
-          end)
-        baselines;
+      for bi = 0 to n - 1 do
+        let m = grid.((ai * n) + bi) in
+        if m.feasible then begin
+          incr successes;
+          ratios := m.ratio :: !ratios
+        end
+      done;
       {
         alpha;
-        success_rate = float_of_int !successes /. float_of_int (List.length baselines);
+        success_rate = float_of_int !successes /. float_of_int n;
         mean_ratio = Stats.mean !ratios;
       })
     alphas
@@ -68,28 +93,34 @@ type exact_aggregate = {
   e_best_ratio : float;
 }
 
-let exact_sweep ~node_limit platform ~alphas baselines =
-  List.map
-    (fun alpha ->
+let exact_sweep ?pool ~node_limit platform ~alphas baselines =
+  let solve (alpha, b) =
+    let bound = alpha *. b.heft_peak in
+    let p = Platform.with_bounds platform ~m_blue:bound ~m_red:bound in
+    Exact.solve ~node_limit b.dag p
+  in
+  let grid = grid_map ?pool ~f:solve ~alphas baselines in
+  let barr = Array.of_list baselines in
+  let n = Array.length barr in
+  List.mapi
+    (fun ai alpha ->
       let ratios = ref [] and successes = ref 0 and certified = ref 0 in
       let best_ratios = ref [] in
-      List.iter
-        (fun b ->
-          let bound = alpha *. b.heft_peak in
-          let p = Platform.with_bounds platform ~m_blue:bound ~m_red:bound in
-          let r = Exact.solve ~node_limit b.dag p in
-          (match r.Exact.status with
-          | Exact.Proven_optimal | Exact.Feasible ->
-            best_ratios := (r.Exact.makespan /. b.heft_makespan) :: !best_ratios
-          | _ -> ());
-          match r.Exact.status with
-          | Exact.Proven_optimal ->
-            incr certified;
-            incr successes;
-            ratios := (r.Exact.makespan /. b.heft_makespan) :: !ratios
-          | Exact.Proven_infeasible -> incr certified
-          | Exact.Feasible | Exact.Unknown -> ())
-        baselines;
+      for bi = 0 to n - 1 do
+        let b = barr.(bi) in
+        let r = grid.((ai * n) + bi) in
+        (match r.Exact.status with
+        | Exact.Proven_optimal | Exact.Feasible ->
+          best_ratios := (r.Exact.makespan /. b.heft_makespan) :: !best_ratios
+        | _ -> ());
+        match r.Exact.status with
+        | Exact.Proven_optimal ->
+          incr certified;
+          incr successes;
+          ratios := (r.Exact.makespan /. b.heft_makespan) :: !ratios
+        | Exact.Proven_infeasible -> incr certified
+        | Exact.Feasible | Exact.Unknown -> ()
+      done;
       {
         e_alpha = alpha;
         e_success_rate =

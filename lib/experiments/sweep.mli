@@ -19,6 +19,10 @@ type baseline = {
 
 val baseline : Platform.t -> Dag.t -> baseline
 
+val baselines : ?pool:Par.t -> Platform.t -> Dag.t list -> baseline list
+(** [baseline] over an instance set, optionally fanned out on [pool];
+    result order always follows the input order. *)
+
 type measurement = {
   feasible : bool;
   makespan : float;  (** [nan] when infeasible *)
@@ -42,13 +46,17 @@ type aggregate = {
 
 val normalized_sweep :
   ?options:Sched_state.options ->
+  ?pool:Par.t ->
   Platform.t ->
   alphas:float list ->
   Heuristics.name ->
   baseline list ->
   aggregate list
 (** One aggregate per [alpha], averaged over the instance set (the solid and
-    dotted lines of Figures 10 and 12). *)
+    dotted lines of Figures 10 and 12).  With [?pool] the full
+    (alpha x instance) grid is measured in parallel; aggregation stays
+    serial in a fixed order, so the output is bit-identical for every
+    jobs count. *)
 
 type exact_aggregate = {
   e_alpha : float;
@@ -61,7 +69,13 @@ type exact_aggregate = {
 }
 
 val exact_sweep :
-  node_limit:int -> Platform.t -> alphas:float list -> baseline list -> exact_aggregate list
+  ?pool:Par.t ->
+  node_limit:int ->
+  Platform.t ->
+  alphas:float list ->
+  baseline list ->
+  exact_aggregate list
 (** The "Optimal" series: branch-and-bound per instance and per alpha.
     Instances where the node budget expires without a certificate count as
-    uncertified and are excluded from the success rate denominator. *)
+    uncertified and are excluded from the success rate denominator.
+    Same determinism contract as {!normalized_sweep}. *)

@@ -1,0 +1,301 @@
+(* Tests for the Par domain-pool runtime: pool semantics (futures, errors,
+   cancellation, backpressure, shutdown) and the determinism contract of the
+   parallel campaign (sweeps, multistart) across jobs counts. *)
+
+open Helpers
+
+exception Boom of int
+
+(* ------------------------------------------------------------- futures --- *)
+
+let test_submit_await () =
+  Par.with_pool ~jobs:2 (fun pool ->
+      let futs = List.init 20 (fun k -> Par.submit pool (fun () -> k * k)) in
+      List.iteri (fun k fut -> check_int "square" (k * k) (Par.await fut)) futs)
+
+let test_serial_pool_inline () =
+  Par.with_pool ~jobs:1 (fun pool ->
+      (* jobs = 1 runs at submission on the caller: observable ordering. *)
+      let trace = ref [] in
+      let futs =
+        List.init 5 (fun k ->
+            Par.submit pool (fun () ->
+                trace := k :: !trace;
+                k))
+      in
+      check_bool "already executed in submission order" true (!trace = [ 4; 3; 2; 1; 0 ]);
+      check_int "values" 10 (List.fold_left (fun acc f -> acc + Par.await f) 0 futs))
+
+let test_exception_propagates_with_backtrace () =
+  Par.with_pool ~jobs:2 (fun pool ->
+      let fut = Par.submit pool (fun () -> raise (Boom 7)) in
+      match Par.await fut with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 7 -> ())
+
+let test_parallel_map_order () =
+  Par.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      (* Uneven work so completion order differs from submission order. *)
+      let f k =
+        let n = if k mod 7 = 0 then 20_000 else 10 in
+        let acc = ref 0 in
+        for i = 1 to n do
+          acc := (!acc + (k * i)) mod 1_000_003
+        done;
+        (k, !acc)
+      in
+      let serial = List.map f xs in
+      let par = Par.parallel_map pool ~f xs in
+      check_bool "input order preserved" true (serial = par))
+
+let test_parallel_map_chunked () =
+  Par.with_pool ~jobs:3 (fun pool ->
+      let xs = List.init 37 Fun.id in
+      List.iter
+        (fun chunk ->
+          let r = Par.parallel_map ~chunk pool ~f:(fun k -> 2 * k) xs in
+          check_bool
+            (Printf.sprintf "chunk=%d" chunk)
+            true
+            (r = List.map (fun k -> 2 * k) xs))
+        [ 1; 2; 5; 37; 100 ])
+
+let test_batch_failure_is_deterministic () =
+  Par.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 50 Fun.id in
+      let f k = if k mod 10 = 3 then raise (Boom k) else k in
+      (* Lowest failing index wins, whatever the completion order. *)
+      for _ = 1 to 5 do
+        match Par.parallel_map pool ~f xs with
+        | _ -> Alcotest.fail "expected Boom"
+        | exception Boom k -> check_int "first failing element" 3 k
+      done)
+
+let test_pool_survives_failed_batch () =
+  Par.with_pool ~jobs:2 (fun pool ->
+      (match Par.parallel_map pool ~f:(fun _ -> raise (Boom 0)) [ 1; 2; 3 ] with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom _ -> ());
+      let r = Par.parallel_map pool ~f:(fun k -> k + 1) [ 1; 2; 3 ] in
+      check_bool "pool usable after failure" true (r = [ 2; 3; 4 ]);
+      let c = Par.counters pool in
+      check_bool "failures counted" true (c.Par.tasks_failed >= 1))
+
+let test_cancel_pending () =
+  (* One worker, one slow blocker: the victim submitted behind it is still
+     Pending and must be cancellable; awaiting it raises Cancelled. *)
+  Par.with_pool ~jobs:2 (fun pool ->
+      let release = Atomic.make false in
+      let blockers =
+        List.init 2 (fun _ ->
+            Par.submit pool (fun () ->
+                while not (Atomic.get release) do
+                  Domain.cpu_relax ()
+                done))
+      in
+      let victim = Par.submit pool (fun () -> 42) in
+      check_bool "cancel succeeds on pending task" true (Par.cancel victim);
+      check_bool "second cancel is a no-op" false (Par.cancel victim);
+      Atomic.set release true;
+      List.iter Par.await blockers;
+      (match Par.await victim with
+      | _ -> Alcotest.fail "expected Cancelled"
+      | exception Par.Cancelled -> ());
+      let c = Par.counters pool in
+      check_int "cancelled counted" 1 c.Par.tasks_cancelled)
+
+let test_backpressure () =
+  (* Queue of capacity 2 with blocked workers: submissions beyond capacity
+     must block (and record wait time) rather than grow unboundedly. *)
+  Par.with_pool ~jobs:2 ~queue_capacity:2 (fun pool ->
+      let release = Atomic.make false in
+      let blockers =
+        List.init 2 (fun _ ->
+            Par.submit pool (fun () ->
+                while not (Atomic.get release) do
+                  Domain.cpu_relax ()
+                done;
+                0))
+      in
+      (* Fill the queue, then submit from another domain which must stall. *)
+      let queued = List.init 2 (fun k -> Par.submit pool (fun () -> k)) in
+      let submitter =
+        Domain.spawn (fun () -> Par.await (Par.submit pool (fun () -> 99)))
+      in
+      Unix.sleepf 0.05;
+      Atomic.set release true;
+      check_int "stalled submission completes" 99 (Domain.join submitter);
+      List.iter (fun f -> ignore (Par.await f)) blockers;
+      List.iteri (fun k f -> check_int "queued" k (Par.await f)) queued)
+
+let test_shutdown_joins_and_rejects () =
+  let pool = Par.create ~jobs:3 () in
+  let futs = List.init 10 (fun k -> Par.submit pool (fun () -> k)) in
+  Par.shutdown pool;
+  (* Pending futures are completed before the workers exit. *)
+  List.iteri (fun k f -> check_int "drained" k (Par.await f)) futs;
+  (match Par.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  (* Idempotent. *)
+  Par.shutdown pool
+
+let test_nested_call_runs_inline () =
+  (* A task on the pool calling back into the pool must not deadlock even
+     when the nested batch exceeds the queue capacity. *)
+  Par.with_pool ~jobs:2 ~queue_capacity:2 (fun pool ->
+      let r =
+        Par.parallel_map pool
+          ~f:(fun k ->
+            let inner = Par.parallel_map pool ~f:(fun x -> x * x) (List.init 8 Fun.id) in
+            (k, List.fold_left ( + ) 0 inner))
+          [ 1; 2; 3; 4 ]
+      in
+      check_bool "nested results" true (r = List.map (fun k -> (k, 140)) [ 1; 2; 3; 4 ]))
+
+let test_map_seeded_deterministic () =
+  let run jobs =
+    Par.with_pool ~jobs (fun pool ->
+        Par.map_seeded pool ~rng:(Rng.create 2014)
+          ~f:(fun rng k -> (k, Rng.int rng 1_000_000, Rng.float rng 1.))
+          (List.init 40 Fun.id))
+  in
+  let r1 = run 1 and r2 = run 2 and r8 = run 8 in
+  check_bool "jobs=1 vs jobs=2" true (r1 = r2);
+  check_bool "jobs=1 vs jobs=8" true (r1 = r8)
+
+let test_counters () =
+  Par.with_pool ~jobs:2 (fun pool ->
+      ignore (Par.parallel_map pool ~f:(fun k -> k) (List.init 25 Fun.id));
+      let c = Par.counters pool in
+      check_int "tasks" 25 c.Par.tasks_run;
+      check_int "batches" 1 c.Par.batches;
+      check_bool "busy time measured" true (c.Par.worker_busy_s >= 0.);
+      Par.reset_counters pool;
+      check_int "reset" 0 (Par.counters pool).Par.tasks_run)
+
+(* ---------------------------------------- campaign determinism contract --- *)
+
+(* Fixed-seed instance set, small enough for the test suite. *)
+let campaign_platform = Workloads.platform_random
+let campaign_alphas = [ 0.3; 0.5; 0.7; 1.0 ]
+
+let campaign_baselines () =
+  Sweep.baselines campaign_platform
+    (List.init 6 (fun seed -> dag_of_seed ~size:14 (100 + seed)))
+
+let sweep_csv_bytes aggs =
+  (* The exact byte rendering used by the figure CSVs. *)
+  String.concat "\n"
+    (List.map
+       (fun a ->
+         Csv.row_to_string
+           [ Csv.float_cell a.Sweep.alpha; Csv.float_cell a.Sweep.mean_ratio;
+             Csv.float_cell a.Sweep.success_rate ])
+       aggs)
+
+let with_jobs jobs f = Par.with_pool ~jobs (fun pool -> f (Some pool))
+
+let test_normalized_sweep_jobs_invariant () =
+  let baselines = campaign_baselines () in
+  let run pool =
+    List.map
+      (fun h -> Sweep.normalized_sweep ?pool campaign_platform ~alphas:campaign_alphas h baselines)
+      [ Heuristics.MemHEFT; Heuristics.MemMinMin ]
+  in
+  let serial = run None in
+  List.iter
+    (fun jobs ->
+      let par = with_jobs jobs run in
+      (* [compare] rather than [=]: mean ratios are IEEE nan at alphas where
+         no instance succeeds, and nan <> nan under polymorphic equality. *)
+      check_bool (Printf.sprintf "aggregates equal (jobs=%d)" jobs) true (compare serial par = 0);
+      check_string
+        (Printf.sprintf "CSV bytes equal (jobs=%d)" jobs)
+        (String.concat "\n\n" (List.map sweep_csv_bytes serial))
+        (String.concat "\n\n" (List.map sweep_csv_bytes par)))
+    [ 1; 2; 8 ]
+
+let test_baselines_jobs_invariant () =
+  let dags = List.init 6 (fun seed -> dag_of_seed ~size:14 (200 + seed)) in
+  let serial = Sweep.baselines campaign_platform dags in
+  List.iter
+    (fun jobs ->
+      let par =
+        Par.with_pool ~jobs (fun pool -> Sweep.baselines ~pool campaign_platform dags)
+      in
+      check_bool
+        (Printf.sprintf "baseline metrics equal (jobs=%d)" jobs)
+        true
+        (List.for_all2
+           (fun (a : Sweep.baseline) (b : Sweep.baseline) ->
+             a.Sweep.heft_makespan = b.Sweep.heft_makespan
+             && a.Sweep.heft_peak = b.Sweep.heft_peak
+             && a.Sweep.minmin_makespan = b.Sweep.minmin_makespan
+             && a.Sweep.minmin_peak = b.Sweep.minmin_peak
+             && a.Sweep.lower_bound = b.Sweep.lower_bound)
+           serial par))
+    [ 2; 8 ]
+
+let test_exact_sweep_jobs_invariant () =
+  let baselines =
+    Sweep.baselines campaign_platform (List.init 3 (fun seed -> dag_of_seed ~size:6 (300 + seed)))
+  in
+  let run pool =
+    Sweep.exact_sweep ?pool ~node_limit:20_000 campaign_platform ~alphas:[ 0.5; 0.8; 1.0 ]
+      baselines
+  in
+  let serial = run None in
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "exact aggregates equal (jobs=%d)" jobs)
+        true
+        (compare serial (with_jobs jobs run) = 0))
+    [ 1; 2; 8 ]
+
+let test_multistart_jobs_invariant () =
+  let g = dag_of_seed ~size:14 77 in
+  let b = Sweep.baseline campaign_platform g in
+  let p = platform (0.8 *. b.Sweep.heft_peak) in
+  let serial = Multistart.memheft ~restarts:8 g p in
+  let digest (m : Multistart.t) =
+    ( (match m.Multistart.best with
+      | Ok s -> Some (Schedule.makespan g (platform infinity) s)
+      | Error _ -> None),
+      m.Multistart.n_feasible,
+      m.Multistart.n_runs,
+      m.Multistart.makespans )
+  in
+  List.iter
+    (fun jobs ->
+      let par = Par.with_pool ~jobs (fun pool -> Multistart.memheft ~pool ~restarts:8 g p) in
+      check_bool (Printf.sprintf "multistart equal (jobs=%d)" jobs) true
+        (compare (digest serial) (digest par) = 0))
+    [ 1; 2; 8 ]
+
+let () =
+  Alcotest.run "par"
+    [ ( "pool",
+        [ Alcotest.test_case "submit/await" `Quick test_submit_await;
+          Alcotest.test_case "serial pool runs inline" `Quick test_serial_pool_inline;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates_with_backtrace;
+          Alcotest.test_case "parallel_map order" `Quick test_parallel_map_order;
+          Alcotest.test_case "parallel_map chunked" `Quick test_parallel_map_chunked;
+          Alcotest.test_case "deterministic batch failure" `Quick
+            test_batch_failure_is_deterministic;
+          Alcotest.test_case "pool survives failed batch" `Quick test_pool_survives_failed_batch;
+          Alcotest.test_case "cancel pending" `Quick test_cancel_pending;
+          Alcotest.test_case "backpressure" `Quick test_backpressure;
+          Alcotest.test_case "shutdown joins and rejects" `Quick test_shutdown_joins_and_rejects;
+          Alcotest.test_case "nested call runs inline" `Quick test_nested_call_runs_inline;
+          Alcotest.test_case "map_seeded deterministic" `Quick test_map_seeded_deterministic;
+          Alcotest.test_case "counters" `Quick test_counters ] );
+      ( "determinism",
+        [ Alcotest.test_case "normalized_sweep jobs-invariant" `Quick
+            test_normalized_sweep_jobs_invariant;
+          Alcotest.test_case "baselines jobs-invariant" `Quick test_baselines_jobs_invariant;
+          Alcotest.test_case "exact_sweep jobs-invariant" `Quick test_exact_sweep_jobs_invariant;
+          Alcotest.test_case "multistart jobs-invariant" `Quick test_multistart_jobs_invariant ] )
+    ]

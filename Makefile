@@ -1,6 +1,6 @@
 TMP ?= /tmp/memsched-verify
 
-.PHONY: all build test bench verify clean
+.PHONY: all build test bench bench-smoke verify clean
 
 all: build
 
@@ -13,10 +13,18 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Smoke run of the bench harness at quick scale: the campaign/hotpath
+# section must produce a well-formed results/BENCH_hotpath.json.
+bench-smoke: build
+	dune exec bench/main.exe -- --quick --skip-figures
+	test -s results/BENCH_hotpath.json
+	jq -e '.bench == "hotpath" and (.entries | length > 0)' results/BENCH_hotpath.json > /dev/null
+	@echo "bench-smoke OK"
+
 # Tier-1 verification plus a smoke run of the parallel runtime: the CLI is
 # driven end-to-end with --jobs 2 (multistart over the domain pool, then a
 # figure regeneration), so the parallel path is exercised on every run.
-verify: build test
+verify: build test bench-smoke
 	mkdir -p $(TMP)
 	dune exec bin/memsched_cli.exe -- generate daggen --size 30 --seed 2014 -o $(TMP)/dag.txt
 	dune exec bin/memsched_cli.exe -- schedule $(TMP)/dag.txt -H memheft --restarts 8 --jobs 2

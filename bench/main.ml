@@ -57,6 +57,83 @@ let run_sweep_par_bench jobs =
       Printf.printf "aggregates identical across jobs counts: %b\n" (compare serial par = 0);
       Format.printf "pool counters: %a@." Par.pp_counters (Par.counters pool))
 
+(* -------------------------------------------------- campaign/hotpath ---- *)
+
+(* Perf trajectory of the scheduling core: wall-clock of the optimised
+   hot paths against the in-tree pre-optimisation reference runners
+   ([Heuristics.memheft_reference] / [memminmin_reference]), per heuristic
+   and DAG family at two sizes each.  Emits results/BENCH_hotpath.json so
+   successive PRs can track the numbers; this section runs even with
+   --skip-figures (it is independent of the figure campaign). *)
+let run_hotpath_bench scale out_dir =
+  Printf.printf "\n==== campaign/hotpath -- optimised vs reference core ====\n\n%!";
+  let quick = scale = `Quick in
+  let instances =
+    let rand size =
+      ( "random",
+        size,
+        (fun () -> List.hd (Workloads.large_rand_set ~count:1 ~size ())),
+        Workloads.platform_random )
+    in
+    let lu n = ("lu", n, (fun () -> Workloads.lu ~n ()), Workloads.platform_mirage) in
+    let chol n = ("cholesky", n, (fun () -> Workloads.cholesky ~n ()), Workloads.platform_mirage) in
+    if quick then [ rand 100; rand 300; lu 6; lu 8; chol 6; chol 8 ]
+    else [ rand 300; rand 1000; lu 8; lu 13; chol 8; chol 13 ]
+  in
+  let time reps f =
+    ignore (f ());
+    (* warm-up *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let entries = ref [] in
+  List.iter
+    (fun (family, param, mk, platform) ->
+      let g = mk () in
+      let n = Dag.n_tasks g in
+      let peak = Outcome.peak_max (Outcome.run Heuristics.HEFT g platform) in
+      let p = Platform.with_bounds platform ~m_blue:(0.7 *. peak) ~m_red:(0.7 *. peak) in
+      let reps = if quick then 2 else if n >= 1000 then 3 else 10 in
+      List.iter
+        (fun (hname, opt, refr) ->
+          let t_opt = time reps (fun () -> opt g p) in
+          let t_ref = time reps (fun () -> refr g p) in
+          Printf.printf "%-9s %-9s n=%-5d  opt %7.2f ms  ref %7.2f ms  speedup %.2fx\n%!" hname
+            family n (1e3 *. t_opt) (1e3 *. t_ref) (t_ref /. t_opt);
+          entries := (family, param, n, hname, t_opt, t_ref) :: !entries)
+        [ ("MemHEFT",
+           (fun g p -> ignore (Heuristics.memheft g p)),
+           fun g p -> ignore (Heuristics.memheft_reference g p));
+          ("MemMinMin",
+           (fun g p -> ignore (Heuristics.memminmin g p)),
+           fun g p -> ignore (Heuristics.memminmin_reference g p)) ])
+    instances;
+  let entries = List.rev !entries in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"bench\": \"hotpath\",\n";
+  Printf.bprintf b "  \"scale\": \"%s\",\n"
+    (match scale with `Quick -> "quick" | `Paper -> "paper" | `Default -> "default");
+  Buffer.add_string b "  \"entries\": [\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun k (family, param, n, hname, t_opt, t_ref) ->
+      Printf.bprintf b
+        "    {\"family\": \"%s\", \"param\": %d, \"n_tasks\": %d, \"heuristic\": \"%s\", \
+         \"opt_ms\": %.3f, \"ref_ms\": %.3f, \"speedup\": %.2f}%s\n"
+        family param n hname (1e3 *. t_opt) (1e3 *. t_ref) (t_ref /. t_opt)
+        (if k = last then "" else ","))
+    entries;
+  Buffer.add_string b "  ]\n}\n";
+  (if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755);
+  let path = Filename.concat out_dir "BENCH_hotpath.json" in
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 (* ------------------------------------------------------ micro-benchmarks *)
 
 open Bechamel
@@ -156,5 +233,6 @@ let () =
   if not (List.mem "--skip-figures" args) then
     Par.with_pool ~jobs (fun pool -> run_figures scale pool out_dir);
   run_sweep_par_bench jobs;
+  run_hotpath_bench scale out_dir;
   if not (List.mem "--skip-micro" args) then run_micro ();
   Printf.printf "\nAll sections complete; CSVs in %s/\n" out_dir

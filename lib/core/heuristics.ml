@@ -9,30 +9,38 @@ let fail state reason = Error { reason; n_scheduled = Sched_state.n_assigned sta
 
 (* Algorithm 1 (MemHEFT).  The outer loop repeatedly scans the priority list
    and commits the first task that is ready and memory-feasible; a full scan
-   without a commit means the graph cannot be processed within the bounds. *)
+   without a commit means the graph cannot be processed within the bounds.
+   Committed tasks are unlinked from the scan order (a doubly linked list
+   over priority positions, sentinel at [n]), so later rounds only touch the
+   tasks still to be placed instead of re-testing the whole list. *)
 let memheft_run ?options ?rng g platform =
   let state = Sched_state.create ?options g platform in
   let order = Rank.priority_list ?rng g in
   let n = Dag.n_tasks g in
-  let done_ = Array.make n false in
+  let next = Array.init (n + 1) (fun k -> (k + 1) mod (n + 1)) in
+  let prev = Array.init (n + 1) (fun k -> (k + n) mod (n + 1)) in
+  let unlink k =
+    next.(prev.(k)) <- next.(k);
+    prev.(next.(k)) <- prev.(k)
+  in
   let remaining = ref n in
   let rec round () =
     if !remaining = 0 then Ok (Sched_state.schedule state)
     else begin
       let committed = ref false in
-      let k = ref 0 in
-      while (not !committed) && !k < n do
+      let k = ref next.(n) in
+      while (not !committed) && !k <> n do
         let i = order.(!k) in
-        if (not done_.(i)) && Sched_state.is_ready state i then begin
+        if Sched_state.is_ready state i then begin
           match Sched_state.best_estimate state i with
           | Some e ->
             Sched_state.commit state e;
-            done_.(i) <- true;
+            unlink !k;
             decr remaining;
             committed := true
           | None -> ()
         end;
-        incr k
+        k := next.(!k)
       done;
       if !committed then round ()
       else fail state "no ready task fits within the memory bounds"
@@ -71,6 +79,67 @@ let memminmin_run ?options g platform =
 
 let memminmin ?options g platform = snd (memminmin_run ?options g platform)
 
+(* Pre-optimisation reference runners: the exact loops shipped before the
+   hot-path overhaul — full priority-list rescans over committed tasks, O(n)
+   ready-set rebuilds, and [Sched_state.Reference] estimates (three
+   predecessor walks, linear staircase scans).  The A/B suite asserts the
+   optimised runners above are bit-identical to these; [campaign/hotpath]
+   times them as the baseline of the perf trajectory. *)
+let memheft_reference ?options ?rng g platform =
+  let state = Sched_state.create ?options g platform in
+  let order = Rank.priority_list ?rng g in
+  let n = Dag.n_tasks g in
+  let done_ = Array.make n false in
+  let remaining = ref n in
+  let rec round () =
+    if !remaining = 0 then Ok (Sched_state.schedule state)
+    else begin
+      let committed = ref false in
+      let k = ref 0 in
+      while (not !committed) && !k < n do
+        let i = order.(!k) in
+        if (not done_.(i)) && Sched_state.is_ready state i then begin
+          match Sched_state.Reference.best_estimate state i with
+          | Some e ->
+            Sched_state.commit state e;
+            done_.(i) <- true;
+            decr remaining;
+            committed := true
+          | None -> ()
+        end;
+        incr k
+      done;
+      if !committed then round ()
+      else fail state "no ready task fits within the memory bounds"
+    end
+  in
+  round ()
+
+let memminmin_reference ?options g platform =
+  let state = Sched_state.create ?options g platform in
+  let n = Dag.n_tasks g in
+  let rec round () =
+    if Sched_state.n_assigned state = n then Ok (Sched_state.schedule state)
+    else begin
+      let best = ref None in
+      List.iter
+        (fun i ->
+          match Sched_state.Reference.best_estimate state i with
+          | Some e -> (
+            match !best with
+            | Some b when b.Sched_state.eft <= e.Sched_state.eft -> ()
+            | _ -> best := Some e)
+          | None -> ())
+        (Sched_state.Reference.ready_tasks state);
+      match !best with
+      | Some e ->
+        Sched_state.commit state e;
+        round ()
+      | None -> fail state "no ready task fits within the memory bounds"
+    end
+  in
+  round ()
+
 (* Dynamic-selection variants from the family of Braun et al. (the paper's
    reference [4] for MinMin) with the same memory-aware machinery.  These
    are extensions beyond the paper, used by the ablation benches:
@@ -89,7 +158,10 @@ let dynamic_run ?options ~select g platform =
         (fun i ->
           let blue = Sched_state.estimate state i Platform.Blue in
           let red = Sched_state.estimate state i Platform.Red in
-          match Sched_state.best_estimate state i with
+          (* The winner is derived from the pair already in hand with the
+             exact comparison best_estimate uses — recomputing both
+             estimates here doubled the per-task work of every round. *)
+          match Sched_state.better_estimate blue red with
           | Some e ->
             let score = select ~best:e ~blue ~red in
             (match !best with

@@ -24,6 +24,17 @@ val memheft :
 val memminmin : ?options:Sched_state.options -> Dag.t -> Platform.t -> result
 (** Memory-aware MinMin. *)
 
+val memheft_reference :
+  ?options:Sched_state.options -> ?rng:Rng.t -> Dag.t -> Platform.t -> result
+(** Pre-optimisation MemHEFT, kept verbatim (full priority-list rescans,
+    {!Sched_state.Reference} estimates, linear staircase scans).
+    Bit-identical to {!memheft} — asserted by the A/B test suite — and timed
+    by the [campaign/hotpath] bench as the perf-trajectory baseline. *)
+
+val memminmin_reference : ?options:Sched_state.options -> Dag.t -> Platform.t -> result
+(** Pre-optimisation MemMinMin, kept verbatim (O(n) ready-set rebuilds,
+    {!Sched_state.Reference} estimates).  Bit-identical to {!memminmin}. *)
+
 val heft : ?options:Sched_state.options -> ?rng:Rng.t -> Dag.t -> Platform.t -> Schedule.t
 (** Reference HEFT: ignores the platform's memory bounds (runs with unbounded
     memories).  Never fails. *)

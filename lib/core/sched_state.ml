@@ -23,6 +23,18 @@ type t = {
   mem_of : Platform.memory option array;
   pending_parents : int array;
   sched : Schedule.t;
+  procs_blue : int list;  (* Platform.procs_of, cached: [estimate] is hot *)
+  procs_red : int list;
+  out_sizes : float array;  (* Dag.out_size per task, cached likewise *)
+  mutable ready : int list;
+      (* Invariant: ascending task ids, exactly the tasks with
+         [not assigned && pending_parents = 0].  Maintained incrementally by
+         [commit] so [ready_tasks] is O(1) instead of an O(n) rescan. *)
+  mutable min_avail_blue : float;
+  mutable min_avail_red : float;
+      (* min over the memory's processors of [avail], refreshed by
+         [insert_interval] (the only writer of [avail]) so the
+         Earliest_available resource_EST is O(1) per estimate. *)
   mutable assigned_count : int;
   mutable planned_blue : float;
   mutable planned_red : float;
@@ -32,6 +44,13 @@ let create ?(options = default_options) g platform =
   let n = Dag.n_tasks g in
   let pending = Array.make n 0 in
   Array.iter (fun (e : Dag.edge) -> pending.(e.Dag.dst) <- pending.(e.Dag.dst) + 1) (Dag.edges g);
+  let ready = ref [] in
+  for i = n - 1 downto 0 do
+    if pending.(i) = 0 then ready := i :: !ready
+  done;
+  let procs_blue = Platform.procs_of platform Platform.Blue in
+  let procs_red = Platform.procs_of platform Platform.Red in
+  let min_avail procs = List.fold_left (fun acc (_ : int) -> min acc 0.) infinity procs in
   {
     g;
     platform;
@@ -45,6 +64,12 @@ let create ?(options = default_options) g platform =
     mem_of = Array.make n None;
     pending_parents = pending;
     sched = Schedule.create g;
+    procs_blue;
+    procs_red;
+    out_sizes = Array.init n (fun i -> Dag.out_size g i);
+    ready = !ready;
+    min_avail_blue = min_avail procs_blue;
+    min_avail_red = min_avail procs_red;
     assigned_count = 0;
     planned_blue = 0.;
     planned_red = 0.;
@@ -75,13 +100,15 @@ let schedule t = t.sched
 let n_assigned t = t.assigned_count
 let is_assigned t i = t.assigned.(i)
 let is_ready t i = (not t.assigned.(i)) && t.pending_parents.(i) = 0
+let ready_tasks t = t.ready
 
-let ready_tasks t =
-  let acc = ref [] in
-  for i = Dag.n_tasks t.g - 1 downto 0 do
-    if is_ready t i then acc := i :: !acc
-  done;
-  !acc
+let rec remove_ready i = function
+  | [] -> []
+  | j :: tl -> if j = i then tl else j :: remove_ready i tl
+
+let rec insert_ready i = function
+  | [] -> [ i ]
+  | j :: tl as l -> if i < j then i :: l else j :: insert_ready i tl
 
 let finish_time t i = t.aft.(i)
 let free_of t = function Platform.Blue -> t.free_blue | Platform.Red -> t.free_red
@@ -99,40 +126,37 @@ type estimate = {
   comm_batch : float;
 }
 
-(* Incoming cross-memory edges of task [i] if it were placed on [mu], and
-   the aggregates the EST formulas need: total size, max transfer time,
-   earliest producer finish. *)
-let cross_edges t i mu =
-  List.filter
-    (fun (e : Dag.edge) ->
-      match t.mem_of.(e.Dag.src) with Some m -> m <> mu | None -> false)
-    (Dag.pred t.g i)
+let procs_of_mem t = function
+  | Platform.Blue -> t.procs_blue
+  | Platform.Red -> t.procs_red
 
-let cross_summary t i mu =
-  List.fold_left
-    (fun (size, cmax, min_aft) (e : Dag.edge) ->
-      (size +. e.Dag.size, max cmax e.Dag.comm, min min_aft t.aft.(e.Dag.src)))
-    (0., 0., infinity) (cross_edges t i mu)
+let min_avail_of t = function
+  | Platform.Blue -> t.min_avail_blue
+  | Platform.Red -> t.min_avail_red
 
-let precedence_est t i mu =
-  List.fold_left
-    (fun acc (e : Dag.edge) ->
-      let j = e.Dag.src in
-      let arrival =
-        match t.mem_of.(j) with
-        | Some m when m = mu -> t.aft.(j)
-        | Some _ -> t.aft.(j) +. e.Dag.comm
-        | None -> invalid_arg "Sched_state: parent not assigned"
+(* Earliest start on some processor of [mu], given a lower bound [lb] and the
+   task duration [w]. *)
+let resource_est t mu ~lb ~w =
+  match t.options.proc_policy with
+  | Earliest_available -> max lb (min_avail_of t mu)
+  | Insertion ->
+    let earliest_on p =
+      (* Scan the sorted busy intervals for the first gap of length [w]
+         starting at or after [lb]. *)
+      let rec scan start = function
+        | [] -> start
+        | (b0, b1) :: rest ->
+          if start +. w <= b0 +. eps then start else scan (max start b1) rest
       in
-      max acc arrival)
-    0. (Dag.pred t.g i)
+      scan lb t.busy.(p)
+    in
+    List.fold_left (fun acc p -> min acc (earliest_on p)) infinity (procs_of_mem t mu)
 
-(* Lower bound on the start time coming from memory availability, or None
-   when the task cannot fit (the paper's EFT = +infinity case). *)
-let memory_lb t i mu =
+(* Memory lower bound on the start time given the cross-edge aggregates, or
+   None when the task cannot fit (the paper's EFT = +infinity case).  [cross]
+   is the incoming cross-memory edge list in predecessor order. *)
+let memory_lb t mu ~cross ~cross_in ~c_batch ~min_cross_aft ~task_level =
   let free = free_of t mu in
-  let cross_in, c_batch, min_cross_aft = cross_summary t i mu in
-  let task_level = cross_in +. Dag.out_size t.g i in
   match Staircase.earliest_suffix_ge free ~level:task_level ~from:0. with
   | None -> None
   | Some t_task -> (
@@ -152,9 +176,7 @@ let memory_lb t i mu =
            are present.  For each prefix (sorted by decreasing C) the prefix
            mass must fit from [start - C_k] on. *)
         let sorted =
-          List.sort
-            (fun (a : Dag.edge) (b : Dag.edge) -> compare b.Dag.comm a.Dag.comm)
-            (cross_edges t i mu)
+          List.sort (fun (a : Dag.edge) (b : Dag.edge) -> compare b.Dag.comm a.Dag.comm) cross
         in
         let rec prefixes acc lb = function
           | [] -> Some lb
@@ -176,53 +198,57 @@ let memory_lb t i mu =
         | _ -> None)
     end)
 
-(* Earliest start on some processor of [mu], given a lower bound [lb] and the
-   task duration [w]. *)
-let resource_est t mu ~lb ~w =
-  match t.options.proc_policy with
-  | Earliest_available ->
-    let procs = Platform.procs_of t.platform mu in
-    let min_avail = List.fold_left (fun acc p -> min acc t.avail.(p)) infinity procs in
-    max lb min_avail
-  | Insertion ->
-    let earliest_on p =
-      (* Scan the sorted busy intervals for the first gap of length [w]
-         starting at or after [lb]. *)
-      let rec scan start = function
-        | [] -> start
-        | (b0, b1) :: rest ->
-          if start +. w <= b0 +. eps then start else scan (max start b1) rest
-      in
-      scan lb t.busy.(p)
-    in
-    List.fold_left
-      (fun acc p -> min acc (earliest_on p))
-      infinity
-      (Platform.procs_of t.platform mu)
-
 let estimate t i mu =
   if not (is_ready t i) then None
   else begin
-    match memory_lb t i mu with
+    (* One traversal of the predecessor list computing the cross-edge list,
+       the aggregates the EST formulas need (total size, max transfer time,
+       earliest producer finish) and the precedence EST — previously three
+       separate walks. *)
+    let cross_rev = ref [] in
+    let cross_in = ref 0. and c_batch = ref 0. and min_cross_aft = ref infinity in
+    let prec = ref 0. in
+    List.iter
+      (fun (e : Dag.edge) ->
+        let j = e.Dag.src in
+        match t.mem_of.(j) with
+        | Some m when m = mu -> if t.aft.(j) > !prec then prec := t.aft.(j)
+        | Some _ ->
+          cross_rev := e :: !cross_rev;
+          cross_in := !cross_in +. e.Dag.size;
+          if e.Dag.comm > !c_batch then c_batch := e.Dag.comm;
+          if t.aft.(j) < !min_cross_aft then min_cross_aft := t.aft.(j);
+          let arrival = t.aft.(j) +. e.Dag.comm in
+          if arrival > !prec then prec := arrival
+        | None -> invalid_arg "Sched_state: parent not assigned")
+      (Dag.pred t.g i);
+    let task_level = !cross_in +. t.out_sizes.(i) in
+    match
+      memory_lb t mu ~cross:(List.rev !cross_rev) ~cross_in:!cross_in ~c_batch:!c_batch
+        ~min_cross_aft:!min_cross_aft ~task_level
+    with
     | None -> None
     | Some (mem_lb, c_batch) ->
-      let lb = max mem_lb (precedence_est t i mu) in
+      let lb = max mem_lb !prec in
       let w = Platform.w t.g i mu in
       let est = resource_est t mu ~lb ~w in
       Some { task = i; memory = mu; est; eft = est +. w; comm_batch = c_batch }
   end
 
-let best_estimate t i =
-  let better a b =
-    match (a, b) with
-    | None, x | x, None -> x
-    | Some ea, Some eb ->
-      if eb.eft +. eps < ea.eft then b
-      else if ea.eft +. eps < eb.eft then a
-      else if eb.est +. eps < ea.est then b
-      else a
-  in
-  better (estimate t i Platform.Blue) (estimate t i Platform.Red)
+(* Minimum-EFT choice with the paper's tie-breaking (earlier EST, then the
+   first argument — blue when called on (blue, red)).  Shared by
+   [best_estimate] and the dynamic heuristics, which already hold both
+   estimates and must not recompute them. *)
+let better_estimate a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some ea, Some eb ->
+    if eb.eft +. eps < ea.eft then b
+    else if ea.eft +. eps < eb.eft then a
+    else if eb.est +. eps < ea.est then b
+    else a
+
+let best_estimate t i = better_estimate (estimate t i Platform.Blue) (estimate t i Platform.Red)
 
 (* Processor of [mu] minimising idle time before a task starting at [start]
    with duration [w] (paper: maximise avail among procs available by then). *)
@@ -237,7 +263,7 @@ let select_proc t mu ~start ~w =
           | Some q when t.avail.(q) >= t.avail.(p) -> ()
           | _ -> best := Some p
         end)
-      (Platform.procs_of t.platform mu);
+      (procs_of_mem t mu);
     (match !best with
     | Some p -> p
     | None -> invalid_arg "Sched_state.commit: stale estimate (no processor available)")
@@ -247,7 +273,7 @@ let select_proc t mu ~start ~w =
         (fun (b0, b1) -> b1 <= start +. eps || b0 +. eps >= start +. w)
         t.busy.(p)
     in
-    (match List.find_opt fits (Platform.procs_of t.platform mu) with
+    (match List.find_opt fits (procs_of_mem t mu) with
     | Some p -> p
     | None -> invalid_arg "Sched_state.commit: stale estimate (no insertion slot)")
 
@@ -257,7 +283,15 @@ let insert_interval t p ~start ~finish =
     | (b0, b1) :: rest as l -> if start <= b0 then (start, finish) :: l else (b0, b1) :: ins rest
   in
   t.busy.(p) <- ins t.busy.(p);
-  if finish > t.avail.(p) then t.avail.(p) <- finish
+  if finish > t.avail.(p) then begin
+    t.avail.(p) <- finish;
+    (* Refresh the cached per-memory minima with the same fold the
+       pre-optimisation resource_EST ran on every estimate, so the cached
+       value is bit-identical to what that fold would return now. *)
+    let min_avail procs = List.fold_left (fun acc q -> min acc t.avail.(q)) infinity procs in
+    t.min_avail_blue <- min_avail t.procs_blue;
+    t.min_avail_red <- min_avail t.procs_red
+  end
 
 let commit t e =
   let i = e.task and mu = e.memory in
@@ -294,7 +328,7 @@ let commit t e =
       | None -> invalid_arg "Sched_state.commit: parent not assigned")
     (Dag.pred g i);
   (* Output files are held from the task start... *)
-  Staircase.add_from free_mu start (-.Dag.out_size g i);
+  Staircase.add_from free_mu start (-.t.out_sizes.(i));
   (* All allocations of this decision are now recorded but none of its
      releases: the worst usage of the chosen memory at this instant is the
      planner's own accounting of what the heuristic needs — the quantity the
@@ -315,4 +349,119 @@ let commit t e =
   t.assigned.(i) <- true;
   t.mem_of.(i) <- Some mu;
   t.assigned_count <- t.assigned_count + 1;
-  List.iter (fun c -> t.pending_parents.(c) <- t.pending_parents.(c) - 1) (Dag.children g i)
+  t.ready <- remove_ready i t.ready;
+  List.iter
+    (fun c ->
+      t.pending_parents.(c) <- t.pending_parents.(c) - 1;
+      if t.pending_parents.(c) = 0 then t.ready <- insert_ready c t.ready)
+    (Dag.children g i)
+
+(* Pre-optimisation reference machinery, kept verbatim for the A/B
+   bit-identity tests and the campaign/hotpath reference timings: three
+   traversals of the predecessor list per estimate and O(breakpoints)
+   staircase scans instead of the suffix-minimum binary search. *)
+module Reference = struct
+  let ready_tasks t =
+    let acc = ref [] in
+    for i = Dag.n_tasks t.g - 1 downto 0 do
+      if is_ready t i then acc := i :: !acc
+    done;
+    !acc
+
+  (* Verbatim pre-optimisation resource_EST: rebuilds the processor list and
+     refolds the availability minimum on every call. *)
+  let resource_est t mu ~lb ~w =
+    match t.options.proc_policy with
+    | Earliest_available ->
+      let procs = Platform.procs_of t.platform mu in
+      let min_avail = List.fold_left (fun acc p -> min acc t.avail.(p)) infinity procs in
+      max lb min_avail
+    | Insertion ->
+      let earliest_on p =
+        let rec scan start = function
+          | [] -> start
+          | (b0, b1) :: rest ->
+            if start +. w <= b0 +. eps then start else scan (max start b1) rest
+        in
+        scan lb t.busy.(p)
+      in
+      List.fold_left
+        (fun acc p -> min acc (earliest_on p))
+        infinity
+        (Platform.procs_of t.platform mu)
+
+  let cross_edges t i mu =
+    List.filter
+      (fun (e : Dag.edge) ->
+        match t.mem_of.(e.Dag.src) with Some m -> m <> mu | None -> false)
+      (Dag.pred t.g i)
+
+  let cross_summary t i mu =
+    List.fold_left
+      (fun (size, cmax, min_aft) (e : Dag.edge) ->
+        (size +. e.Dag.size, max cmax e.Dag.comm, min min_aft t.aft.(e.Dag.src)))
+      (0., 0., infinity) (cross_edges t i mu)
+
+  let precedence_est t i mu =
+    List.fold_left
+      (fun acc (e : Dag.edge) ->
+        let j = e.Dag.src in
+        let arrival =
+          match t.mem_of.(j) with
+          | Some m when m = mu -> t.aft.(j)
+          | Some _ -> t.aft.(j) +. e.Dag.comm
+          | None -> invalid_arg "Sched_state: parent not assigned"
+        in
+        max acc arrival)
+      0. (Dag.pred t.g i)
+
+  let memory_lb t i mu =
+    let free = free_of t mu in
+    let cross_in, c_batch, min_cross_aft = cross_summary t i mu in
+    let task_level = cross_in +. Dag.out_size t.g i in
+    match Staircase.earliest_suffix_ge_scan free ~level:task_level ~from:0. with
+    | None -> None
+    | Some t_task -> (
+      if cross_in = 0. then Some (t_task, c_batch)
+      else begin
+        match t.options.comm_mode with
+        | Jit_batched -> (
+          match Staircase.earliest_suffix_ge_scan free ~level:cross_in ~from:0. with
+          | None -> None
+          | Some t_comm -> Some (max t_task (Fp.lb_plus t_comm c_batch), c_batch))
+        | Jit_per_edge ->
+          let sorted =
+            List.sort
+              (fun (a : Dag.edge) (b : Dag.edge) -> compare b.Dag.comm a.Dag.comm)
+              (cross_edges t i mu)
+          in
+          let rec prefixes acc lb = function
+            | [] -> Some lb
+            | (e : Dag.edge) :: rest -> (
+              let acc = acc +. e.Dag.size in
+              match Staircase.earliest_suffix_ge_scan free ~level:acc ~from:0. with
+              | None -> None
+              | Some t_k -> prefixes acc (max lb (Fp.lb_plus t_k e.Dag.comm)) rest)
+          in
+          Option.map (fun lb -> (max t_task lb, c_batch)) (prefixes 0. 0. sorted)
+        | Eager -> (
+          match Staircase.earliest_suffix_ge_scan free ~level:cross_in ~from:0. with
+          | Some t_comm when t_comm <= min_cross_aft +. eps -> Some (t_task, c_batch)
+          | _ -> None)
+      end)
+
+  let estimate t i mu =
+    if not (is_ready t i) then None
+    else begin
+      match memory_lb t i mu with
+      | None -> None
+      | Some (mem_lb, c_batch) ->
+        let lb = max mem_lb (precedence_est t i mu) in
+        let w = Platform.w t.g i mu in
+        let est = resource_est t mu ~lb ~w in
+        Some { task = i; memory = mu; est; eft = est +. w; comm_batch = c_batch }
+    end
+
+  let best_estimate t i =
+    better_estimate (estimate t i Platform.Blue) (estimate t i Platform.Red)
+end

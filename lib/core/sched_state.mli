@@ -65,6 +65,10 @@ val is_ready : t -> int -> bool
 (** All parents assigned (the task itself not yet). *)
 
 val ready_tasks : t -> int list
+(** Ready tasks in ascending id order.  O(1): the set is maintained
+    incrementally by {!commit} (a task enters when its last parent commits,
+    leaves when it commits itself) instead of rescanning all [n] tasks. *)
+
 val finish_time : t -> int -> float
 (** [AFT(i)]; meaningful only once [i] is assigned. *)
 
@@ -93,8 +97,15 @@ val estimate : t -> int -> Platform.memory -> estimate option
 (** [None] when the task is not ready or cannot fit in the memory (the
     paper's [EFT = +infinity] case). *)
 
+val better_estimate : estimate option -> estimate option -> estimate option
+(** The minimum-EFT comparison used by {!best_estimate} (ties: earlier EST,
+    then the first argument).  Exposed so callers that already hold both
+    per-memory estimates (the dynamic heuristics) can derive the winner
+    without recomputing them. *)
+
 val best_estimate : t -> int -> estimate option
-(** Minimum-EFT estimate over both memories (ties: earlier EST, then blue). *)
+(** Minimum-EFT estimate over both memories (ties: earlier EST, then blue).
+    Equals [better_estimate (estimate t i Blue) (estimate t i Red)]. *)
 
 val commit : t -> estimate -> unit
 (** Applies a decision: picks the processor minimising idle time (or the
@@ -102,3 +113,14 @@ val commit : t -> estimate -> unit
     memory profiles.
     @raise Invalid_argument if the task is already assigned or the estimate
     is stale (recompute estimates after every commit). *)
+
+(** Pre-optimisation reference implementations, kept verbatim: O(n)
+    ready-set rescans, three predecessor-list traversals per estimate, and
+    linear staircase scans.  The A/B test suite asserts the optimised paths
+    above are bit-identical to these; the [campaign/hotpath] bench times
+    them as the baseline of the perf trajectory. *)
+module Reference : sig
+  val ready_tasks : t -> int list
+  val estimate : t -> int -> Platform.memory -> estimate option
+  val best_estimate : t -> int -> estimate option
+end

@@ -1,6 +1,11 @@
+(* Binary min-heap.  Slots are ['a option] so that vacated positions can be
+   reset to [None]: the previous ['a array] backing filled the freshly grown
+   tail with the pushed element and never cleared [data.(len)] on pop, which
+   pinned popped (potentially large) payloads for the queue's lifetime. *)
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : 'a option array;
   mutable len : int;
 }
 
@@ -8,22 +13,27 @@ let create ~cmp = { cmp; data = [||]; len = 0 }
 let length q = q.len
 let is_empty q = q.len = 0
 
-let grow q x =
+let get q i = match q.data.(i) with Some x -> x | None -> assert false
+
+let grow q =
   let cap = Array.length q.data in
   if q.len = cap then begin
     let cap' = max 8 (2 * cap) in
-    let data' = Array.make cap' x in
+    let data' = Array.make cap' None in
     Array.blit q.data 0 data' 0 q.len;
     q.data <- data'
   end
 
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if q.cmp q.data.(i) q.data.(parent) < 0 then begin
-      let tmp = q.data.(i) in
-      q.data.(i) <- q.data.(parent);
-      q.data.(parent) <- tmp;
+    if q.cmp (get q i) (get q parent) < 0 then begin
+      swap q i parent;
       sift_up q parent
     end
   end
@@ -31,32 +41,30 @@ let rec sift_up q i =
 let rec sift_down q i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < q.len && q.cmp q.data.(l) q.data.(!smallest) < 0 then smallest := l;
-  if r < q.len && q.cmp q.data.(r) q.data.(!smallest) < 0 then smallest := r;
+  if l < q.len && q.cmp (get q l) (get q !smallest) < 0 then smallest := l;
+  if r < q.len && q.cmp (get q r) (get q !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
-    let tmp = q.data.(i) in
-    q.data.(i) <- q.data.(!smallest);
-    q.data.(!smallest) <- tmp;
+    swap q i !smallest;
     sift_down q !smallest
   end
 
 let push q x =
-  grow q x;
-  q.data.(q.len) <- x;
+  grow q;
+  q.data.(q.len) <- Some x;
   q.len <- q.len + 1;
   sift_up q (q.len - 1)
 
-let peek q = if q.len = 0 then None else Some q.data.(0)
+let peek q = if q.len = 0 then None else Some (get q 0)
 
 let pop q =
   if q.len = 0 then None
   else begin
-    let top = q.data.(0) in
+    let top = get q 0 in
     q.len <- q.len - 1;
-    if q.len > 0 then begin
-      q.data.(0) <- q.data.(q.len);
-      sift_down q 0
-    end;
+    q.data.(0) <- q.data.(q.len);
+    (* Clear the vacated slot: the queue must not retain popped elements. *)
+    q.data.(q.len) <- None;
+    if q.len > 0 then sift_down q 0;
     Some top
   end
 

@@ -13,7 +13,8 @@ val peek : 'a t -> 'a option
 (** Smallest element without removing it. *)
 
 val pop : 'a t -> 'a option
-(** Remove and return the smallest element. *)
+(** Remove and return the smallest element.  The vacated slot is cleared, so
+    the queue never retains a reference to a popped element. *)
 
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty queue. *)

@@ -1,18 +1,35 @@
 (* Breakpoints stored in two parallel growable arrays, sorted by time.
-   Invariants: len >= 1, xs.(0) = 0., xs strictly increasing.
-   Adjacent equal values may appear transiently; [coalesce] removes them. *)
+   Invariants: len >= 1, xs.(0) = 0., xs strictly increasing with gaps > eps
+   (update times within eps of an existing breakpoint are snapped onto it),
+   adjacent values differ by more than eps ([coalesce] removes the rest).
+
+   Queries are served by a lazily rebuilt suffix-minimum array:
+   [suffmin.(i) = min vs.(i..len-1)], monotonically non-decreasing in [i],
+   which turns [min_from] into one lookup and [earliest_suffix_ge] into a
+   binary search.  Any mutation just flips [suffmin_ok]; the array is rebuilt
+   (O(len)) on the next query, so a burst of queries between two updates —
+   the scheduler's estimate phase — pays the rebuild once. *)
 
 type t = {
   mutable xs : float array;
   mutable vs : float array;
   mutable len : int;
+  mutable suffmin : float array;
+  mutable suffmin_ok : bool;
 }
 
 let eps = 1e-9
 
-let create v = { xs = [| 0. |]; vs = [| v |]; len = 1 }
+let create v = { xs = [| 0. |]; vs = [| v |]; len = 1; suffmin = [||]; suffmin_ok = false }
 
-let copy s = { xs = Array.copy s.xs; vs = Array.copy s.vs; len = s.len }
+let copy s =
+  {
+    xs = Array.copy s.xs;
+    vs = Array.copy s.vs;
+    len = s.len;
+    suffmin = Array.copy s.suffmin;
+    suffmin_ok = s.suffmin_ok;
+  }
 
 let ensure_capacity s n =
   let cap = Array.length s.xs in
@@ -54,9 +71,16 @@ let coalesce s =
 let add_from s t delta =
   if t < 0. then invalid_arg "Staircase.add_from: negative time";
   if delta <> 0. then begin
+    s.suffmin_ok <- false;
     let i = step_index s t in
     let start =
-      if s.xs.(i) = t then i
+      (* Snap onto a breakpoint within eps instead of splitting: repeated
+         just-in-time transfer times ([start -. comm]) land eps-close to
+         existing breakpoints and would otherwise create sliver steps that
+         inflate [len] and perturb suffix queries.  Snapping keeps the gap
+         invariant (all gaps > eps), so at most one neighbour qualifies. *)
+      if t -. s.xs.(i) <= eps then i
+      else if i + 1 < s.len && s.xs.(i + 1) -. t <= eps then i + 1
       else begin
         (* Split step [i] at [t]. *)
         ensure_capacity s (s.len + 1);
@@ -81,13 +105,19 @@ let add_range s t1 t2 delta =
     add_from s t2 (-.delta)
   end
 
+let refresh_suffmin s =
+  if not s.suffmin_ok then begin
+    if Array.length s.suffmin < s.len then s.suffmin <- Array.make (Array.length s.xs) 0.;
+    s.suffmin.(s.len - 1) <- s.vs.(s.len - 1);
+    for j = s.len - 2 downto 0 do
+      s.suffmin.(j) <- (if s.vs.(j) < s.suffmin.(j + 1) then s.vs.(j) else s.suffmin.(j + 1))
+    done;
+    s.suffmin_ok <- true
+  end
+
 let min_from s t =
-  let i = step_index s t in
-  let m = ref s.vs.(i) in
-  for j = i + 1 to s.len - 1 do
-    if s.vs.(j) < !m then m := s.vs.(j)
-  done;
-  !m
+  refresh_suffmin s;
+  s.suffmin.(step_index s t)
 
 let min_on s t1 t2 =
   if t1 >= t2 then invalid_arg "Staircase.min_on: empty interval";
@@ -103,8 +133,39 @@ let min_on s t1 t2 =
 let earliest_suffix_ge s ~level ~from =
   if final_value s +. eps < level then None
   else begin
+    refresh_suffmin s;
     (* The answer is the breakpoint following the last step whose value is
-       below [level] (or [from] when no step from [from] on is below). *)
+       below [level] (or [from] when no step is).  [suffmin] is non-decreasing
+       and the final step passed the feasibility test above, so that last step
+       is exactly the last index with [suffmin +. eps < level]: binary
+       search. *)
+    if s.suffmin.(0) +. eps >= level then Some from
+    else begin
+      let lo = ref 0 and hi = ref (s.len - 1) in
+      (* invariant: suffmin.(lo) is below level, suffmin.(hi) is not *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if s.suffmin.(mid) +. eps < level then lo := mid else hi := mid
+      done;
+      Some (max from s.xs.(!hi))
+    end
+  end
+
+(* Pre-optimisation linear-scan queries, kept as the A/B reference: the
+   property tests check the fast paths against these, and the hotpath bench
+   times the reference scheduler with them. *)
+
+let min_from_scan s t =
+  let i = step_index s t in
+  let m = ref s.vs.(i) in
+  for j = i + 1 to s.len - 1 do
+    if s.vs.(j) < !m then m := s.vs.(j)
+  done;
+  !m
+
+let earliest_suffix_ge_scan s ~level ~from =
+  if final_value s +. eps < level then None
+  else begin
     let answer = ref from in
     for j = 0 to s.len - 2 do
       if s.vs.(j) +. eps < level then answer := max !answer s.xs.(j + 1)

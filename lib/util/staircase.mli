@@ -24,13 +24,19 @@ val final_value : t -> float
 (** Value on the unbounded last step. *)
 
 val add_from : t -> float -> float -> unit
-(** [add_from s t delta] adds [delta] to [s] on [\[t, +inf)]. *)
+(** [add_from s t delta] adds [delta] to [s] on [\[t, +inf)].  A [t] within
+    [eps] of an existing breakpoint is snapped onto it instead of splitting
+    the step: breakpoint times therefore always differ by more than [eps],
+    so float dust (e.g. just-in-time transfer times computed as
+    [start -. comm]) cannot accumulate sliver steps. *)
 
 val add_range : t -> float -> float -> float -> unit
 (** [add_range s t1 t2 delta] adds [delta] on [\[t1, t2)].  [t1 <= t2]. *)
 
 val min_from : t -> float -> float
-(** [min_from s t] is [inf { s t' | t' >= t }]. *)
+(** [min_from s t] is [inf { s t' | t' >= t }].  O(log len) via a lazily
+    rebuilt suffix-minimum array (rebuilt once per mutation, on the next
+    query). *)
 
 val min_on : t -> float -> float -> float
 (** [min_on s t1 t2] is the minimum of [s] on [\[t1, t2)] ([t1 < t2]). *)
@@ -40,7 +46,14 @@ val earliest_suffix_ge : t -> level:float -> from:float -> float option
     [s t' >= level] for every [t' >= t], or [None] when the final step is
     below [level] (the paper's [task_mem_EST] / [comm_mem_EST] primitives).
     A small epsilon tolerance absorbs floating-point dust from repeated
-    updates. *)
+    updates.  O(log len): a binary search on the suffix-minimum array. *)
+
+val min_from_scan : t -> float -> float
+(** Pre-optimisation O(len) reference for {!min_from} — kept for the A/B
+    property tests and the [campaign/hotpath] reference scheduler. *)
+
+val earliest_suffix_ge_scan : t -> level:float -> from:float -> float option
+(** Pre-optimisation O(len) reference for {!earliest_suffix_ge}. *)
 
 val breakpoints : t -> (float * float) list
 (** Normalised breakpoint list [(x, v)]: value [v] holds on [\[x, x')] where

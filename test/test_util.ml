@@ -149,6 +149,87 @@ let test_stair_copy_isolated () =
   check_float "copy untouched" 5. (Staircase.value c 2.);
   check_float "original changed" 3. (Staircase.value s 2.)
 
+let test_stair_snap_regression () =
+  (* Regression for the breakpoint float-equality bug: an update eps-close to
+     an existing breakpoint used to compare times with [<>] and split a
+     sliver step; it must snap onto the breakpoint instead. *)
+  let s = Staircase.create 10. in
+  Staircase.add_from s 0.1 (-1.);
+  let len = Staircase.length s in
+  Staircase.add_from s (0.1 +. 1e-12) (-1.);
+  check_int "no sliver step (from above)" len (Staircase.length s);
+  check_float "snapped update applied" 8. (Staircase.value s 0.2);
+  check_float "before the breakpoint unchanged" 10. (Staircase.value s 0.05);
+  Staircase.add_from s (0.1 -. 1e-12) (-1.);
+  check_int "no sliver step (from below)" len (Staircase.length s);
+  check_float "applied at the breakpoint" 7. (Staircase.value s 0.1)
+
+(* Generator for update sequences whose times land exactly on, eps-close to,
+   and just beyond existing breakpoints: (half-integer time, delta, jitter
+   index).  Jitters below eps must snap; 1e-8 legitimately splits. *)
+let stair_jittered_ops = QCheck.(list (triple (int_range 0 40) (int_range (-3) 3) (int_range 0 4)))
+
+let stair_apply_jittered s ops =
+  let jit = [| 0.; 1e-12; -1e-12; 4e-10; 1e-8 |] in
+  List.iter
+    (fun (t2, d, j) ->
+      let t = Float.max 0. ((float_of_int t2 /. 2.) +. jit.(j)) in
+      if d <> 0 then Staircase.add_from s t (float_of_int d))
+    ops
+
+let stair_gap_invariant =
+  qtest ~count:300 "gaps > eps and values coalesced under eps-close updates" stair_jittered_ops
+    (fun ops ->
+      let s = Staircase.create 50. in
+      stair_apply_jittered s ops;
+      let rec ok = function
+        | (x0, v0) :: ((x1, v1) :: _ as tl) ->
+          x1 -. x0 > 1e-9 && abs_float (v1 -. v0) > 1e-9 && ok tl
+        | _ -> true
+      in
+      match Staircase.breakpoints s with
+      | (x0, _) :: _ as bps -> x0 = 0. && ok bps
+      | [] -> false)
+
+let stair_fast_queries_match_scan =
+  qtest ~count:300 "min_from / earliest_suffix_ge match the linear scans bit-for-bit"
+    stair_jittered_ops (fun ops ->
+      let s = Staircase.create 50. in
+      stair_apply_jittered s ops;
+      let probes = List.init 45 (fun k -> float_of_int k /. 2.) in
+      List.for_all
+        (fun t ->
+          Staircase.min_from s t = Staircase.min_from_scan s t
+          && List.for_all
+               (fun level ->
+                 Staircase.earliest_suffix_ge s ~level ~from:t
+                 = Staircase.earliest_suffix_ge_scan s ~level ~from:t)
+               [ 30.; 45.; 50.; 50.5; 60. ])
+        probes)
+
+let stair_min_from_brute =
+  qtest ~count:300 "min_from agrees with brute force on a grid"
+    QCheck.(list (pair (int_range 0 20) (int_range (-5) 5)))
+    (fun updates ->
+      let s = Staircase.create 100. in
+      List.iter (fun (t, d) -> Staircase.add_from s (float_of_int t) (float_of_int d)) updates;
+      let value_ref t =
+        100.
+        +. List.fold_left
+             (fun acc (t0, d) -> if float_of_int t0 <= t then acc +. float_of_int d else acc)
+             0. updates
+      in
+      List.for_all
+        (fun k ->
+          let t = float_of_int k /. 2. in
+          let brute =
+            List.fold_left
+              (fun m j -> Float.min m (value_ref (Float.max t (float_of_int j /. 2.))))
+              infinity (List.init 45 Fun.id)
+          in
+          abs_float (Staircase.min_from s t -. brute) < 1e-6)
+        (List.init 41 Fun.id))
+
 (* Reference implementation: a staircase as an explicit list of (t, delta)
    updates, evaluated naively. *)
 let stair_matches_reference =
@@ -234,6 +315,31 @@ let pqueue_sorts =
   qtest "pqueue drains in sorted order" QCheck.(list int) (fun l ->
       let q = Pqueue.of_list ~cmp:compare l in
       Pqueue.to_sorted_list q = List.sort compare l)
+
+let test_pqueue_no_leak () =
+  (* Regression for the space leak: [grow] used to fill the doubled backing
+     array with the pushed element and [pop] never cleared [data.(len)], so
+     the queue pinned popped payloads for its whole lifetime.  Popped
+     elements must become unreachable while the queue stays live. *)
+  let q = Pqueue.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  let n = 20 (* crosses two capacity doublings, exercising [grow]'s blit *) in
+  let w = Weak.create n in
+  for k = 0 to n - 1 do
+    let payload = (k, Bytes.create 64) in
+    Weak.set w k (Some payload);
+    Pqueue.push q payload
+  done;
+  for _ = 1 to n do
+    ignore (Pqueue.pop q)
+  done;
+  Gc.full_major ();
+  let leaked = ref 0 in
+  for k = 0 to n - 1 do
+    if Weak.check w k then incr leaked
+  done;
+  check_int "popped payloads unreachable" 0 !leaked;
+  Pqueue.push q (0, Bytes.create 1);
+  check_int "queue still usable" 1 (Pqueue.length q)
 
 (* -------------------------------------------------------------- Stats --- *)
 
@@ -325,6 +431,10 @@ let () =
           Alcotest.test_case "suffix infeasible" `Quick test_stair_suffix_infeasible;
           Alcotest.test_case "infinite capacity" `Quick test_stair_infinite_capacity;
           Alcotest.test_case "copy isolation" `Quick test_stair_copy_isolated;
+          Alcotest.test_case "eps snap regression" `Quick test_stair_snap_regression;
+          stair_gap_invariant;
+          stair_fast_queries_match_scan;
+          stair_min_from_brute;
           stair_matches_reference;
           stair_suffix_is_correct ] );
       ( "fp",
@@ -333,6 +443,7 @@ let () =
         [ Alcotest.test_case "basic" `Quick test_pqueue_basic;
           Alcotest.test_case "pop_exn" `Quick test_pqueue_pop_exn;
           Alcotest.test_case "custom cmp" `Quick test_pqueue_custom_cmp;
+          Alcotest.test_case "no space leak" `Quick test_pqueue_no_leak;
           pqueue_sorts ] );
       ( "stats",
         [ Alcotest.test_case "mean" `Quick test_stats_mean;

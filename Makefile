@@ -1,6 +1,6 @@
 TMP ?= /tmp/memsched-verify
 
-.PHONY: all build test bench bench-smoke verify clean
+.PHONY: all build test bench bench-smoke fuzz-smoke verify clean
 
 all: build
 
@@ -21,10 +21,16 @@ bench-smoke: build
 	jq -e '.bench == "hotpath" and (.entries | length > 0)' results/BENCH_hotpath.json > /dev/null
 	@echo "bench-smoke OK"
 
+# Fixed-seed differential-fuzzing smoke run: 500 cases through the whole
+# oracle registry (lib/check), on the parallel runtime.  Any violation
+# exits non-zero and serialises the shrunk instance into test/corpus/.
+fuzz-smoke: build
+	dune exec bin/memsched_cli.exe -- check --cases 500 --seed 42 --jobs 2
+
 # Tier-1 verification plus a smoke run of the parallel runtime: the CLI is
 # driven end-to-end with --jobs 2 (multistart over the domain pool, then a
 # figure regeneration), so the parallel path is exercised on every run.
-verify: build test bench-smoke
+verify: build test bench-smoke fuzz-smoke
 	mkdir -p $(TMP)
 	dune exec bin/memsched_cli.exe -- generate daggen --size 30 --seed 2014 -o $(TMP)/dag.txt
 	dune exec bin/memsched_cli.exe -- schedule $(TMP)/dag.txt -H memheft --restarts 8 --jobs 2

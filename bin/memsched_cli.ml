@@ -7,7 +7,9 @@
                  Gantt chart and validation report
      exact       run the exact branch-and-bound scheduler
      export-lp   write the paper's ILP for an instance in CPLEX-LP format
-     experiment  regenerate a table/figure of the paper *)
+     experiment  regenerate a table/figure of the paper
+     check       seeded differential-fuzzing campaign over the oracle
+                 registry (lib/check), with shrinking + corpus capture *)
 
 open Cmdliner
 
@@ -241,6 +243,70 @@ let export_lp_cmd =
     (Cmd.info "export-lp" ~doc:"Write the paper's ILP in CPLEX-LP format.")
     Term.(const run $ platform_term $ dag $ out)
 
+(* ------------------------------------------------------------------ check *)
+
+let check_cmd =
+  let cases =
+    Arg.(value & opt int 200 & info [ "cases"; "n" ] ~docv:"N" ~doc:"Number of fuzz cases.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed.") in
+  let oracle =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Run a single oracle instead of the full registry (one of: %s)."
+               (String.concat ", " Fuzz_oracle.names)))
+  in
+  let eps =
+    Arg.(
+      value
+      & opt float Fuzz_oracle.default_config.Fuzz_oracle.eps
+      & info [ "eps" ] ~docv:"EPS" ~doc:"Validation / comparison tolerance.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures without minimising them.")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt string "test/corpus"
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:"Directory where shrunk failures are serialised for replay.")
+  in
+  let run cases seed oracle eps no_shrink corpus_dir jobs =
+    let oracles =
+      match oracle with
+      | None -> Ok Fuzz_oracle.all
+      | Some name -> (
+        match Fuzz_oracle.find name with
+        | Some o -> Ok [ o ]
+        | None ->
+          Error
+            (Printf.sprintf "unknown oracle %S (expected one of: %s)" name
+               (String.concat ", " Fuzz_oracle.names)))
+    in
+    match oracles with
+    | Error msg -> `Error (false, msg)
+    | Ok oracles ->
+      let config = { Fuzz_oracle.default_config with Fuzz_oracle.eps } in
+      let report =
+        Par.with_pool ~jobs (fun pool ->
+            Check.run ~pool ~config ~oracles ~shrink:(not no_shrink) ~cases ~seed ())
+      in
+      print_string (Check.render report);
+      if Check.ok report then `Ok ()
+      else begin
+        let paths = Check.save_failures ~dir:corpus_dir report in
+        List.iter (Printf.eprintf "corpus entry written: %s\n") paths;
+        `Error (false, "oracle violations found")
+      end
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Differential fuzzing: run the property-oracle registry on seeded random instances.")
+    Term.(ret (const run $ cases $ seed $ oracle $ eps $ no_shrink $ corpus_dir $ jobs_term))
+
 (* ------------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -288,4 +354,8 @@ let () =
     Cmd.info "memsched" ~version:"1.0.0"
       ~doc:"Memory-aware list scheduling for hybrid (dual-memory) platforms."
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; schedule_cmd; validate_cmd; exact_cmd; export_lp_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; schedule_cmd; validate_cmd; exact_cmd; export_lp_cmd; check_cmd;
+            experiment_cmd ]))

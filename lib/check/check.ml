@@ -1,0 +1,122 @@
+type oracle_stats = {
+  o_name : string;
+  passed : int;
+  failed : int;
+  skipped : int;
+}
+
+type failure = {
+  case : int;
+  oracle : string;
+  errors : string list;
+  original : Fuzz_instance.t;
+  shrunk : Fuzz_shrink.result;
+}
+
+type report = {
+  cases : int;
+  seed : int;
+  config : Fuzz_oracle.config;
+  stats : oracle_stats list;
+  failures : failure list;
+}
+
+let ok r = r.failures = []
+
+let run ?pool ?(config = Fuzz_oracle.default_config) ?(oracles = Fuzz_oracle.all)
+    ?(shrink = true) ~cases ~seed () =
+  let indices = List.init cases Fun.id in
+  let eval rng case =
+    let instance = Fuzz_gen.instance rng in
+    let verdicts =
+      List.map (fun (o : Fuzz_oracle.t) -> (o, o.Fuzz_oracle.check config instance)) oracles
+    in
+    (case, instance, verdicts)
+  in
+  let rng = Rng.create seed in
+  (* One split stream per case, derived in order before dispatch: results are
+     identical with no pool and for every jobs count. *)
+  let results =
+    match pool with
+    | Some pool -> Par.map_seeded pool ~rng ~f:eval indices
+    | None ->
+      let rngs = List.map (fun _ -> Rng.split rng) indices in
+      List.map2 eval rngs indices
+  in
+  let stats =
+    List.map
+      (fun (o : Fuzz_oracle.t) ->
+        let count p =
+          List.fold_left
+            (fun acc (_, _, verdicts) ->
+              let v = List.assq o verdicts in
+              if p v then acc + 1 else acc)
+            0 results
+        in
+        {
+          o_name = o.Fuzz_oracle.name;
+          passed = count (function Fuzz_oracle.Pass -> true | _ -> false);
+          failed = count (function Fuzz_oracle.Fail _ -> true | _ -> false);
+          skipped = count (function Fuzz_oracle.Skip _ -> true | _ -> false);
+        })
+      oracles
+  in
+  (* Shrinking is serial and in case order, so the report is deterministic
+     regardless of how the cases themselves were fanned out. *)
+  let failures =
+    List.concat_map
+      (fun (case, instance, verdicts) ->
+        List.filter_map
+          (fun ((o : Fuzz_oracle.t), verdict) ->
+            match verdict with
+            | Fuzz_oracle.Pass | Fuzz_oracle.Skip _ -> None
+            | Fuzz_oracle.Fail errors ->
+              let shrunk =
+                if shrink then Fuzz_shrink.shrink config o instance
+                else { Fuzz_shrink.instance; rounds = 0; attempts = 0 }
+              in
+              Some { case; oracle = o.Fuzz_oracle.name; errors; original = instance; shrunk })
+          verdicts)
+      results
+  in
+  { cases; seed; config; stats; failures }
+
+let render r =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "check: %d cases, seed %d, eps %g\n" r.cases r.seed r.config.Fuzz_oracle.eps;
+  List.iter
+    (fun s -> add "  %-20s passed %5d  failed %3d  skipped %5d\n" s.o_name s.passed s.failed s.skipped)
+    r.stats;
+  (match r.failures with
+  | [] -> add "all oracles passed\n"
+  | failures ->
+    add "FAILURES: %d\n" (List.length failures);
+    List.iter
+      (fun f ->
+        add "  case %d, oracle %s, instance %s\n" f.case f.oracle f.original.Fuzz_instance.label;
+        List.iter (fun e -> add "    - %s\n" e) f.errors;
+        add "    shrunk %d->%d tasks, %d->%d edges (%d rounds, %d oracle calls)\n"
+          (Dag.n_tasks f.original.Fuzz_instance.dag)
+          (Dag.n_tasks f.shrunk.Fuzz_shrink.instance.Fuzz_instance.dag)
+          (Dag.n_edges f.original.Fuzz_instance.dag)
+          (Dag.n_edges f.shrunk.Fuzz_shrink.instance.Fuzz_instance.dag)
+          f.shrunk.Fuzz_shrink.rounds f.shrunk.Fuzz_shrink.attempts)
+      failures);
+  Buffer.contents buf
+
+let save_failures ~dir r =
+  List.map
+    (fun f ->
+      Fuzz_corpus.save ~dir
+        {
+          Fuzz_corpus.oracle = f.oracle;
+          seed = r.seed;
+          eps = r.config.Fuzz_oracle.eps;
+          instance = f.shrunk.Fuzz_shrink.instance;
+          note =
+            Printf.sprintf "case %d of %d, original instance %s" f.case r.cases
+              f.original.Fuzz_instance.label
+            :: f.errors;
+        })
+    r.failures

@@ -1,0 +1,54 @@
+(** Differential-fuzzing engine.
+
+    [run] draws [cases] instances from {!Fuzz_gen} (one {!Rng.split} stream
+    per case, derived in submission order), evaluates every oracle of the
+    registry on each, shrinks any failure with {!Fuzz_shrink}, and returns a
+    deterministic report.  With [?pool] the cases are evaluated in parallel;
+    because the per-case streams are split off before dispatch and the
+    aggregation is serial in case order, the report is bit-identical for
+    every jobs count (and with no pool at all). *)
+
+type oracle_stats = {
+  o_name : string;
+  passed : int;
+  failed : int;
+  skipped : int;
+}
+
+type failure = {
+  case : int;  (** case index within the campaign *)
+  oracle : string;
+  errors : string list;
+  original : Fuzz_instance.t;
+  shrunk : Fuzz_shrink.result;
+}
+
+type report = {
+  cases : int;
+  seed : int;
+  config : Fuzz_oracle.config;
+  stats : oracle_stats list;  (** one per oracle, in registry order *)
+  failures : failure list;  (** in case order *)
+}
+
+val run :
+  ?pool:Par.t ->
+  ?config:Fuzz_oracle.config ->
+  ?oracles:Fuzz_oracle.t list ->
+  ?shrink:bool ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  report
+(** Defaults: all oracles, {!Fuzz_oracle.default_config}, shrinking on. *)
+
+val ok : report -> bool
+(** [true] iff no oracle failed on any case. *)
+
+val render : report -> string
+(** Deterministic human-readable summary (no timings, no paths): the bytes
+    are identical across runs and jobs counts. *)
+
+val save_failures : dir:string -> report -> string list
+(** Serialise every shrunk failure as a {!Fuzz_corpus} entry under [dir];
+    returns the paths written. *)

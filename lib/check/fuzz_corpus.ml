@@ -1,0 +1,97 @@
+type entry = {
+  oracle : string;
+  seed : int;
+  eps : float;
+  instance : Fuzz_instance.t;
+  note : string list;
+}
+
+let magic = "memsched-corpus v1"
+
+let to_string e =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (magic ^ "\n");
+  List.iter
+    (fun line ->
+      let line = String.map (fun c -> if c = '\n' then ' ' else c) line in
+      Buffer.add_string buf ("# " ^ line ^ "\n"))
+    e.note;
+  Buffer.add_string buf (Printf.sprintf "oracle %s\n" e.oracle);
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" e.seed);
+  Buffer.add_string buf (Printf.sprintf "eps %.17g\n" e.eps);
+  Buffer.add_string buf (Fuzz_instance.to_string e.instance);
+  Buffer.contents buf
+
+let of_string s =
+  let fail fmt = Printf.ksprintf invalid_arg ("Fuzz_corpus.of_string: " ^^ fmt) in
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | first :: rest when first = magic ->
+    let note = ref [] and oracle = ref None and seed = ref None and eps = ref None in
+    let rec header = function
+      | [] -> fail "missing instance section"
+      | line :: tl -> (
+        if String.length line >= 1 && line.[0] = '#' then begin
+          let body = String.sub line 1 (String.length line - 1) in
+          note := String.trim body :: !note;
+          header tl
+        end
+        else
+          match String.split_on_char ' ' line with
+          | [ "oracle"; name ] ->
+            oracle := Some name;
+            header tl
+          | [ "seed"; n ] ->
+            seed := Some (int_of_string n);
+            header tl
+          | [ "eps"; x ] ->
+            eps := Some (float_of_string x);
+            header tl
+          | "instance" :: _ -> Fuzz_instance.of_string (String.concat "\n" (line :: tl))
+          | _ -> fail "unexpected header line %S" line)
+    in
+    let instance = header rest in
+    let get what = function Some v -> v | None -> fail "missing %s header" what in
+    {
+      oracle = get "oracle" !oracle;
+      seed = get "seed" !seed;
+      eps = get "eps" !eps;
+      instance;
+      note = List.rev !note;
+    }
+  | _ -> fail "missing %S magic line" magic
+
+let filename e =
+  let digest = Digest.to_hex (Digest.string (Fuzz_instance.to_string e.instance)) in
+  Printf.sprintf "%s-seed%d-%s.txt" e.oracle e.seed (String.sub digest 0 8)
+
+let save ~dir e =
+  Csv.ensure_dir dir;
+  let path = Filename.concat dir (filename e) in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string e));
+  path
+
+let load path =
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string s
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".txt")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load path))
+
+let replay ?(config = Fuzz_oracle.default_config) e =
+  match Fuzz_oracle.find e.oracle with
+  | None -> Fuzz_oracle.Fail [ Printf.sprintf "unknown oracle %S" e.oracle ]
+  | Some oracle -> oracle.Fuzz_oracle.check config e.instance

@@ -1,0 +1,38 @@
+(** Replayable failure corpus.
+
+    Every shrunk failing instance is serialised together with the campaign
+    seed, the tolerance in force, and the violated oracle's name, under a
+    content-addressed filename.  The files under [test/corpus/] are replayed
+    by the test suite as permanent regressions: a corpus entry is expected
+    to {e pass} its recorded oracle under the default configuration once the
+    underlying bug is fixed, and stays in the tree to keep it fixed. *)
+
+type entry = {
+  oracle : string;  (** name of the violated {!Fuzz_oracle.t} *)
+  seed : int;  (** campaign seed that produced the instance *)
+  eps : float;  (** tolerance in force when the failure was observed *)
+  instance : Fuzz_instance.t;  (** the shrunk failing instance *)
+  note : string list;  (** failure messages at capture time (comment lines) *)
+}
+
+val to_string : entry -> string
+val of_string : string -> entry
+(** @raise Invalid_argument on malformed input. *)
+
+val filename : entry -> string
+(** ["<oracle>-seed<seed>-<digest8>.txt"] — content-addressed and therefore
+    deterministic and collision-free across campaigns. *)
+
+val save : dir:string -> entry -> string
+(** Write the entry under [dir] (created if needed); returns the path. *)
+
+val load : string -> entry
+
+val load_dir : string -> (string * entry) list
+(** All [*.txt] entries of a directory in sorted order; [] if the directory
+    does not exist. *)
+
+val replay : ?config:Fuzz_oracle.config -> entry -> Fuzz_oracle.verdict
+(** Re-run the recorded oracle on the recorded instance, by default under
+    {!Fuzz_oracle.default_config} (the regression contract), not under the
+    recorded [eps]. *)

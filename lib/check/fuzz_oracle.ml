@@ -1,0 +1,271 @@
+type verdict = Pass | Fail of string list | Skip of string
+
+type config = {
+  eps : float;
+  exact_node_limit : int;
+  exact_task_limit : int;
+  jobs_task_limit : int;
+}
+
+let default_config =
+  { eps = 1e-6; exact_node_limit = 60_000; exact_task_limit = 7; jobs_task_limit = 14 }
+
+type t = {
+  name : string;
+  doc : string;
+  check : config -> Fuzz_instance.t -> verdict;
+}
+
+(* --------------------------------------------------------------- helpers --- *)
+
+let heuristic_names = Heuristics.all_names @ Heuristics.extension_names
+
+let unbounded_of p = Platform.with_bounds p ~m_blue:infinity ~m_red:infinity
+
+(* Validation platform: memory-oblivious heuristics plan against unbounded
+   memories, so their schedules are only held to the unbounded constraints. *)
+let check_platform p name = if Heuristics.is_memory_aware name then p else unbounded_of p
+
+let verdict_of_errors = function [] -> Pass | errs -> Fail (List.rev errs)
+
+let schedules_equal (a : Schedule.t) (b : Schedule.t) =
+  compare a.Schedule.starts b.Schedule.starts = 0
+  && compare a.Schedule.procs b.Schedule.procs = 0
+  && compare a.Schedule.comm_starts b.Schedule.comm_starts = 0
+
+(* ---------------------------------------------------------------- oracles --- *)
+
+(* Every schedule a heuristic returns must pass the full SS 3 oracle. *)
+let o_validator =
+  let check cfg (i : Fuzz_instance.t) =
+    let errs = ref [] in
+    List.iter
+      (fun name ->
+        match Heuristics.run name i.Fuzz_instance.dag i.Fuzz_instance.platform with
+        | Error _ -> ()
+        | Ok s -> (
+          match
+            Validator.validate ~eps:cfg.eps i.Fuzz_instance.dag
+              (check_platform i.Fuzz_instance.platform name)
+              s
+          with
+          | Ok _ -> ()
+          | Error messages ->
+            errs :=
+              Printf.sprintf "%s: invalid schedule: %s" (Heuristics.name_to_string name)
+                (String.concat "; " messages)
+              :: !errs))
+      heuristic_names;
+    verdict_of_errors !errs
+  in
+  { name = "validator"; doc = "every returned schedule passes the full validity oracle"; check }
+
+(* No heuristic may beat the critical-path / work-area lower bound. *)
+let o_lower_bound =
+  let check cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    let lb = Lower_bound.makespan g p in
+    let tol = cfg.eps *. (1. +. Float.abs lb) in
+    let errs = ref [] in
+    List.iter
+      (fun name ->
+        match Heuristics.run name g p with
+        | Error _ -> ()
+        | Ok s ->
+          let ms = Schedule.makespan g (check_platform p name) s in
+          if ms +. tol < lb then
+            errs :=
+              Printf.sprintf "%s: makespan %.17g beats the lower bound %.17g"
+                (Heuristics.name_to_string name) ms lb
+              :: !errs)
+      heuristic_names;
+    verdict_of_errors !errs
+  in
+  { name = "lower-bound"; doc = "no heuristic makespan beats the makespan lower bound"; check }
+
+(* The optimised schedulers must be bit-identical to the verbatim
+   pre-optimisation implementations kept as *_reference. *)
+let o_reference =
+  let check _cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    let pair name fast slow =
+      match (fast, slow) with
+      | Ok a, Ok b when schedules_equal a b -> None
+      | Error (a : Heuristics.failure), Error b
+        when a.Heuristics.reason = b.Heuristics.reason
+             && a.Heuristics.n_scheduled = b.Heuristics.n_scheduled -> None
+      | Ok _, Ok _ -> Some (name ^ ": optimised and reference schedules differ")
+      | Error _, Error _ -> Some (name ^ ": optimised and reference failures differ")
+      | Ok _, Error _ -> Some (name ^ ": optimised succeeds where the reference fails")
+      | Error _, Ok _ -> Some (name ^ ": optimised fails where the reference succeeds")
+    in
+    let errs =
+      List.filter_map Fun.id
+        [ pair "memheft" (Heuristics.memheft g p) (Heuristics.memheft_reference g p);
+          pair "memminmin" (Heuristics.memminmin g p) (Heuristics.memminmin_reference g p) ]
+    in
+    verdict_of_errors (List.rev errs)
+  in
+  { name = "reference-agreement";
+    doc = "optimised hot path agrees bit-for-bit with the *_reference implementations";
+    check }
+
+(* On tiny instances the exact solver's proven optimum must dominate every
+   heuristic, and its own schedule must validate. *)
+let o_exact =
+  let check cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    if Dag.n_tasks g > cfg.exact_task_limit then Skip "instance above the exact-solver size cap"
+    else begin
+      let r = Exact.solve ~node_limit:cfg.exact_node_limit g p in
+      let errs = ref [] in
+      (match r.Exact.schedule with
+      | None -> ()
+      | Some s -> (
+        match Validator.validate ~eps:cfg.eps g p s with
+        | Ok _ -> ()
+        | Error messages ->
+          errs :=
+            Printf.sprintf "exact: invalid schedule: %s" (String.concat "; " messages) :: !errs));
+      (match r.Exact.status with
+      | Exact.Proven_optimal ->
+        let tol = cfg.eps *. (1. +. Float.abs r.Exact.makespan) in
+        let lb = Lower_bound.makespan g p in
+        if r.Exact.makespan +. tol < lb then
+          errs :=
+            Printf.sprintf "exact: optimum %.17g beats the lower bound %.17g" r.Exact.makespan lb
+            :: !errs;
+        List.iter
+          (fun name ->
+            if Heuristics.is_memory_aware name then
+              match Heuristics.run name g p with
+              | Error _ -> ()
+              | Ok s ->
+                let ms = Schedule.makespan g p s in
+                if ms +. tol < r.Exact.makespan then
+                  errs :=
+                    Printf.sprintf "%s: makespan %.17g beats the proven optimum %.17g"
+                      (Heuristics.name_to_string name) ms r.Exact.makespan
+                    :: !errs)
+          heuristic_names
+      | Exact.Feasible | Exact.Proven_infeasible | Exact.Unknown -> ());
+      verdict_of_errors !errs
+    end
+  in
+  { name = "exact-dominates";
+    doc = "a proven optimum lower-bounds every heuristic on tiny instances";
+    check }
+
+(* Cross-examine reported infeasibility: a heuristic refusal is legitimate
+   (the heuristics are incomplete), but a proven-infeasible instance must be
+   refused by every memory-aware heuristic, and an instance that is provably
+   infeasible by the single-task memory argument must defeat the exact
+   search too. *)
+let o_infeasibility =
+  let check cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    if Dag.n_tasks g > cfg.exact_task_limit then Skip "instance above the exact-solver size cap"
+    else begin
+      let errs = ref [] in
+      (* The schedulers and the validator are eps-tolerant (usage may exceed
+         a cap by up to [eps]), so the strict certificate
+         [Lower_bound.provably_infeasible] only contradicts them when the
+         cap is below the single-task minimum by more than [eps] — an
+         instance sitting inside the tolerance band is legitimately
+         schedulable.  Found by the fuzzer itself (corpus entry
+         infeasibility-seed42-7e7cd8ee). *)
+      let cap = max (Platform.capacity p Platform.Blue) (Platform.capacity p Platform.Red) in
+      let provably = cap +. cfg.eps < Lower_bound.min_memory g in
+      let r = Exact.solve ~node_limit:cfg.exact_node_limit g p in
+      if provably && r.Exact.schedule <> None then
+        errs := "exact: found a schedule on a provably infeasible instance" :: !errs;
+      if provably || r.Exact.status = Exact.Proven_infeasible then
+        List.iter
+          (fun name ->
+            if Heuristics.is_memory_aware name then
+              match Heuristics.run name g p with
+              | Error _ -> ()
+              | Ok _ ->
+                errs :=
+                  Printf.sprintf "%s: schedules an instance proven infeasible"
+                    (Heuristics.name_to_string name)
+                  :: !errs)
+          heuristic_names;
+      verdict_of_errors !errs
+    end
+  in
+  { name = "infeasibility";
+    doc = "reported infeasibility is cross-examined against exact feasibility";
+    check }
+
+(* The DAG and instance text formats must round-trip exactly. *)
+let o_serialization =
+  let check _cfg (i : Fuzz_instance.t) =
+    let errs = ref [] in
+    let g = i.Fuzz_instance.dag in
+    (try
+       let g' = Dag.of_string (Dag.to_string g) in
+       if compare (Dag.tasks g) (Dag.tasks g') <> 0 then errs := "dag round-trip: tasks differ" :: !errs;
+       if compare (Dag.edges g) (Dag.edges g') <> 0 then errs := "dag round-trip: edges differ" :: !errs
+     with Invalid_argument m -> errs := ("dag round-trip: " ^ m) :: !errs);
+    (try
+       let i' = Fuzz_instance.of_string (Fuzz_instance.to_string i) in
+       if Fuzz_instance.to_string i <> Fuzz_instance.to_string i' then
+         errs := "instance round-trip: text differs" :: !errs
+     with Invalid_argument m -> errs := ("instance round-trip: " ^ m) :: !errs);
+    verdict_of_errors !errs
+  in
+  { name = "serialization"; doc = "DAG and instance text formats round-trip exactly"; check }
+
+(* The campaign combinators must be bit-identical for every jobs count. *)
+let o_jobs_invariance =
+  let check cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    if Dag.n_tasks g > cfg.jobs_task_limit then Skip "instance above the jobs-check size cap"
+    else begin
+      let errs = ref [] in
+      let with_jobs jobs f = Par.with_pool ~jobs f in
+      (* Multistart over the pool. *)
+      let m1 = with_jobs 1 (fun pool -> Multistart.memheft ~pool ~restarts:3 g p) in
+      let m2 = with_jobs 2 (fun pool -> Multistart.memheft ~pool ~restarts:3 g p) in
+      let same =
+        m1.Multistart.n_feasible = m2.Multistart.n_feasible
+        && m1.Multistart.n_runs = m2.Multistart.n_runs
+        && compare m1.Multistart.makespans m2.Multistart.makespans = 0
+        &&
+        match (m1.Multistart.best, m2.Multistart.best) with
+        | Ok a, Ok b -> schedules_equal a b
+        | Error a, Error b -> a.Heuristics.reason = b.Heuristics.reason
+        | _ -> false
+      in
+      if not same then errs := "multistart: results differ between jobs=1 and jobs=2" :: !errs;
+      (* A miniature campaign sweep, aggregated to CSV rows. *)
+      let sweep jobs =
+        with_jobs jobs (fun pool ->
+            let b = Sweep.baseline p g in
+            let aggs =
+              Sweep.normalized_sweep ~pool p ~alphas:[ 0.5; 1.0 ] Heuristics.MemHEFT [ b ]
+            in
+            List.map
+              (fun (a : Sweep.aggregate) ->
+                Csv.row_to_string
+                  [ Csv.float_cell a.Sweep.alpha;
+                    Printf.sprintf "%.17g" a.Sweep.success_rate;
+                    Printf.sprintf "%.17g" a.Sweep.mean_ratio ])
+              aggs)
+      in
+      if compare (sweep 1) (sweep 2) <> 0 then
+        errs := "sweep: campaign CSV rows differ between jobs=1 and jobs=2" :: !errs;
+      verdict_of_errors !errs
+    end
+  in
+  { name = "jobs-invariance";
+    doc = "multistart and campaign CSV rows are bit-identical across jobs counts";
+    check }
+
+let all =
+  [ o_validator; o_lower_bound; o_reference; o_exact; o_infeasibility; o_serialization;
+    o_jobs_invariance ]
+
+let names = List.map (fun o -> o.name) all
+let find name = List.find_opt (fun o -> o.name = name) all

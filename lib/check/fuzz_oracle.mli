@@ -1,0 +1,43 @@
+(** Named property oracles for the differential fuzzer.
+
+    Each oracle is a pure predicate over one generated {!Fuzz_instance.t};
+    the engine runs every registered oracle on every case.  The registry
+    cross-checks the repository's independent components against each other:
+    heuristics vs the validity oracle, makespans vs the lower bound, the
+    exact solver vs the heuristics (both directions: optimality {e and}
+    feasibility), optimised vs reference code paths, serialisation
+    round-trips, and the parallel runtime's jobs-invariance contract. *)
+
+type verdict =
+  | Pass
+  | Fail of string list  (** one message per violated property *)
+  | Skip of string  (** oracle not applicable (e.g. instance too large) *)
+
+type config = {
+  eps : float;  (** tolerance handed to {!Validator.validate} and to makespan comparisons *)
+  exact_node_limit : int;  (** branch-and-bound budget of the exact cross-checks *)
+  exact_task_limit : int;  (** largest instance the exact oracles run on *)
+  jobs_task_limit : int;  (** largest instance the jobs-invariance oracle runs on *)
+}
+
+val default_config : config
+(** [eps = 1e-6], exact solver on instances of at most 7 tasks with a
+    60k-node budget, jobs-invariance on at most 14 tasks. *)
+
+type t = {
+  name : string;
+  doc : string;
+  check : config -> Fuzz_instance.t -> verdict;
+}
+
+val all : t list
+(** The full registry: [validator], [lower-bound], [reference-agreement],
+    [exact-dominates], [infeasibility], [serialization],
+    [jobs-invariance]. *)
+
+val names : string list
+val find : string -> t option
+
+val heuristic_names : Heuristics.name list
+(** Every heuristic the oracles exercise (the paper's four plus the
+    extensions). *)

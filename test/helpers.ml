@@ -14,6 +14,24 @@ let dag_of_seed ?(size = 12) seed =
   let params = { Daggen.small_rand_params with Daggen.size } in
   Daggen.generate (Rng.create seed) params
 
+(* One-call DAG construction, the shared path for hand-built unit fixtures
+   and fuzz-corpus replays: tasks as (name, w_blue, w_red) in id order,
+   edges as (src, dst, size, comm). *)
+let build_dag ~tasks ~edges =
+  let b = Dag.Builder.create () in
+  List.iter
+    (fun (name, w_blue, w_red) -> ignore (Dag.Builder.add_task b ~name ~w_blue ~w_red ()))
+    tasks;
+  List.iter (fun (src, dst, size, comm) -> Dag.Builder.add_edge b ~src ~dst ~size ~comm) edges;
+  Dag.Builder.finalize b
+
+(* One producer (task 0) broadcasting an identical (size, comm) file to [d]
+   consumers (tasks 1..d). *)
+let star ?(size = 2.) ?(comm = 3.) d =
+  build_dag
+    ~tasks:(("src", 1., 1.) :: List.init d (fun k -> (Printf.sprintf "c%d" (k + 1), 1., 1.)))
+    ~edges:(List.init d (fun k -> (0, k + 1, size, comm)))
+
 let seed_arb = QCheck.int_range 0 10_000
 
 (* A platform with two processors per memory and the given symmetric bound. *)

@@ -1,0 +1,146 @@
+(* Tests for lib/check: the differential-fuzzing engine, the shrinker, the
+   failure corpus, and the end-to-end planted-bug workflow. *)
+
+open Helpers
+
+(* The "planted bug" configuration: a zero tolerance turns benign ulp-level
+   rounding in schedule arithmetic into oracle violations, which the engine
+   must catch, shrink, and serialise. *)
+let eps0 = { Fuzz_oracle.default_config with Fuzz_oracle.eps = 0. }
+
+(* ---------------------------------------------------------------- gen --- *)
+
+let gen_deterministic =
+  qtest ~count:50 "generator is a pure function of the seed" seed_arb (fun seed ->
+      Fuzz_instance.to_string (Fuzz_gen.instance (Rng.create seed))
+      = Fuzz_instance.to_string (Fuzz_gen.instance (Rng.create seed)))
+
+let instance_roundtrip =
+  qtest ~count:50 "instance text form round-trips" seed_arb (fun seed ->
+      let i = Fuzz_gen.instance (Rng.create seed) in
+      Fuzz_instance.to_string (Fuzz_instance.of_string (Fuzz_instance.to_string i))
+      = Fuzz_instance.to_string i)
+
+(* ------------------------------------------------------------- engine --- *)
+
+let test_run_deterministic () =
+  let render () = Check.render (Check.run ~cases:40 ~seed:7 ()) in
+  check_string "two serial runs render identically" (render ()) (render ())
+
+let test_run_jobs_invariant () =
+  let serial = Check.render (Check.run ~cases:40 ~seed:11 ()) in
+  let pooled jobs =
+    Par.with_pool ~jobs (fun pool -> Check.render (Check.run ~pool ~cases:40 ~seed:11 ()))
+  in
+  check_string "jobs 1 = serial" serial (pooled 1);
+  check_string "jobs 2 = serial" serial (pooled 2)
+
+let test_default_campaign_passes () =
+  let r = Check.run ~cases:60 ~seed:42 () in
+  check_bool "no violations under the default tolerance" true (Check.ok r);
+  List.iter
+    (fun (s : Check.oracle_stats) ->
+      check_int (s.Check.o_name ^ " covers every case") 60
+        (s.Check.passed + s.Check.failed + s.Check.skipped))
+    r.Check.stats
+
+(* ----------------------------------------------------------- shrinker --- *)
+
+(* A synthetic oracle that fails while the DAG has >= 3 tasks: the greedy
+   shrinker must land on exactly 3 (1-minimal w.r.t. single deletions). *)
+let test_shrink_to_fixpoint () =
+  let oracle =
+    { Fuzz_oracle.name = "toy";
+      doc = "fails on >= 3 tasks";
+      check =
+        (fun _ inst ->
+          if Dag.n_tasks inst.Fuzz_instance.dag >= 3 then Fuzz_oracle.Fail [ "big" ]
+          else Fuzz_oracle.Pass)
+    }
+  in
+  let inst =
+    Fuzz_instance.make ~label:"toy" (dag_of_seed ~size:10 3)
+      (Platform.unbounded ~p_blue:2 ~p_red:2)
+  in
+  let res = Fuzz_shrink.shrink Fuzz_oracle.default_config oracle inst in
+  check_int "minimal task count" 3 (Dag.n_tasks res.Fuzz_shrink.instance.Fuzz_instance.dag);
+  check_bool "made progress" true (res.Fuzz_shrink.rounds >= 7)
+
+let test_shrink_moves () =
+  let g =
+    build_dag
+      ~tasks:[ ("a", 1., 1.); ("b", 2., 2.); ("c", 3., 3.) ]
+      ~edges:[ (0, 1, 4., 5.); (1, 2, 6., 7.) ]
+  in
+  let inst = Fuzz_instance.make ~label:"moves" g (Platform.unbounded ~p_blue:1 ~p_red:1) in
+  let dropped = Fuzz_shrink.remove_task inst 1 in
+  check_int "task deleted" 2 (Dag.n_tasks dropped.Fuzz_instance.dag);
+  check_int "incident edges deleted" 0 (Dag.n_edges dropped.Fuzz_instance.dag);
+  let cut = Fuzz_shrink.remove_edge inst 0 in
+  check_int "edge deleted" 1 (Dag.n_edges cut.Fuzz_instance.dag);
+  check_int "tasks kept" 3 (Dag.n_tasks cut.Fuzz_instance.dag)
+
+(* ------------------------------------------------------------- corpus --- *)
+
+let test_corpus_roundtrip () =
+  let entry =
+    { Fuzz_corpus.oracle = "validator";
+      seed = 9;
+      eps = 1e-6;
+      instance = Fuzz_gen.instance (Rng.create 1);
+      note = [ "first note"; "second note" ]
+    }
+  in
+  let entry' = Fuzz_corpus.of_string (Fuzz_corpus.to_string entry) in
+  check_string "oracle" entry.Fuzz_corpus.oracle entry'.Fuzz_corpus.oracle;
+  check_int "seed" entry.Fuzz_corpus.seed entry'.Fuzz_corpus.seed;
+  check_float "eps" entry.Fuzz_corpus.eps entry'.Fuzz_corpus.eps;
+  Alcotest.(check (list string)) "note" entry.Fuzz_corpus.note entry'.Fuzz_corpus.note;
+  check_string "instance"
+    (Fuzz_instance.to_string entry.Fuzz_corpus.instance)
+    (Fuzz_instance.to_string entry'.Fuzz_corpus.instance);
+  check_string "content-addressed name is stable" (Fuzz_corpus.filename entry)
+    (Fuzz_corpus.filename entry')
+
+(* -------------------------------------------------------- planted bug --- *)
+
+(* End-to-end: a campaign under eps = 0 must catch the rounding bug, shrink
+   the witness to a handful of tasks, serialise it, and the saved entry must
+   replay the failure under eps = 0 while passing under the default
+   tolerance (the regression contract for committed corpus files). *)
+let test_planted_bug_end_to_end () =
+  let r = Check.run ~config:eps0 ~cases:20 ~seed:42 () in
+  check_bool "campaign fails" false (Check.ok r);
+  let f = List.hd r.Check.failures in
+  check_bool "shrunk to <= 6 tasks" true
+    (Dag.n_tasks f.Check.shrunk.Fuzz_shrink.instance.Fuzz_instance.dag <= 6);
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "memsched-test-corpus" in
+  let paths = Check.save_failures ~dir r in
+  check_bool "corpus entry written" true (paths <> []);
+  let entry = Fuzz_corpus.load (List.hd paths) in
+  check_float "entry records the tolerance in force" 0. entry.Fuzz_corpus.eps;
+  (match Fuzz_corpus.replay ~config:eps0 entry with
+  | Fuzz_oracle.Fail _ -> ()
+  | Fuzz_oracle.Pass -> Alcotest.fail "replay under eps = 0 must reproduce the failure"
+  | Fuzz_oracle.Skip why -> Alcotest.failf "replay unexpectedly skipped: %s" why);
+  match Fuzz_corpus.replay entry with
+  | Fuzz_oracle.Pass -> ()
+  | Fuzz_oracle.Fail errs ->
+    Alcotest.failf "replay under the default tolerance must pass:\n%s"
+      (String.concat "\n" errs)
+  | Fuzz_oracle.Skip why -> Alcotest.failf "replay unexpectedly skipped: %s" why
+
+let () =
+  Alcotest.run "check"
+    [ ("gen", [ gen_deterministic; instance_roundtrip ]);
+      ( "engine",
+        [ Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+          Alcotest.test_case "jobs-invariant" `Quick test_run_jobs_invariant;
+          Alcotest.test_case "default campaign passes" `Quick test_default_campaign_passes ]
+      );
+      ( "shrink",
+        [ Alcotest.test_case "fixpoint" `Quick test_shrink_to_fixpoint;
+          Alcotest.test_case "moves" `Quick test_shrink_moves ] );
+      ("corpus", [ Alcotest.test_case "roundtrip" `Quick test_corpus_roundtrip ]);
+      ( "planted-bug",
+        [ Alcotest.test_case "end to end" `Quick test_planted_bug_end_to_end ] ) ]

@@ -1,0 +1,28 @@
+(* Replays every committed fuzz-corpus entry as a permanent regression.
+
+   Each file under test/corpus/ is a shrunk instance that once violated the
+   named oracle; once the underlying bug is fixed (or the oracle's contract
+   corrected), the entry must keep passing under the default configuration
+   for good.  Reproduce the original campaign of an entry with:
+
+     dune exec bin/memsched_cli.exe -- check --cases 500 --seed <seed> --oracle <oracle> *)
+
+let replay_case (path, entry) =
+  Alcotest.test_case (Filename.basename path) `Quick (fun () ->
+      match Fuzz_corpus.replay entry with
+      | Fuzz_oracle.Pass | Fuzz_oracle.Skip _ -> ()
+      | Fuzz_oracle.Fail errs ->
+        Alcotest.failf "corpus regression %s:\n%s" path (String.concat "\n" errs))
+
+(* dune runtest executes in _build/default/test (where the corpus glob deps
+   land); a manual `dune exec test/test_corpus.exe` runs from the repo
+   root. *)
+let corpus_dir = if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+let () =
+  let entries = Fuzz_corpus.load_dir corpus_dir in
+  let cases =
+    if entries = [] then [ Alcotest.test_case "corpus empty" `Quick (fun () -> ()) ]
+    else List.map replay_case entries
+  in
+  Alcotest.run "corpus" [ ("replay", cases) ]

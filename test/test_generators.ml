@@ -117,14 +117,7 @@ let test_kernel_affinities () =
 
 (* ----------------------------------------------------------- broadcast --- *)
 
-let wide_producer d =
-  let b = Dag.Builder.create () in
-  let src = Dag.Builder.add_task b ~name:"src" ~w_blue:1. ~w_red:1. () in
-  for k = 1 to d do
-    let c = Dag.Builder.add_task b ~name:(Printf.sprintf "c%d" k) ~w_blue:1. ~w_red:1. () in
-    Dag.Builder.add_edge b ~src ~dst:c ~size:2. ~comm:3.
-  done;
-  Dag.Builder.finalize b
+let wide_producer d = star d
 
 let test_broadcast_pipeline_shape () =
   let g = Broadcast.linearize (wide_producer 5) in
@@ -156,13 +149,12 @@ let test_broadcast_fanout2 () =
      (Dag.task g relay).Dag.w_blue = 0.)
 
 let test_broadcast_rejects_heterogeneous () =
-  let b = Dag.Builder.create () in
-  let src = Dag.Builder.add_task b ~name:"src" ~w_blue:1. ~w_red:1. () in
-  let c1 = Dag.Builder.add_task b ~name:"c1" ~w_blue:1. ~w_red:1. () in
-  let c2 = Dag.Builder.add_task b ~name:"c2" ~w_blue:1. ~w_red:1. () in
-  Dag.Builder.add_edge b ~src ~dst:c1 ~size:1. ~comm:1.;
-  Dag.Builder.add_edge b ~src ~dst:c2 ~size:2. ~comm:1.;
-  let g = Dag.Builder.finalize b in
+  (* Two outgoing files with different sizes: not a broadcast. *)
+  let g =
+    build_dag
+      ~tasks:[ ("src", 1., 1.); ("c1", 1., 1.); ("c2", 1., 1.) ]
+      ~edges:[ (0, 1, 1., 1.); (0, 2, 2., 1.) ]
+  in
   check_bool "rejected" true
     (try ignore (Broadcast.linearize g); false with Invalid_argument _ -> true)
 

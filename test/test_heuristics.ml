@@ -39,12 +39,7 @@ let ranks_dominate_children =
 (* --------------------------------------------------------- sched_state --- *)
 
 (* Two tasks across memories: A on blue, then estimate/commit B on red. *)
-let ab_graph () =
-  let b = Dag.Builder.create () in
-  let a = Dag.Builder.add_task b ~name:"A" ~w_blue:2. ~w_red:2. () in
-  let bb = Dag.Builder.add_task b ~name:"B" ~w_blue:2. ~w_red:2. () in
-  Dag.Builder.add_edge b ~src:a ~dst:bb ~size:3. ~comm:1.;
-  Dag.Builder.finalize b
+let ab_graph () = build_dag ~tasks:[ ("A", 2., 2.); ("B", 2., 2.) ] ~edges:[ (0, 1, 3., 1.) ]
 
 let commit_on st i mu =
   match Sched_state.estimate st i mu with
@@ -144,16 +139,12 @@ let test_free_mem_final_tracks_retained () =
    the exact per-prefix check. *)
 let test_batched_vs_per_edge () =
   let build () =
-    let b = Dag.Builder.create () in
-    let d = Dag.Builder.add_task b ~name:"D" ~w_blue:1. ~w_red:1. () in
-    let e = Dag.Builder.add_task b ~name:"E" ~w_blue:1. ~w_red:1. () in
-    let a = Dag.Builder.add_task b ~name:"A" ~w_blue:1. ~w_red:1. () in
-    let bb = Dag.Builder.add_task b ~name:"B" ~w_blue:1. ~w_red:1. () in
-    let x = Dag.Builder.add_task b ~name:"X" ~w_blue:1. ~w_red:1. () in
-    Dag.Builder.add_edge b ~src:d ~dst:e ~size:8. ~comm:1.;
-    Dag.Builder.add_edge b ~src:a ~dst:x ~size:6. ~comm:1.;
-    Dag.Builder.add_edge b ~src:bb ~dst:x ~size:4. ~comm:4.;
-    (Dag.Builder.finalize b, d, e, a, bb, x)
+    let g =
+      build_dag
+        ~tasks:[ ("D", 1., 1.); ("E", 1., 1.); ("A", 1., 1.); ("B", 1., 1.); ("X", 1., 1.) ]
+        ~edges:[ (0, 1, 8., 1.); (2, 4, 6., 1.); (3, 4, 4., 4.) ]
+    in
+    (g, 0, 1, 2, 3, 4)
   in
   let p = Platform.make ~p_blue:2 ~p_red:1 ~m_blue:infinity ~m_red:12. in
   let est_of options =
@@ -408,10 +399,8 @@ let extension_bounds_respected =
 let test_sufferage_prefers_gap () =
   (* Two independent tasks; one strongly prefers red.  Sufferage must place
      the high-gap task on its preferred memory first. *)
-  let b = Dag.Builder.create () in
-  let picky = Dag.Builder.add_task b ~name:"picky" ~w_blue:10. ~w_red:1. () in
-  let flexible = Dag.Builder.add_task b ~name:"flexible" ~w_blue:2. ~w_red:2. () in
-  let g = Dag.Builder.finalize b in
+  let g = build_dag ~tasks:[ ("picky", 10., 1.); ("flexible", 2., 2.) ] ~edges:[] in
+  let picky = 0 and flexible = 1 in
   let p = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:10. ~m_red:10. in
   (match Heuristics.memsufferage g p with
   | Ok s ->
@@ -422,10 +411,8 @@ let test_sufferage_prefers_gap () =
 
 let test_maxmin_schedules_long_first () =
   (* MaxMin gives the long task the head start. *)
-  let b = Dag.Builder.create () in
-  let long = Dag.Builder.add_task b ~name:"long" ~w_blue:10. ~w_red:10. () in
-  let short = Dag.Builder.add_task b ~name:"short" ~w_blue:1. ~w_red:1. () in
-  let g = Dag.Builder.finalize b in
+  let g = build_dag ~tasks:[ ("long", 10., 10.); ("short", 1., 1.) ] ~edges:[] in
+  let long = 0 and short = 1 in
   let p = Platform.make ~p_blue:1 ~p_red:1 ~m_blue:10. ~m_red:10. in
   match Heuristics.run Heuristics.MaxMin g p with
   | Ok s ->

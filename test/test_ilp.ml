@@ -425,6 +425,186 @@ let exact_schedules_validate =
       | Some s -> Result.is_ok (Validator.validate g p s)
       | None -> true)
 
+(* ---------------------------------------------------------- properties --- *)
+
+(* Random small LP whose text form round-trips exactly: integer-valued
+   coefficients, bounds and right-hand sides (so "%g" printing is lossless),
+   every variable appearing in the objective (so the parser recreates them in
+   creation order), and no zero coefficients (the normaliser drops those). *)
+let random_roundtrip_lp seed =
+  let rng = Rng.create seed in
+  let lp = Lp.create () in
+  let nonzero () =
+    let c = float_of_int (1 + Rng.int rng 5) in
+    if Rng.bool rng then c else -.c
+  in
+  let n = 1 + Rng.int rng 4 in
+  let vars =
+    List.init n (fun k ->
+        let name = Printf.sprintf "x%d" k in
+        match Rng.int rng 3 with
+        | 0 -> Lp.add_var lp ~kind:Lp.Binary name
+        | 1 -> Lp.add_var lp ~lb:(float_of_int (Rng.int rng 3)) ~kind:Lp.General_integer name
+        | _ ->
+          let lb = float_of_int (Rng.int rng 3) in
+          let ub =
+            if Rng.bool rng then infinity else lb +. float_of_int (1 + Rng.int rng 6)
+          in
+          Lp.add_var lp ~lb ~ub name)
+  in
+  let obj = List.map (fun v -> (nonzero (), v)) vars in
+  Lp.set_objective lp (if Rng.bool rng then Lp.Minimize obj else Lp.Maximize obj);
+  let nc = Rng.int rng 4 in
+  for c = 0 to nc - 1 do
+    let terms =
+      List.filter_map (fun v -> if Rng.bool rng then Some (nonzero (), v) else None) vars
+    in
+    let terms = if terms = [] then [ (nonzero (), List.hd vars) ] else terms in
+    let sense = [| Lp.Le; Lp.Ge; Lp.Eq |].(Rng.int rng 3) in
+    Lp.add_constr lp
+      ~name:(Printf.sprintf "row%d" c)
+      terms sense
+      (float_of_int (Rng.int_incl rng (-5) 10))
+  done;
+  lp
+
+let lp_roundtrip_property =
+  qtest ~count:300 "random LPs round-trip through write/parse" seed_arb (fun seed ->
+      let lp = random_roundtrip_lp seed in
+      let lp' = Lp_parse.of_string (Lp_format.to_string lp) in
+      let var_eq (a : Lp.var) (b : Lp.var) =
+        a.Lp.vname = b.Lp.vname && a.Lp.lb = b.Lp.lb && a.Lp.ub = b.Lp.ub
+        && a.Lp.kind = b.Lp.kind
+      in
+      (* The writer uniquifies constraint names by suffixing the row index. *)
+      let constr_eq k (a : Lp.constr) (b : Lp.constr) =
+        b.Lp.cname = Printf.sprintf "%s_%d" a.Lp.cname k
+        && compare a.Lp.terms b.Lp.terms = 0
+        && a.Lp.sense = b.Lp.sense && a.Lp.rhs = b.Lp.rhs
+      in
+      let constrs = Lp.constrs lp and constrs' = Lp.constrs lp' in
+      let obj_eq =
+        match (Lp.objective lp, Lp.objective lp') with
+        | Lp.Minimize a, Lp.Minimize b | Lp.Maximize a, Lp.Maximize b -> compare a b = 0
+        | _ -> false
+      in
+      Lp.n_vars lp = Lp.n_vars lp'
+      && Array.for_all2 var_eq (Lp.vars lp) (Lp.vars lp')
+      && Array.length constrs = Array.length constrs'
+      && List.for_all
+           (fun k -> constr_eq k constrs.(k) constrs'.(k))
+           (List.init (Array.length constrs) Fun.id)
+      && obj_eq)
+
+(* Gaussian elimination with partial pivoting on a tiny dense system;
+   [None] when (numerically) singular. *)
+let solve_linear a b =
+  let n = Array.length b in
+  let a = Array.map Array.copy a and b = Array.copy b in
+  let x = Array.make n 0. in
+  let ok = ref true in
+  for col = 0 to n - 1 do
+    if !ok then begin
+      let piv = ref col in
+      for r = col + 1 to n - 1 do
+        if abs_float a.(r).(col) > abs_float a.(!piv).(col) then piv := r
+      done;
+      if abs_float a.(!piv).(col) < 1e-9 then ok := false
+      else begin
+        let tmp = a.(col) in
+        a.(col) <- a.(!piv);
+        a.(!piv) <- tmp;
+        let tb = b.(col) in
+        b.(col) <- b.(!piv);
+        b.(!piv) <- tb;
+        for r = col + 1 to n - 1 do
+          let f = a.(r).(col) /. a.(col).(col) in
+          for c = col to n - 1 do
+            a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+          done;
+          b.(r) <- b.(r) -. (f *. b.(col))
+        done
+      end
+    end
+  done;
+  if not !ok then None
+  else begin
+    for r = n - 1 downto 0 do
+      let s = ref b.(r) in
+      for c = r + 1 to n - 1 do
+        s := !s -. (a.(r).(c) *. x.(c))
+      done;
+      x.(r) <- !s /. a.(r).(r)
+    done;
+    Some x
+  end
+
+let rec subsets k lst =
+  if k = 0 then [ [] ]
+  else
+    match lst with
+    | [] -> []
+    | hd :: tl -> List.map (fun c -> hd :: c) (subsets (k - 1) tl) @ subsets k tl
+
+(* Exhaustive vertex check: on a box-bounded LP with <= rows and rhs >= 0
+   (so the origin is feasible and the feasible region is a bounded polytope),
+   the optimum lies at a vertex, and every vertex is the intersection of n
+   active hyperplanes drawn from the rows and the box faces.  Brute-forcing
+   all n-subsets must reproduce the simplex objective. *)
+let simplex_matches_vertex_enumeration =
+  qtest ~count:300 "simplex optimum = best vertex (<= 3 vars)" seed_arb (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 3 in
+      let ub = Array.init n (fun _ -> float_of_int (1 + Rng.int rng 5)) in
+      let lp = Lp.create () in
+      let vars = Array.init n (fun k -> Lp.add_var lp ~ub:ub.(k) (Printf.sprintf "x%d" k)) in
+      let nrows = 1 + Rng.int rng 3 in
+      let rows =
+        List.init nrows (fun c ->
+            let coeffs = Array.init n (fun _ -> float_of_int (Rng.int_incl rng (-2) 3)) in
+            if Array.for_all (fun a -> a = 0.) coeffs then coeffs.(0) <- 1.;
+            let rhs = float_of_int (Rng.int rng 8) in
+            Lp.add_constr lp
+              ~name:(Printf.sprintf "r%d" c)
+              (Array.to_list (Array.mapi (fun k a -> (a, vars.(k))) coeffs))
+              Lp.Le rhs;
+            (coeffs, rhs))
+      in
+      let cobj = Array.init n (fun _ -> float_of_int (Rng.int_incl rng (-3) 4)) in
+      Lp.set_objective lp
+        (Lp.Maximize (Array.to_list (Array.mapi (fun k c -> (c, vars.(k))) cobj)));
+      let planes =
+        rows
+        @ List.concat
+            (List.init n (fun k ->
+                 let unit = Array.init n (fun j -> if j = k then 1. else 0.) in
+                 [ (unit, 0.); (unit, ub.(k)) ]))
+      in
+      let dot a x =
+        let s = ref 0. in
+        Array.iteri (fun k ak -> s := !s +. (ak *. x.(k))) a;
+        !s
+      in
+      let feasible x =
+        Array.for_all2 (fun v u -> v >= -1e-7 && v <= u +. 1e-7) x ub
+        && List.for_all (fun (a, b) -> dot a x <= b +. 1e-7) rows
+      in
+      let best = ref neg_infinity in
+      List.iter
+        (fun sel ->
+          let a = Array.of_list (List.map fst sel) in
+          let b = Array.of_list (List.map snd sel) in
+          match solve_linear a b with
+          | Some x when feasible x ->
+            let v = dot cobj x in
+            if v > !best then best := v
+          | _ -> ())
+        (subsets n planes);
+      match Simplex.solve_relaxation lp with
+      | Simplex.Optimal { obj; _ } ->
+        abs_float (obj -. !best) <= 1e-6 *. (1. +. abs_float !best)
+      | _ -> false)
+
 let () =
   Alcotest.run "ilp"
     [ ( "lp",
@@ -470,4 +650,5 @@ let () =
           Alcotest.test_case "node budget" `Quick test_exact_node_budget;
           Alcotest.test_case "optimal_makespan" `Quick test_exact_optimal_makespan;
           exact_dominates_heuristics;
-          exact_schedules_validate ] ) ]
+          exact_schedules_validate ] );
+      ("property", [ lp_roundtrip_property; simplex_matches_vertex_enumeration ]) ]

@@ -175,12 +175,7 @@ let test_validator_rejects_negative_start () =
 let test_validator_zero_duration_share_instant () =
   (* A zero-duration task may legally share its start instant with a longer
      task on the same processor (broadcast relays do this constantly). *)
-  let b = Dag.Builder.create () in
-  let a = Dag.Builder.add_task b ~name:"a" ~w_blue:0. ~w_red:0. () in
-  let c = Dag.Builder.add_task b ~name:"c" ~w_blue:2. ~w_red:2. () in
-  ignore a;
-  ignore c;
-  let g = Dag.Builder.finalize b in
+  let g = build_dag ~tasks:[ ("a", 0., 0.); ("c", 2., 2.) ] ~edges:[] in
   let p = plat ~mb:5. ~mr:5. in
   let s = Schedule.create g in
   (* both on blue proc 0, both starting at 0; relay has zero duration *)
@@ -199,6 +194,113 @@ let contains sub s =
   let n = String.length sub in
   let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
   go 0
+
+(* ----------------------------------------------------------- mutation --- *)
+
+(* Mutation testing of the oracle itself: take a known-valid MemHEFT
+   schedule, apply one corruption per defect class, and demand rejection
+   with the matching message — proving the validator can actually fail, not
+   just that it accepts everything it is shown. *)
+
+let mutation_fixture () =
+  let g = dag_of_seed ~size:14 3 in
+  let unbounded = platform infinity in
+  let _, (pb, pr) = Heuristics.heft_measured g unbounded in
+  let p = platform (max pb pr) in
+  match Heuristics.memheft g p with
+  | Error _ -> Alcotest.fail "fixture must be feasible at HEFT's measured peak"
+  | Ok s ->
+    ignore (validate_ok g p s);
+    (g, p, s)
+
+let copy_sched (s : Schedule.t) =
+  {
+    Schedule.starts = Array.copy s.Schedule.starts;
+    procs = Array.copy s.Schedule.procs;
+    comm_starts = Array.copy s.Schedule.comm_starts;
+  }
+
+let expect_rejection name msg g p s =
+  match Validator.validate g p s with
+  | Ok _ -> Alcotest.failf "%s: corrupted schedule accepted" name
+  | Error errs ->
+    if not (List.exists (contains msg) errs) then
+      Alcotest.failf "%s: no error matching %S in:\n%s" name msg (String.concat "\n" errs)
+
+let find_edge_where g p s want_cut =
+  match
+    List.find_opt (fun e -> Schedule.is_cut p s e = want_cut) (Array.to_list (Dag.edges g))
+  with
+  | Some e -> e
+  | None -> Alcotest.failf "fixture has no %s edge" (if want_cut then "cut" else "same-memory")
+
+let test_mutation_overlap () =
+  let g, p, s = mutation_fixture () in
+  let s' = copy_sched s in
+  (* Move some task onto another task's processor at the same start. *)
+  let victim, target =
+    let pairs = ref None in
+    for i = 0 to Dag.n_tasks g - 1 do
+      for j = 0 to Dag.n_tasks g - 1 do
+        if
+          !pairs = None && i <> j
+          && Schedule.duration g p s i > 0.
+          && Schedule.duration g p s j > 0.
+          && Schedule.memory_of p s i = Schedule.memory_of p s j
+        then pairs := Some (i, j)
+      done
+    done;
+    Option.get !pairs
+  in
+  s'.Schedule.procs.(victim) <- s'.Schedule.procs.(target);
+  s'.Schedule.starts.(victim) <- s'.Schedule.starts.(target);
+  expect_rejection "overlap" "overlap" g p s'
+
+let test_mutation_dropped_transfer () =
+  let g, p, s = mutation_fixture () in
+  let e = find_edge_where g p s true in
+  let s' = copy_sched s in
+  s'.Schedule.comm_starts.(e.Dag.eid) <- None;
+  expect_rejection "dropped transfer" "cut edge without a transfer" g p s'
+
+let test_mutation_spurious_transfer () =
+  let g, p, s = mutation_fixture () in
+  let e = find_edge_where g p s false in
+  let s' = copy_sched s in
+  s'.Schedule.comm_starts.(e.Dag.eid) <- Some s'.Schedule.starts.(e.Dag.dst);
+  expect_rejection "spurious transfer" "spurious transfer" g p s'
+
+let test_mutation_flow_violation () =
+  let g, p, s = mutation_fixture () in
+  (* Start a consumer strictly before one of its producers finishes. *)
+  let e =
+    match
+      List.find_opt
+        (fun (e : Dag.edge) -> Schedule.duration g p s e.Dag.src > 0.)
+        (Array.to_list (Dag.edges g))
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "fixture has no positive-duration producer"
+  in
+  let s' = copy_sched s in
+  s'.Schedule.starts.(e.Dag.dst) <- s'.Schedule.starts.(e.Dag.src);
+  expect_rejection "flow violation" "before producer finishes" g p s'
+
+let test_mutation_memory_overrun () =
+  let g, p, s = mutation_fixture () in
+  let r = validate_ok g p s in
+  let squeeze = 0.5 *. max r.Validator.peak_blue r.Validator.peak_red in
+  let tight = Platform.with_bounds p ~m_blue:squeeze ~m_red:squeeze in
+  expect_rejection "memory overrun" "exceeds capacity" g tight s
+
+let test_mutation_out_of_range () =
+  let g, p, s = mutation_fixture () in
+  let s' = copy_sched s in
+  s'.Schedule.procs.(0) <- Platform.n_procs p;
+  expect_rejection "out of range" "out of range" g p s';
+  let s'' = copy_sched s in
+  s''.Schedule.starts.(0) <- -1.;
+  expect_rejection "negative start" "negative start" g p s''
 
 let test_gantt_render () =
   let p = plat ~mb:5. ~mr:5. in
@@ -297,6 +399,13 @@ let () =
           Alcotest.test_case "zero-duration tasks share instants" `Quick
             test_validator_zero_duration_share_instant;
           Alcotest.test_case "validate_exn" `Quick test_validate_exn ] );
+      ( "mutation",
+        [ Alcotest.test_case "processor overlap" `Quick test_mutation_overlap;
+          Alcotest.test_case "dropped transfer" `Quick test_mutation_dropped_transfer;
+          Alcotest.test_case "spurious transfer" `Quick test_mutation_spurious_transfer;
+          Alcotest.test_case "flow violation" `Quick test_mutation_flow_violation;
+          Alcotest.test_case "memory overrun" `Quick test_mutation_memory_overrun;
+          Alcotest.test_case "index out of range" `Quick test_mutation_out_of_range ] );
       ( "serialisation",
         [ Alcotest.test_case "string roundtrip" `Quick test_schedule_io_roundtrip;
           Alcotest.test_case "file roundtrip" `Quick test_schedule_io_file_roundtrip;

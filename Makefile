@@ -1,6 +1,6 @@
 TMP ?= /tmp/memsched-verify
 
-.PHONY: all build test bench bench-smoke fuzz-smoke verify clean
+.PHONY: all build test lint lint-json bench bench-smoke fuzz-smoke verify clean
 
 all: build
 
@@ -9,6 +9,15 @@ build:
 
 test:
 	dune runtest
+
+# Static analysis (lib/lint): determinism / float-discipline / domain-safety /
+# io-purity / order-stability over bench/ bin/ lib/ test/.  Exits non-zero on
+# any finding outside lint.allowlist or an inline pragma.
+lint: build
+	dune exec bin/memsched_cli.exe -- lint --jobs 2
+
+lint-json: build
+	dune exec bin/memsched_cli.exe -- lint --jobs 2 --format json
 
 bench:
 	dune exec bench/main.exe
@@ -30,7 +39,7 @@ fuzz-smoke: build
 # Tier-1 verification plus a smoke run of the parallel runtime: the CLI is
 # driven end-to-end with --jobs 2 (multistart over the domain pool, then a
 # figure regeneration), so the parallel path is exercised on every run.
-verify: build test bench-smoke fuzz-smoke
+verify: build lint test bench-smoke fuzz-smoke
 	mkdir -p $(TMP)
 	dune exec bin/memsched_cli.exe -- generate daggen --size 30 --seed 2014 -o $(TMP)/dag.txt
 	dune exec bin/memsched_cli.exe -- schedule $(TMP)/dag.txt -H memheft --restarts 8 --jobs 2

@@ -188,6 +188,9 @@ let run_micro () =
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
+  (* Bechamel hands back a Hashtbl; rows are List.sort-ed into canonical
+     order below, so bucket order cannot reach the printed table. *)
+  (* lint: allow order-stability -- sorted before printing *)
   Hashtbl.iter
     (fun name ols_result ->
       let ns =

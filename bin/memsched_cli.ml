@@ -9,7 +9,10 @@
      export-lp   write the paper's ILP for an instance in CPLEX-LP format
      experiment  regenerate a table/figure of the paper
      check       seeded differential-fuzzing campaign over the oracle
-                 registry (lib/check), with shrinking + corpus capture *)
+                 registry (lib/check), with shrinking + corpus capture
+     lint        compiler-libs static analysis enforcing the repo's
+                 determinism / float-discipline / domain-safety /
+                 io-purity / order-stability invariants (lib/lint) *)
 
 open Cmdliner
 
@@ -229,7 +232,7 @@ let export_lp_cmd =
     let g = read_dag dag in
     let platform =
       (* The ILP needs finite capacities; cap by the total file size. *)
-      let cap m = if m = infinity then Dag.total_file_size g else m in
+      let cap m = if Float.equal m infinity then Dag.total_file_size g else m in
       Platform.with_bounds platform
         ~m_blue:(cap (Platform.capacity platform Platform.Blue))
         ~m_red:(cap (Platform.capacity platform Platform.Red))
@@ -307,6 +310,63 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Differential fuzzing: run the property-oracle registry on seeded random instances.")
     Term.(ret (const run $ cases $ seed $ oracle $ eps $ no_shrink $ corpus_dir $ jobs_term))
 
+(* ------------------------------------------------------------------- lint *)
+
+let lint_cmd =
+  let root =
+    Arg.(
+      value & opt dir "."
+      & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to lint (expects lib/, bin/, ... below it).")
+  in
+  let rules =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "rule" ] ~docv:"ID"
+          ~doc:
+            (Printf.sprintf "Run only this rule (repeatable; default: all of %s)."
+               (String.concat ", " Lint_rules.names)))
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let run root rule_ids format jobs =
+    let rules =
+      match rule_ids with
+      | [] -> Ok Lint_rules.all
+      | ids ->
+        List.fold_left
+          (fun acc id ->
+            match (acc, Lint_rules.find id) with
+            | Error _, _ -> acc
+            | Ok rs, Some r -> Ok (rs @ [ r ])
+            | Ok _, None ->
+              Error
+                (Printf.sprintf "unknown rule %S (expected one of: %s)" id
+                   (String.concat ", " Lint_rules.names)))
+          (Ok []) ids
+    in
+    match rules with
+    | Error msg -> `Error (false, msg)
+    | Ok rules -> (
+      match Lint_engine.run ~rules ~jobs ~root () with
+      | Error msg -> `Error (false, msg)
+      | Ok findings ->
+        (match format with
+        | `Text -> print_string (Lint_engine.render_text findings)
+        | `Json -> print_string (Lint_engine.render_json findings));
+        if findings = [] then `Ok () else Stdlib.exit 1)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis (compiler-libs): enforce the determinism, float-discipline, \
+          domain-safety, io-purity and order-stability invariants.  Exit code 1 on findings.")
+    Term.(ret (const run $ root $ rules $ format $ jobs_term))
+
 (* ------------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -358,4 +418,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; schedule_cmd; validate_cmd; exact_cmd; export_lp_cmd; check_cmd;
-            experiment_cmd ]))
+            lint_cmd; experiment_cmd ]))

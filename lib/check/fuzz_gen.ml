@@ -157,7 +157,7 @@ let platform_regime rng g =
   let tag, platform =
     match Rng.int rng 8 with
     | 0 -> ("unbounded", procs)
-    | 1 -> bounded "generous" (max 1. (Dag.total_file_size g))
+    | 1 -> bounded "generous" (Float.max 1. (Dag.total_file_size g))
     | 2 ->
       let alphas = [| 0.3; 0.5; 0.7; 0.85; 1.0; 1.1 |] in
       let a = alphas.(Rng.int rng (Array.length alphas)) in
@@ -168,7 +168,7 @@ let platform_regime rng g =
     | 6 ->
       ( "asym",
         Platform.with_bounds procs ~m_blue:(0.6 *. peak ())
-          ~m_red:(max 1. (Dag.total_file_size g)) )
+          ~m_red:(Float.max 1. (Dag.total_file_size g)) )
     | _ -> bounded "zero" 0.
   in
   (Printf.sprintf "%s/p%dx%d" tag p_blue p_red, platform)

@@ -33,7 +33,15 @@ type t = {
 val all : t list
 (** The full registry: [validator], [lower-bound], [reference-agreement],
     [exact-dominates], [infeasibility], [serialization],
-    [jobs-invariance]. *)
+    [jobs-invariance], [lint].
+
+    [lint] folds the static harness into the dynamic one: it runs
+    {!Lint_engine.run} over the repository containing the current working
+    directory (located by walking up to a [dune-project] +
+    [lint.allowlist] pair; [Skip] when none is found, e.g. under dune's
+    sandbox) and fails on any finding.  The verdict is memoised per
+    process — it depends on the source tree only, so it is also trivially
+    jobs-invariant. *)
 
 val names : string list
 val find : string -> t option

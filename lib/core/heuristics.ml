@@ -202,7 +202,7 @@ let unbounded_platform platform =
    files already resident), so the run takes exactly the unbounded decisions
    while the state tracks the planned peaks. *)
 let never_binding_platform g platform =
-  let cap = max 1. (Dag.total_file_size g) in
+  let cap = Float.max 1. (Dag.total_file_size g) in
   Platform.with_bounds platform ~m_blue:cap ~m_red:cap
 
 let heft_measured ?options ?rng g platform =

@@ -50,7 +50,7 @@ let create ?(options = default_options) g platform =
   done;
   let procs_blue = Platform.procs_of platform Platform.Blue in
   let procs_red = Platform.procs_of platform Platform.Red in
-  let min_avail procs = List.fold_left (fun acc (_ : int) -> min acc 0.) infinity procs in
+  let min_avail procs = List.fold_left (fun acc (_ : int) -> Float.min acc 0.) infinity procs in
   {
     g;
     platform;
@@ -160,7 +160,7 @@ let memory_lb t mu ~cross ~cross_in ~c_batch ~min_cross_aft ~task_level =
   match Staircase.earliest_suffix_ge free ~level:task_level ~from:0. with
   | None -> None
   | Some t_task -> (
-    if cross_in = 0. then Some (t_task, c_batch)
+    if Float.equal cross_in 0. then Some (t_task, c_batch)
     else begin
       match t.options.comm_mode with
       | Jit_batched -> (
@@ -168,7 +168,7 @@ let memory_lb t mu ~cross ~cross_in ~c_batch ~min_cross_aft ~task_level =
            window of the maximal transfer time. *)
         match Staircase.earliest_suffix_ge free ~level:cross_in ~from:0. with
         | None -> None
-        | Some t_comm -> Some (max t_task (Fp.lb_plus t_comm c_batch), c_batch))
+        | Some t_comm -> Some (Float.max t_task (Fp.lb_plus t_comm c_batch), c_batch))
       | Jit_per_edge ->
         (* Exact accounting of just-in-time transfers: the file of the cross
            edge with the k-th largest transfer time is resident from
@@ -187,7 +187,7 @@ let memory_lb t mu ~cross ~cross_in ~c_batch ~min_cross_aft ~task_level =
             | Some t_k ->
               (* Fp.lb_plus: the transfer later placed at [est -. C] must not
                  land below the verified window start in float arithmetic. *)
-              prefixes acc (max lb (Fp.lb_plus t_k e.Dag.comm)) rest)
+              prefixes acc (Float.max lb (Fp.lb_plus t_k e.Dag.comm)) rest)
         in
         Option.map (fun lb -> (max t_task lb, c_batch)) (prefixes 0. 0. sorted)
       | Eager -> (
@@ -422,13 +422,13 @@ module Reference = struct
     match Staircase.earliest_suffix_ge_scan free ~level:task_level ~from:0. with
     | None -> None
     | Some t_task -> (
-      if cross_in = 0. then Some (t_task, c_batch)
+      if Float.equal cross_in 0. then Some (t_task, c_batch)
       else begin
         match t.options.comm_mode with
         | Jit_batched -> (
           match Staircase.earliest_suffix_ge_scan free ~level:cross_in ~from:0. with
           | None -> None
-          | Some t_comm -> Some (max t_task (Fp.lb_plus t_comm c_batch), c_batch))
+          | Some t_comm -> Some (Float.max t_task (Fp.lb_plus t_comm c_batch), c_batch))
         | Jit_per_edge ->
           let sorted =
             List.sort
@@ -441,7 +441,7 @@ module Reference = struct
               let acc = acc +. e.Dag.size in
               match Staircase.earliest_suffix_ge_scan free ~level:acc ~from:0. with
               | None -> None
-              | Some t_k -> prefixes acc (max lb (Fp.lb_plus t_k e.Dag.comm)) rest)
+              | Some t_k -> prefixes acc (Float.max lb (Fp.lb_plus t_k e.Dag.comm)) rest)
           in
           Option.map (fun lb -> (max t_task lb, c_batch)) (prefixes 0. 0. sorted)
         | Eager -> (

@@ -154,7 +154,7 @@ let longest_path g ~node_weight ~edge_weight =
       (fun i ->
         let from_parents =
           List.fold_left
-            (fun acc e -> max acc (dist.(e.src) +. edge_weight e))
+            (fun acc e -> Float.max acc (dist.(e.src) +. edge_weight e))
             0. g.pred.(i)
         in
         dist.(i) <- from_parents +. node_weight i)

@@ -5,7 +5,7 @@ let bottom_levels g ~node_weight ~edge_weight =
   for k = n - 1 downto 0 do
     let i = topo.(k) in
     let from_children =
-      List.fold_left (fun acc e -> max acc (edge_weight e +. bl.(e.Dag.dst))) 0. (Dag.succ g i)
+      List.fold_left (fun acc e -> Float.max acc (edge_weight e +. bl.(e.Dag.dst))) 0. (Dag.succ g i)
     in
     bl.(i) <- node_weight i +. from_children
   done;
@@ -19,7 +19,7 @@ let top_levels g ~node_weight ~edge_weight =
     (fun i ->
       let from_parents =
         List.fold_left
-          (fun acc e -> max acc (tl.(e.Dag.src) +. node_weight e.Dag.src +. edge_weight e))
+          (fun acc e -> Float.max acc (tl.(e.Dag.src) +. node_weight e.Dag.src +. edge_weight e))
           0. (Dag.pred g i)
       in
       tl.(i) <- from_parents)

@@ -105,7 +105,7 @@ let figure10 ?(out_dir = "results") ?pool ?(count = 50) ?(alphas = default_alpha
     ~csv:"figure10.csv" out_dir alphas series;
   (* Optimal series: certified on the 10-task companion set; node-capped
      best-effort on the 30-task set. *)
-  let exact_alphas = List.filter (fun a -> Float.rem (Float.round (a *. 100.)) 10. = 0.) alphas in
+  let exact_alphas = List.filter (fun a -> Float.equal (Float.rem (Float.round (a *. 100.)) 10.) 0.) alphas in
   let tiny = Sweep.baselines ?pool platform (Workloads.tiny_rand_set ~count:tiny_count ()) in
   let tiny_heur =
     List.map
@@ -169,7 +169,7 @@ let absolute_detail ~label ~csv ?pool ?(exact_nodes = None) out_dir platform dag
   section label;
   let b = Sweep.baseline platform dag in
   let max_mem = ceil (max b.Sweep.heft_peak b.Sweep.minmin_peak) in
-  let step = max 1. (ceil (max_mem /. float_of_int points)) in
+  let step = Float.max 1. (ceil (max_mem /. float_of_int points)) in
   let bounds =
     let rec build m acc = if m > max_mem +. step /. 2. then List.rev acc else build (m +. step) (m :: acc) in
     build step []
@@ -284,7 +284,7 @@ let linear_algebra_figure ~label ~csv ?pool out_dir dag ~points =
     thresholds;
   print_newline ();
   let max_mem = ceil (max b.Sweep.heft_peak b.Sweep.minmin_peak) in
-  let step = max 1. (ceil (max_mem /. float_of_int points)) in
+  let step = Float.max 1. (ceil (max_mem /. float_of_int points)) in
   let bounds =
     let rec build m acc = if m > max_mem +. step /. 2. then List.rev acc else build (m +. step) (m :: acc) in
     build step []

@@ -42,7 +42,7 @@ let check p =
    feasibility structure of Figures 10 and 12; see DESIGN.md. *)
 let levels rng p =
   check p;
-  let target = max 1. (Float.pow (float_of_int p.size) p.width) in
+  let target = Float.max 1. (Float.pow (float_of_int p.size) p.width) in
   let rec build remaining acc =
     if remaining = 0 then List.rev acc
     else begin

@@ -48,7 +48,7 @@ let solve ?(node_limit = 2_000_000) ?(seed_incumbent = true) g platform =
                 (fun mu ->
                   match Sched_state.estimate state i mu with
                   | Some e ->
-                    let lb = max current_max (e.Sched_state.est +. bottom.(i)) in
+                    let lb = Float.max current_max (e.Sched_state.est +. bottom.(i)) in
                     if lb >= !incumbent -. eps then None else Some (e, lb)
                   | None -> None)
                 Platform.memories)

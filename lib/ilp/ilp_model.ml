@@ -48,7 +48,7 @@ let ancestors g =
 let build ?(presolve = true) g platform =
   let mblue = Platform.capacity platform Platform.Blue in
   let mred = Platform.capacity platform Platform.Red in
-  if mblue = infinity || mred = infinity then
+  if Float.equal mblue infinity || Float.equal mred infinity then
     invalid_arg "Ilp_model.build: memory capacities must be finite";
   let n = Dag.n_tasks g in
   let m = Dag.n_edges g in

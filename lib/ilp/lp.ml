@@ -47,7 +47,7 @@ let grow_cs t =
   end
 
 let add_var t ?(lb = 0.) ?(ub = infinity) ?(kind = Continuous) vname =
-  let lb, ub = match kind with Binary -> (max lb 0., min ub 1.) | _ -> (lb, ub) in
+  let lb, ub = match kind with Binary -> (Float.max lb 0., Float.min ub 1.) | _ -> (lb, ub) in
   if lb > ub then invalid_arg "Lp.add_var: lb > ub";
   grow_vars t;
   let idx = t.nv in
@@ -55,6 +55,12 @@ let add_var t ?(lb = 0.) ?(ub = infinity) ?(kind = Continuous) vname =
   t.nv <- idx + 1;
   idx
 
+(* Coefficients are summed per variable in a table, but the table is only
+   ever *looked up*: the output is built by walking the input terms in
+   insertion order (first occurrence wins), so no Hashtbl iteration order
+   can leak into the canonical constraint — the lint order-stability
+   invariant.  Exactly-cancelled terms are dropped (exact zero test: a
+   coefficient that sums to 0.0 contributes nothing to the row). *)
 let normalize_terms terms =
   let tbl = Hashtbl.create 8 in
   List.iter
@@ -62,7 +68,16 @@ let normalize_terms terms =
       let cur = Option.value ~default:0. (Hashtbl.find_opt tbl v) in
       Hashtbl.replace tbl v (cur +. c))
     terms;
-  Hashtbl.fold (fun v c acc -> if c = 0. then acc else (c, v) :: acc) tbl []
+  let emitted = Hashtbl.create 8 in
+  List.filter_map
+    (fun (_, v) ->
+      if Hashtbl.mem emitted v then None
+      else begin
+        Hashtbl.add emitted v ();
+        let c = Hashtbl.find tbl v in
+        if Float.equal c 0. then None else Some (c, v)
+      end)
+    terms
   |> List.sort (fun (_, a) (_, b) -> compare a b)
 
 let add_constr t ~name terms sense rhs =
@@ -82,7 +97,7 @@ let set_kind t idx kind =
   let var = t.vars.(idx) in
   let lb, ub =
     match kind with
-    | Binary -> (max var.lb 0., min var.ub 1.)
+    | Binary -> (Float.max var.lb 0., Float.min var.ub 1.)
     | Continuous | General_integer -> (var.lb, var.ub)
   in
   t.vars.(idx) <- { var with kind; lb; ub }
@@ -121,8 +136,8 @@ let constraint_violation t x =
   done;
   for i = 0 to t.nv - 1 do
     let v = t.vars.(i) in
-    if x.(i) < v.lb then worst := max !worst (v.lb -. x.(i));
-    if x.(i) > v.ub then worst := max !worst (x.(i) -. v.ub)
+    if x.(i) < v.lb then worst := Float.max !worst (v.lb -. x.(i));
+    if x.(i) > v.ub then worst := Float.max !worst (x.(i) -. v.ub)
   done;
   !worst
 

@@ -27,7 +27,7 @@ let build lp =
   let vars = Lp.vars lp in
   Array.iter
     (fun v ->
-      if v.Lp.lb = neg_infinity then invalid_arg "Simplex: variables must have finite lower bounds")
+      if Float.equal v.Lp.lb neg_infinity then invalid_arg "Simplex: variables must have finite lower bounds")
     vars;
   let col_of_var = Array.make nv (-1) in
   let fixed_value = Array.make nv 0. in
@@ -140,7 +140,7 @@ let reduced_costs t c =
   let obj = ref 0. in
   for r = 0 to t.m - 1 do
     let cb = c.(t.basis.(r)) in
-    if cb <> 0. then begin
+    if not (Float.equal cb 0.) then begin
       obj := !obj +. (cb *. t.b.(r));
       let arow = t.a.(r) in
       for j = 0 to t.ncols - 1 do
@@ -161,7 +161,7 @@ let pivot t ~row ~col =
     if r <> row then begin
       let arr = t.a.(r) in
       let f = arr.(col) in
-      if f <> 0. then begin
+      if not (Float.equal f 0.) then begin
         for j = 0 to t.ncols - 1 do
           arr.(j) <- arr.(j) -. (f *. arow.(j))
         done;

@@ -1,0 +1,41 @@
+type entry = { rule : string; file : string }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let parse_string src =
+  let lines = String.split_on_char '\n' src in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      let line = String.trim (strip_comment line) in
+      if line = "" then go (n + 1) acc rest
+      else
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ rule; file ] -> go (n + 1) ({ rule; file } :: acc) rest
+        | _ -> Error (Printf.sprintf "line %d: expected '<rule-id> <path>', got %S" n line))
+  in
+  go 1 [] lines
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in_bin path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse_string content
+  end
+
+let filter entries findings =
+  List.filter
+    (fun (f : Lint_finding.t) ->
+      not
+        (List.exists
+           (fun e -> e.rule = f.Lint_finding.rule && e.file = f.Lint_finding.file)
+           entries))
+    findings

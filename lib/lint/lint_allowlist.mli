@@ -1,0 +1,18 @@
+(** The checked-in grandfather list ([lint.allowlist] at the repo root).
+
+    One entry per line: [<rule-id> <repo-relative-path>], optionally
+    followed by [# reason].  Blank lines and lines starting with [#] are
+    ignored.  An entry silences every finding of exactly that rule in
+    exactly that file — nothing else — so adding a new violation of a
+    different rule (or in a different file) still fails the build. *)
+
+type entry = { rule : string; file : string }
+
+val parse_string : string -> (entry list, string) result
+(** [Error] carries a [line N: ...] message for the first malformed line. *)
+
+val load : string -> (entry list, string) result
+(** [load path]: a missing file is an empty allowlist. *)
+
+val filter : entry list -> Lint_finding.t list -> Lint_finding.t list
+(** Drop the findings an entry covers. *)

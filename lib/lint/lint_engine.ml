@@ -1,0 +1,78 @@
+let default_roots = [ "bench"; "bin"; "lib"; "test" ]
+
+let is_source f = Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let skip_dir name = name = "_build" || (String.length name > 0 && name.[0] = '.')
+
+let discover ~root =
+  let rec walk rel acc =
+    let full = Filename.concat root rel in
+    if not (Sys.file_exists full) then acc
+    else if Sys.is_directory full then
+      Array.fold_left
+        (fun acc name ->
+          if skip_dir name then acc else walk (if rel = "" then name else rel ^ "/" ^ name) acc)
+        acc (Sys.readdir full)
+    else if is_source rel then rel :: acc
+    else acc
+  in
+  List.fold_left (fun acc r -> walk r acc) [] default_roots |> List.sort String.compare
+
+let applicable rules path = List.filter (fun (r : Lint_rules.t) -> r.Lint_rules.applies path) rules
+
+let lint_source ?(rules = Lint_rules.all) (src : Lint_source.t) =
+  let ctx = { Lint_rules.path = src.Lint_source.path } in
+  let raw =
+    match src.Lint_source.ast with
+    | Lint_source.Intf _ -> []  (* all current rules are expression-level *)
+    | Lint_source.Impl str ->
+      List.concat_map (fun (r : Lint_rules.t) -> r.Lint_rules.check ctx str) (applicable rules src.Lint_source.path)
+  in
+  raw
+  |> List.filter (fun f -> not (Lint_source.suppressed src f))
+  |> List.sort_uniq Lint_finding.compare
+
+let lint_string ?rules ~path s =
+  match Lint_source.of_string ~path s with
+  | Error f -> [ f ]
+  | Ok src -> lint_source ?rules src
+
+let run ?rules ?(jobs = 1) ~root () =
+  match Lint_allowlist.load (Filename.concat root "lint.allowlist") with
+  | Error msg -> Error ("lint.allowlist: " ^ msg)
+  | Ok allow ->
+    let files = discover ~root in
+    let lint_file rel =
+      match Lint_source.load ~root rel with
+      | Error f -> [ f ]
+      | Ok src -> lint_source ?rules src
+    in
+    let per_file = Par.with_pool ~jobs (fun pool -> Par.parallel_map pool ~f:lint_file files) in
+    Ok (List.concat per_file |> Lint_allowlist.filter allow |> List.sort_uniq Lint_finding.compare)
+
+let render_text findings =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Lint_finding.to_text f);
+      Buffer.add_char b '\n')
+    findings;
+  Buffer.add_string b
+    (match List.length findings with
+    | 0 -> "lint: clean\n"
+    | 1 -> "lint: 1 finding\n"
+    | n -> Printf.sprintf "lint: %d findings\n" n);
+  Buffer.contents b
+
+let render_json findings =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b (Lint_finding.to_json f))
+    findings;
+  if findings <> [] then Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "],\"count\":%d}\n" (List.length findings));
+  Buffer.contents b

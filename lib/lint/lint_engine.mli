@@ -1,0 +1,37 @@
+(** Driver: discover files, parse, run rules, suppress, sort, render.
+
+    Determinism contract (the same one the campaign CSVs obey): the report
+    is a pure function of the file contents.  Files are discovered in
+    sorted order, per-file work may fan out over the [lib/par] pool
+    ([jobs > 1]), and findings are re-sorted with {!Lint_finding.compare}
+    afterwards — so text and JSON output are byte-identical for every
+    [jobs] count. *)
+
+val default_roots : string list
+(** [["bench"; "bin"; "lib"; "test"]] — every directory the build compiles. *)
+
+val discover : root:string -> string list
+(** Sorted repo-relative paths of every [.ml]/[.mli] under the default
+    roots (skipping [_build] and dotted directories). *)
+
+val lint_source : ?rules:Lint_rules.t list -> Lint_source.t -> Lint_finding.t list
+(** Run [rules] (default: the full registry) on one parsed file, honouring
+    its inline pragmas.  Findings come back sorted and deduplicated. *)
+
+val lint_string : ?rules:Lint_rules.t list -> path:string -> string -> Lint_finding.t list
+(** Parse and lint one in-memory file; a parse failure is itself returned
+    as the single ["parse"] finding.  Used by the fixture tests. *)
+
+val run :
+  ?rules:Lint_rules.t list -> ?jobs:int -> root:string -> unit -> (Lint_finding.t list, string) result
+(** Lint the whole tree under [root], applying [root/lint.allowlist].
+    [Error] only for a malformed allowlist; findings (including parse
+    failures) are data, not errors. *)
+
+val render_text : Lint_finding.t list -> string
+(** One line per finding plus a trailing summary line. *)
+
+val render_json : Lint_finding.t list -> string
+(** Stable JSON document: findings sorted by (file, line, col, rule), one
+    object per line, and a [count] field.  Byte-identical across [jobs]
+    counts, so it can be golden-tested like the campaign CSVs. *)

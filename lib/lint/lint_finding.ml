@@ -1,0 +1,50 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  hint : string;
+}
+
+let v ~rule ~file ~line ~col ~hint message = { rule; file; line; col; message; hint }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c
+        else
+          let c = String.compare a.message b.message in
+          if c <> 0 then c else String.compare a.hint b.hint
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d: [%s] %s (fix: %s)" f.file f.line f.col f.rule f.message f.hint
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s","hint":"%s"}|}
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.message)
+    (json_escape f.hint)

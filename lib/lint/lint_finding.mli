@@ -1,0 +1,32 @@
+(** A single static-analysis finding.
+
+    Findings are plain data: the engine produces them, the renderers turn
+    them into [file:line:col] text or JSON, and the test-suite compares them
+    structurally.  The total order {!compare} — (file, line, col, rule,
+    message) — is what makes every report deterministic: the engine sorts
+    with it after the (possibly parallel) per-file passes, so output bytes
+    never depend on scheduling. *)
+
+type t = {
+  rule : string;  (** rule id, e.g. ["determinism"] *)
+  file : string;  (** repo-root-relative path, ['/']-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  message : string;  (** what is wrong at this location *)
+  hint : string;  (** how to fix (or suppress) it *)
+}
+
+val v : rule:string -> file:string -> line:int -> col:int -> hint:string -> string -> t
+
+val compare : t -> t -> int
+(** Total order by (file, line, col, rule, message, hint). *)
+
+val to_text : t -> string
+(** One line: [file:line:col: [rule] message (fix: hint)]. *)
+
+val to_json : t -> string
+(** One JSON object on one line, keys in fixed order
+    [file, line, col, rule, message, hint]. *)
+
+val json_escape : string -> string
+(** Minimal JSON string escaping (backslash, quote, control chars). *)

@@ -1,0 +1,88 @@
+type ast =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
+
+type t = {
+  path : string;
+  ast : ast;
+  allows : (int * string) list;
+}
+
+(* ------------------------------------------------------ pragma scanning --- *)
+
+let pragma_marker = "lint: allow "
+
+let is_id_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+let find_marker line =
+  let n = String.length line and m = String.length pragma_marker in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pragma_marker then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let scan_allows src =
+  let lines = String.split_on_char '\n' src in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         match find_marker line with
+         | None -> []
+         | Some j ->
+           let n = String.length line in
+           let k = ref j in
+           while !k < n && is_id_char line.[!k] do
+             incr k
+           done;
+           if !k = j then [] else [ (i + 1, String.sub line j (!k - j)) ])
+       lines)
+
+let suppressed t (f : Lint_finding.t) =
+  List.exists (fun (l, rule) -> rule = f.Lint_finding.rule && (l = f.Lint_finding.line || l + 1 = f.Lint_finding.line)) t.allows
+
+(* -------------------------------------------------------------- parsing --- *)
+
+(* The compiler-libs lexer mutates module-level buffers (string literals,
+   comment nesting), so two domains must never lex at the same time.  The
+   AST the parser returns is immutable; only the Parse call is locked. *)
+let parse_mutex = Mutex.create ()
+
+let error_finding ~path exn =
+  let line, col, msg =
+    match Location.error_of_exn exn with
+    | Some (`Ok report) ->
+      let loc = report.Location.main.Location.loc in
+      let p = loc.Location.loc_start in
+      ( p.Lexing.pos_lnum,
+        p.Lexing.pos_cnum - p.Lexing.pos_bol + 1,
+        Format.asprintf "%t" report.Location.main.Location.txt )
+    | _ -> (1, 1, Printexc.to_string exn)
+  in
+  Lint_finding.v ~rule:"parse" ~file:path ~line ~col
+    ~hint:"fix the syntax error; the linter parses with the same front-end as the build"
+    ("file does not parse: " ^ msg)
+
+let of_string ~path src =
+  let allows = scan_allows src in
+  let parse () =
+    let lexbuf = Lexing.from_string src in
+    Lexing.set_filename lexbuf path;
+    if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
+    else Impl (Parse.implementation lexbuf)
+  in
+  match Mutex.protect parse_mutex parse with
+  | ast -> Ok { path; ast; allows }
+  | exception exn -> Error (error_finding ~path exn)
+
+let load ~root rel =
+  let full = Filename.concat root rel in
+  let ic = open_in_bin full in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~path:rel content

@@ -1,0 +1,40 @@
+(** Parsed source file plus its inline suppression pragmas.
+
+    Parsing uses the installed compiler's own front-end ([compiler-libs]:
+    {!Parse} / {!Parsetree}), so the linter accepts exactly the syntax the
+    build accepts and needs no external dependency.
+
+    {b Thread-safety.}  The compiler's lexer keeps module-level mutable
+    state (string and comment buffers), so the [Parse] call itself is
+    serialised behind a private mutex; {!of_string} is therefore safe to
+    call from any number of pool domains concurrently.  Reading files and
+    scanning pragmas stay outside the lock. *)
+
+type ast =
+  | Impl of Parsetree.structure  (** a [.ml] file *)
+  | Intf of Parsetree.signature  (** a [.mli] file *)
+
+type t = {
+  path : string;  (** repo-root-relative path, ['/']-separated *)
+  ast : ast;
+  allows : (int * string) list;
+      (** suppression pragmas: [(line, rule-id)] for every
+          [(* lint: allow <rule-id> -- reason *)] comment.  A pragma on
+          line [l] suppresses findings of that rule on lines [l] and
+          [l + 1] (i.e. trailing same-line or standalone preceding-line
+          placement). *)
+}
+
+val scan_allows : string -> (int * string) list
+(** Extract suppression pragmas from raw source text (1-based lines). *)
+
+val of_string : path:string -> string -> (t, Lint_finding.t) result
+(** Parse source text.  [path] decides implementation vs interface syntax
+    (suffix [.mli]) and is stamped into locations.  A syntax error comes
+    back as an [Error] finding with rule id ["parse"]. *)
+
+val load : root:string -> string -> (t, Lint_finding.t) result
+(** [load ~root rel] reads [root/rel] and parses it. *)
+
+val suppressed : t -> Lint_finding.t -> bool
+(** Whether one of the file's pragmas silences this finding. *)

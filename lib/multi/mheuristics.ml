@@ -92,7 +92,7 @@ let estimate st i pool =
           let acc = acc +. e.Dag.size in
           match Staircase.earliest_suffix_ge free ~level:acc ~from:0. with
           | None -> None
-          | Some t -> prefixes acc (max lb (Fp.lb_plus t e.Dag.comm)) rest)
+          | Some t -> prefixes acc (Float.max lb (Fp.lb_plus t e.Dag.comm)) rest)
       in
       (match prefixes 0. 0. sorted with
       | None -> None

@@ -35,7 +35,7 @@ let usage_trace problem platform s =
   let g = problem.Mproblem.graph in
   let k = Mplatform.n_pools platform in
   let events = ref [] in
-  let push time kind pool delta = if delta <> 0. then events := (time, kind, pool, delta) :: !events in
+  let push time kind pool delta = if not (Float.equal delta 0.) then events := (time, kind, pool, delta) :: !events in
   for i = 0 to Dag.n_tasks g - 1 do
     let pool = pool_of platform s i in
     push s.starts.(i) 1 pool (Dag.out_size g i);

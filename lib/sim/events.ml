@@ -9,7 +9,7 @@ type event = { time : float; kind : int; mem : Platform.memory; delta : float }
 
 let events_of g platform s =
   let acc = ref [] in
-  let push time kind mem delta = if delta <> 0. then acc := { time; kind; mem; delta } :: !acc in
+  let push time kind mem delta = if not (Float.equal delta 0.) then acc := { time; kind; mem; delta } :: !acc in
   for i = 0 to Dag.n_tasks g - 1 do
     let mem = Schedule.memory_of platform s i in
     push s.Schedule.starts.(i) 1 mem (Dag.out_size g i);

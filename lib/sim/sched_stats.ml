@@ -61,7 +61,7 @@ let compute g platform s =
           memory = Platform.memory_of_proc platform p;
           n_tasks = counts.(p);
           busy = busy.(p);
-          idle = max 0. (makespan -. busy.(p));
+          idle = Float.max 0. (makespan -. busy.(p));
         })
   in
   let n_transfers = ref 0 and volume = ref 0. and ttime = ref 0. in

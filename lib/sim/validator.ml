@@ -4,7 +4,10 @@ type report = {
   peak_red : float;
 }
 
-let validate ?(eps = 1e-6) g platform s =
+(* Every tolerance comparison below goes through the Fp helpers (the
+   float-discipline invariant): the eps-expanded bound is computed exactly
+   as the historical inline forms, so this is bit-identical. *)
+let validate ?(eps = Fp.default_eps) g platform s =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
   let n = Dag.n_tasks g in
@@ -13,7 +16,7 @@ let validate ?(eps = 1e-6) g platform s =
   for i = 0 to n - 1 do
     if s.Schedule.procs.(i) < 0 || s.Schedule.procs.(i) >= Platform.n_procs platform then
       err "task %s: processor %d out of range" (name i) s.Schedule.procs.(i);
-    if s.Schedule.starts.(i) < -.eps then err "task %s: negative start %g" (name i) s.Schedule.starts.(i)
+    if Fp.lt ~eps s.Schedule.starts.(i) 0. then err "task %s: negative start %g" (name i) s.Schedule.starts.(i)
   done;
   if !errors <> [] then Error (List.rev !errors)
   else begin
@@ -29,16 +32,16 @@ let validate ?(eps = 1e-6) g platform s =
             (name e.Dag.dst)
         | true, Some tau ->
           let f_src = Schedule.finish g platform s e.Dag.src in
-          if f_src > tau +. eps then
+          if Fp.gt ~eps f_src tau then
             err "edge %s->%s: transfer starts at %g before producer finishes at %g" (name e.Dag.src)
               (name e.Dag.dst) tau f_src;
-          if tau +. e.Dag.comm > s.Schedule.starts.(e.Dag.dst) +. eps then
+          if Fp.gt ~eps (tau +. e.Dag.comm) s.Schedule.starts.(e.Dag.dst) then
             err "edge %s->%s: transfer ends at %g after consumer starts at %g" (name e.Dag.src)
               (name e.Dag.dst) (tau +. e.Dag.comm) s.Schedule.starts.(e.Dag.dst);
-          if tau < -.eps then err "edge %s->%s: negative transfer start" (name e.Dag.src) (name e.Dag.dst)
+          if Fp.lt ~eps tau 0. then err "edge %s->%s: negative transfer start" (name e.Dag.src) (name e.Dag.dst)
         | false, None ->
           let f_src = Schedule.finish g platform s e.Dag.src in
-          if f_src > s.Schedule.starts.(e.Dag.dst) +. eps then
+          if Fp.gt ~eps f_src s.Schedule.starts.(e.Dag.dst) then
             err "edge %s->%s: consumer starts at %g before producer finishes at %g" (name e.Dag.src)
               (name e.Dag.dst) s.Schedule.starts.(e.Dag.dst) f_src)
       (Dag.edges g);
@@ -49,7 +52,7 @@ let validate ?(eps = 1e-6) g platform s =
       let rec check = function
         | a :: (b :: _ as rest) ->
           let fin_a = Schedule.finish g platform s a in
-          if fin_a > s.Schedule.starts.(b) +. eps then
+          if Fp.gt ~eps fin_a s.Schedule.starts.(b) then
             err "processor %d: tasks %s and %s overlap ([%g,%g) vs start %g)" p (name a) (name b)
               s.Schedule.starts.(a) fin_a s.Schedule.starts.(b);
           check rest
@@ -67,10 +70,10 @@ let validate ?(eps = 1e-6) g platform s =
       let usage = match mem with Platform.Blue -> trace.Events.blue | Platform.Red -> trace.Events.red in
       Array.iteri
         (fun k u ->
-          if u > cap +. eps then
+          if Fp.gt ~eps u cap then
             err "%s memory: usage %g exceeds capacity %g at time %g"
               (Platform.memory_to_string mem) u cap trace.Events.times.(k);
-          if u < -.eps then
+          if Fp.lt ~eps u 0. then
             err "%s memory: negative usage %g at time %g (inconsistent file lifetimes)"
               (Platform.memory_to_string mem) u trace.Events.times.(k))
         usage

@@ -39,6 +39,6 @@ let write path ~header rows =
 let ensure_dir = mkdir_p
 
 let float_cell f =
-  if f = infinity then "inf"
-  else if f = neg_infinity then "-inf"
+  if Float.equal f infinity then "inf"
+  else if Float.equal f neg_infinity then "-inf"
   else Printf.sprintf "%g" f

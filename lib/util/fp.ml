@@ -1,3 +1,14 @@
 let lb_plus t c =
   let rec fix x = if x -. c >= t then x else fix (Float.succ x) in
   fix (t +. c)
+
+let default_eps = 1e-6
+
+(* Each bound is computed exactly as the validator's historical inline
+   forms ([a > b +. eps], [a < b -. eps]): switching call sites to these
+   helpers cannot change a single comparison result. *)
+let eq ?(eps = default_eps) a b = Float.abs (a -. b) <= eps
+let leq ?(eps = default_eps) a b = a <= b +. eps
+let geq ?(eps = default_eps) a b = a >= b -. eps
+let lt ?(eps = default_eps) a b = a < b -. eps
+let gt ?(eps = default_eps) a b = a > b +. eps

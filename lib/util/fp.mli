@@ -5,8 +5,37 @@
     [est >= t +. c].  Plain float arithmetic can give
     [(t +. c) -. c < t], silently moving the allocation below the verified
     window; {!lb_plus} computes the least float [x >= t +. c] such that
-    [x -. c >= t] holds exactly in float arithmetic. *)
+    [x -. c >= t] holds exactly in float arithmetic.
+
+    The epsilon comparators are the one sanctioned way to compare schedule
+    quantities (the [float-discipline] lint rule points here): both corpus
+    finds of the differential fuzzer were eps/ulp comparison bugs, so raw
+    [=]/[<] on derived times is exactly the class of bug being fenced off.
+    Each comparator is written so that the [eps]-expanded bound is computed
+    the same way the validator historically wrote it inline ([a > b +. eps],
+    [a < b -. eps], ...) — adopting them is bit-identical by construction. *)
 
 val lb_plus : float -> float -> float
 (** [lb_plus t c] with [c >= 0]: the smallest float [x] such that
     [x >= t +. c] and [x -. c >= t]. *)
+
+val default_eps : float
+(** [1e-6], the tolerance used by the validator and the fuzz oracles. *)
+
+val eq : ?eps:float -> float -> float -> bool
+(** [eq a b]: [abs (a -. b) <= eps].  Symmetric; [eq ~eps:0.] is exact
+    equality (except that [eq nan nan] is false, as with [=]). *)
+
+val leq : ?eps:float -> float -> float -> bool
+(** [leq a b]: [a <= b +. eps]. *)
+
+val geq : ?eps:float -> float -> float -> bool
+(** [geq a b]: [a >= b -. eps]. *)
+
+val lt : ?eps:float -> float -> float -> bool
+(** [lt a b]: [a < b -. eps] — strictly below [b] beyond the tolerance.
+    Negation of {!geq}. *)
+
+val gt : ?eps:float -> float -> float -> bool
+(** [gt a b]: [a > b +. eps] — strictly above [b] beyond the tolerance.
+    Negation of {!leq}. *)

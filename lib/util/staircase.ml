@@ -70,7 +70,7 @@ let coalesce s =
 
 let add_from s t delta =
   if t < 0. then invalid_arg "Staircase.add_from: negative time";
-  if delta <> 0. then begin
+  if not (Float.equal delta 0.) then begin
     s.suffmin_ok <- false;
     let i = step_index s t in
     let start =
@@ -100,7 +100,7 @@ let add_from s t delta =
 
 let add_range s t1 t2 delta =
   if t1 > t2 then invalid_arg "Staircase.add_range: t1 > t2";
-  if t1 < t2 && delta <> 0. then begin
+  if t1 < t2 && not (Float.equal delta 0.) then begin
     add_from s t1 delta;
     add_from s t2 (-.delta)
   end

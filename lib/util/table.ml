@@ -51,8 +51,8 @@ let print ?align ~header rows = print_string (render ?align ~header rows)
 
 let cell_f f =
   if Float.is_nan f then "-"
-  else if f = infinity then "inf"
-  else if f = neg_infinity then "-inf"
+  else if Float.equal f infinity then "inf"
+  else if Float.equal f neg_infinity then "-inf"
   else Printf.sprintf "%.3f" f
 
 let cell_pct r = if Float.is_nan r then "-" else Printf.sprintf "%.0f%%" (100. *. r)

@@ -146,7 +146,7 @@ let test_broadcast_fanout2 () =
   check_int "one relay" 1 (Broadcast.n_fictitious g);
   check_bool "relay has zero work" true
     (let relay = Option.get (List.find_opt (Broadcast.is_fictitious g) (List.init (Dag.n_tasks g) Fun.id)) in
-     (Dag.task g relay).Dag.w_blue = 0.)
+     Float.equal (Dag.task g relay).Dag.w_blue 0.)
 
 let test_broadcast_rejects_heterogeneous () =
   (* Two outgoing files with different sizes: not a broadcast. *)

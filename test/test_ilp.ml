@@ -562,7 +562,7 @@ let simplex_matches_vertex_enumeration =
       let rows =
         List.init nrows (fun c ->
             let coeffs = Array.init n (fun _ -> float_of_int (Rng.int_incl rng (-2) 3)) in
-            if Array.for_all (fun a -> a = 0.) coeffs then coeffs.(0) <- 1.;
+            if Array.for_all (fun a -> Float.equal a 0.) coeffs then coeffs.(0) <- 1.;
             let rhs = float_of_int (Rng.int rng 8) in
             Lp.add_constr lp
               ~name:(Printf.sprintf "r%d" c)

@@ -188,7 +188,7 @@ let stair_gap_invariant =
         | _ -> true
       in
       match Staircase.breakpoints s with
-      | (x0, _) :: _ as bps -> x0 = 0. && ok bps
+      | (x0, _) :: _ as bps -> Float.equal x0 0. && ok bps
       | [] -> false)
 
 let stair_fast_queries_match_scan =
@@ -199,7 +199,7 @@ let stair_fast_queries_match_scan =
       let probes = List.init 45 (fun k -> float_of_int k /. 2.) in
       List.for_all
         (fun t ->
-          Staircase.min_from s t = Staircase.min_from_scan s t
+          Float.equal (Staircase.min_from s t) (Staircase.min_from_scan s t)
           && List.for_all
                (fun level ->
                  Staircase.earliest_suffix_ge s ~level ~from:t
@@ -262,14 +262,14 @@ let stair_suffix_is_correct =
         (* suffix check on a discrete probe grid (updates at integer times) *)
         List.for_all
           (fun k ->
-            let t' = max t (float_of_int k /. 2.) in
+            let t' = Float.max t (float_of_int k /. 2.) in
             Staircase.value s t' +. 1e-6 >= level)
           (List.init 45 Fun.id)
         && Staircase.final_value s +. 1e-6 >= level
       in
       match Staircase.earliest_suffix_ge s ~level ~from:0. with
       | None -> not (ok_from 21.)
-      | Some t -> ok_from t && (t = 0. || not (ok_from (t -. 0.25))))
+      | Some t -> ok_from t && (Float.equal t 0. || not (ok_from (t -. 0.25))))
 
 (* ----------------------------------------------------------------- Fp --- *)
 
@@ -286,6 +286,28 @@ let test_fp_lb_plus_exact () =
   let t = 62.225000000000001 and c = 4. in
   let x = Fp.lb_plus t c in
   check_bool "window preserved" true (x -. c >= t)
+
+(* The comparators promise bit-identity with the inline forms the validator
+   historically used — check the equivalence on random operands. *)
+let fp_cmp_agree =
+  qtest ~count:500 "eq/leq/geq/lt/gt match their inline forms"
+    QCheck.(triple (float_bound_exclusive 1e6) (float_bound_exclusive 1e6) (float_range 0. 1e-3))
+    (fun (a, b, eps) ->
+      Bool.equal (Fp.eq ~eps a b) (Float.abs (a -. b) <= eps)
+      && Bool.equal (Fp.leq ~eps a b) (a <= b +. eps)
+      && Bool.equal (Fp.geq ~eps a b) (a >= b -. eps)
+      && Bool.equal (Fp.lt ~eps a b) (a < b -. eps)
+      && Bool.equal (Fp.gt ~eps a b) (a > b +. eps))
+
+let test_fp_cmp_edges () =
+  check_bool "eq within the default eps" true (Fp.eq 1. (1. +. 1e-9));
+  check_bool "eq beyond eps" false (Fp.eq 1. (1. +. 1e-3));
+  check_bool "gt demands a margin beyond eps" false (Fp.gt (1. +. 1e-9) 1.);
+  check_bool "gt past eps" true (Fp.gt 1.01 1.);
+  check_bool "lt mirrors gt" true (Fp.lt 1. 1.01);
+  check_bool "leq tolerates an eps overshoot" true (Fp.leq (1. +. 1e-9) 1.);
+  check_bool "geq tolerates an eps undershoot" true (Fp.geq (1. -. 1e-9) 1.);
+  check_bool "lt negates geq" (not (Fp.lt 1. 1.01)) (Fp.geq 1. 1.01)
 
 (* ------------------------------------------------------------- Pqueue --- *)
 
@@ -438,7 +460,10 @@ let () =
           stair_matches_reference;
           stair_suffix_is_correct ] );
       ( "fp",
-        [ fp_lb_plus_sound; Alcotest.test_case "lb_plus cases" `Quick test_fp_lb_plus_exact ] );
+        [ fp_lb_plus_sound;
+          Alcotest.test_case "lb_plus cases" `Quick test_fp_lb_plus_exact;
+          fp_cmp_agree;
+          Alcotest.test_case "comparator edges" `Quick test_fp_cmp_edges ] );
       ( "pqueue",
         [ Alcotest.test_case "basic" `Quick test_pqueue_basic;
           Alcotest.test_case "pop_exn" `Quick test_pqueue_pop_exn;

@@ -1,6 +1,6 @@
 TMP ?= /tmp/memsched-verify
 
-.PHONY: all build test lint lint-json bench bench-smoke fuzz-smoke verify clean
+.PHONY: all build test lint lint-json bench bench-smoke bench-exact bench-exact-smoke fuzz-smoke verify clean
 
 all: build
 
@@ -30,6 +30,18 @@ bench-smoke: build
 	jq -e '.bench == "hotpath" and (.entries | length > 0)' results/BENCH_hotpath.json > /dev/null
 	@echo "bench-smoke OK"
 
+# Exact-baseline bench (campaign/exact): node throughput of the commit/undo
+# branch-and-bound vs the per-node-copy reference, warm vs cold node LPs,
+# and the --jobs determinism sweep.  Writes results/BENCH_exact.json.
+bench-exact: build
+	dune exec bench/main.exe -- --only-exact
+
+bench-exact-smoke: build
+	dune exec bench/main.exe -- --quick --only-exact
+	test -s results/BENCH_exact.json
+	jq -e '.bench == "exact" and (.entries | length > 0) and ([.entries[] | select(.section == "jobs") | .identical] | all)' results/BENCH_exact.json > /dev/null
+	@echo "bench-exact-smoke OK"
+
 # Fixed-seed differential-fuzzing smoke run: 500 cases through the whole
 # oracle registry (lib/check), on the parallel runtime.  Any violation
 # exits non-zero and serialises the shrunk instance into test/corpus/.
@@ -39,7 +51,7 @@ fuzz-smoke: build
 # Tier-1 verification plus a smoke run of the parallel runtime: the CLI is
 # driven end-to-end with --jobs 2 (multistart over the domain pool, then a
 # figure regeneration), so the parallel path is exercised on every run.
-verify: build lint test bench-smoke fuzz-smoke
+verify: build lint test bench-smoke bench-exact-smoke fuzz-smoke
 	mkdir -p $(TMP)
 	dune exec bin/memsched_cli.exe -- generate daggen --size 30 --seed 2014 -o $(TMP)/dag.txt
 	dune exec bin/memsched_cli.exe -- schedule $(TMP)/dag.txt -H memheft --restarts 8 --jobs 2

@@ -2,9 +2,11 @@
    (sections printed to stdout, CSVs under results/), then runs Bechamel
    micro-benchmarks of the library's hot paths.
 
-   Usage: main.exe [--quick | --paper] [--skip-micro] [--skip-figures] [--jobs N]
+   Usage: main.exe [--quick | --paper] [--skip-micro] [--skip-figures]
+                   [--only-exact] [--jobs N]
    Default scale completes in a few minutes; --paper runs the full SS 6
    campaign (50x30, 100x1000, 13x13 with the complete alpha grid).
+   --only-exact runs just the campaign/exact section (results/BENCH_exact.json).
    --jobs N fans the campaign out over a N-domain Par pool (results are
    bit-identical for every N; default: recognised CPUs). *)
 
@@ -112,27 +114,166 @@ let run_hotpath_bench scale out_dir =
            fun g p -> ignore (Heuristics.memminmin_reference g p)) ])
     instances;
   let entries = List.rev !entries in
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"bench\": \"hotpath\",\n";
-  Printf.bprintf b "  \"scale\": \"%s\",\n"
-    (match scale with `Quick -> "quick" | `Paper -> "paper" | `Default -> "default");
-  Buffer.add_string b "  \"entries\": [\n";
-  let last = List.length entries - 1 in
-  List.iteri
-    (fun k (family, param, n, hname, t_opt, t_ref) ->
-      Printf.bprintf b
-        "    {\"family\": \"%s\", \"param\": %d, \"n_tasks\": %d, \"heuristic\": \"%s\", \
-         \"opt_ms\": %.3f, \"ref_ms\": %.3f, \"speedup\": %.2f}%s\n"
-        family param n hname (1e3 *. t_opt) (1e3 *. t_ref) (t_ref /. t_opt)
-        (if k = last then "" else ","))
-    entries;
-  Buffer.add_string b "  ]\n}\n";
-  (if not (Sys.file_exists out_dir) then Unix.mkdir out_dir 0o755);
-  let path = Filename.concat out_dir "BENCH_hotpath.json" in
-  let oc = open_out path in
-  Buffer.output_buffer oc b;
-  close_out oc;
-  Printf.printf "wrote %s\n%!" path
+  Bench_json.write ~out_dir ~file:"BENCH_hotpath.json" ~bench:"hotpath"
+    ~scale:(match scale with `Quick -> "quick" | `Paper -> "paper" | `Default -> "default")
+    (List.map
+       (fun (family, param, n, hname, t_opt, t_ref) ->
+         [ ("family", Bench_json.S family); ("param", Bench_json.I param);
+           ("n_tasks", Bench_json.I n); ("heuristic", Bench_json.S hname);
+           ("opt_ms", Bench_json.F (1e3 *. t_opt)); ("ref_ms", Bench_json.F (1e3 *. t_ref));
+           ("speedup", Bench_json.F (t_ref /. t_opt)) ])
+       entries)
+
+(* --------------------------------------------------- campaign/exact ------ *)
+
+(* Perf trajectory of the exact branch-and-bound: node throughput of the
+   commit/undo search against the in-tree per-node-copy reference
+   ([Exact.solve_reference]), wall-clock of warm-started vs cold node LPs in
+   [Mip.solve], and a --jobs sweep of the parallel frontier decomposition.
+   Emits results/BENCH_exact.json.
+
+   Both engines are run in parity mode (frontier 1, no dominance) on the
+   same node budget, so nodes/sec is compared over the identical tree.  The
+   jobs sweep records honest wall times: on a single-core container the
+   extra domains can only add overhead — the section's point there is the
+   determinism cross-check (bit-identical results for every jobs count), not
+   a speedup. *)
+let run_exact_bench scale out_dir =
+  Printf.printf "\n==== campaign/exact -- commit/undo B&B vs per-node-copy reference ====\n\n%!";
+  let quick = scale = `Quick in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Four DAG families at a memory bound that keeps the search busy. *)
+  let instances =
+    let bounded g platform =
+      let peak = Outcome.peak_max (Outcome.run Heuristics.HEFT g platform) in
+      Platform.with_bounds platform ~m_blue:(0.7 *. peak) ~m_red:(0.7 *. peak)
+    in
+    let rand size =
+      let g = List.hd (Workloads.large_rand_set ~count:1 ~size ()) in
+      ("random", size, g, bounded g Workloads.platform_random)
+    in
+    let lu n =
+      let g = Workloads.lu ~n () in
+      ("lu", n, g, bounded g Workloads.platform_mirage)
+    in
+    let chol n =
+      let g = Workloads.cholesky ~n () in
+      ("cholesky", n, g, bounded g Workloads.platform_mirage)
+    in
+    let fork width =
+      let g = Toy.fork_join ~width ~w:1. ~f:1. ~c:1. in
+      ("fork_join", width, g, Platform.make ~p_blue:2 ~p_red:1 ~m_blue:(float_of_int width) ~m_red:(float_of_int width))
+    in
+    if quick then [ rand 40; lu 6; chol 6; fork 8 ]
+    else [ rand 100; lu 10; chol 10; fork 12 ]
+  in
+  let node_limit = if quick then 5_000 else 50_000 in
+  let entries = ref [] in
+  let push e = entries := e :: !entries in
+  (* Section 1: copy-vs-undo node throughput, identical tree (parity mode). *)
+  List.iter
+    (fun (family, param, g, p) ->
+      let r_ref, t_ref = time (fun () -> Exact.solve_reference ~node_limit g p) in
+      let r_undo, t_undo =
+        time (fun () -> Exact.solve ~frontier:1 ~dominance:false ~node_limit g p)
+      in
+      let nps n t = float_of_int n /. t in
+      Printf.printf
+        "search    %-9s n=%-5d  ref %8.0f n/s  undo %8.0f n/s  speedup %5.2fx  (%d vs %d nodes)\n%!"
+        family (Dag.n_tasks g)
+        (nps r_ref.Exact.nodes t_ref) (nps r_undo.Exact.nodes t_undo)
+        (nps r_undo.Exact.nodes t_undo /. nps r_ref.Exact.nodes t_ref)
+        r_ref.Exact.nodes r_undo.Exact.nodes;
+      push
+        [ ("section", Bench_json.S "search_state"); ("family", Bench_json.S family);
+          ("param", Bench_json.I param); ("n_tasks", Bench_json.I (Dag.n_tasks g));
+          ("node_limit", Bench_json.I node_limit);
+          ("ref_nodes", Bench_json.I r_ref.Exact.nodes);
+          ("undo_nodes", Bench_json.I r_undo.Exact.nodes);
+          ("ref_nodes_per_s", Bench_json.F (nps r_ref.Exact.nodes t_ref));
+          ("undo_nodes_per_s", Bench_json.F (nps r_undo.Exact.nodes t_undo));
+          ("speedup", Bench_json.F (nps r_undo.Exact.nodes t_undo /. nps r_ref.Exact.nodes t_ref)) ])
+    instances;
+  (* Section 2: warm-started vs cold node LPs on the ILP cross-check toys. *)
+  let lp_cases =
+    let base =
+      [ ("chain2", Toy.chain ~n:2 ~w:2. ~f:1. ~c:1.,
+         Platform.make ~p_blue:1 ~p_red:1 ~m_blue:3. ~m_red:3., 5_000);
+        ("chain3", Toy.chain ~n:3 ~w:2. ~f:1. ~c:1.,
+         Platform.make ~p_blue:1 ~p_red:1 ~m_blue:4. ~m_red:4., 5_000) ]
+    in
+    if quick then base
+    else
+      base
+      @ [ ("fork2", Toy.fork_join ~width:2 ~w:1. ~f:1. ~c:1.,
+           Platform.make ~p_blue:1 ~p_red:1 ~m_blue:6. ~m_red:6., 150) ]
+  in
+  List.iter
+    (fun (name, g, p, lp_nodes) ->
+      let model = Ilp_model.build g p in
+      let seed =
+        match Exact.solve g p with
+        | { Exact.status = Exact.Proven_optimal; makespan; _ } -> Some (makespan +. 1e-3)
+        | _ -> None
+      in
+      let cold, t_cold =
+        time (fun () -> Mip.solve ~node_limit:lp_nodes ?incumbent:seed ~warm_start:false (Ilp_model.lp model))
+      in
+      let warm, t_warm =
+        time (fun () -> Mip.solve ~node_limit:lp_nodes ?incumbent:seed ~warm_start:true (Ilp_model.lp model))
+      in
+      Printf.printf "warm-lp   %-9s cold %7.3f s (%4d nodes)  warm %7.3f s (%4d nodes)  speedup %5.2fx\n%!"
+        name t_cold cold.Mip.nodes t_warm warm.Mip.nodes (t_cold /. t_warm);
+      push
+        [ ("section", Bench_json.S "warm_lp"); ("instance", Bench_json.S name);
+          ("node_limit", Bench_json.I lp_nodes);
+          ("cold_s", Bench_json.F t_cold); ("cold_nodes", Bench_json.I cold.Mip.nodes);
+          ("warm_s", Bench_json.F t_warm); ("warm_nodes", Bench_json.I warm.Mip.nodes);
+          ("speedup", Bench_json.F (t_cold /. t_warm)) ])
+    lp_cases;
+  (* Section 3: --jobs sweep of the parallel frontier decomposition; the
+     determinism contract (identical result for every jobs count) is checked
+     on every row. *)
+  let jobs_node_limit = if quick then 2_000 else 20_000 in
+  List.iter
+    (fun (family, param, g, p) ->
+      let serial, t_serial = time (fun () -> Exact.solve ~node_limit:jobs_node_limit g p) in
+      List.iter
+        (fun jobs ->
+          let r, t =
+            if jobs = 1 then (serial, t_serial)
+            else
+              time (fun () ->
+                  Par.with_pool ~jobs (fun pool ->
+                      Exact.solve ~pool ~node_limit:jobs_node_limit g p))
+          in
+          let identical =
+            r.Exact.status = serial.Exact.status
+            && Int64.equal (Int64.bits_of_float r.Exact.makespan)
+                 (Int64.bits_of_float serial.Exact.makespan)
+            && Int64.equal (Int64.bits_of_float r.Exact.best_bound)
+                 (Int64.bits_of_float serial.Exact.best_bound)
+            && r.Exact.nodes = serial.Exact.nodes
+          in
+          Printf.printf "jobs      %-9s --jobs %d  %7.3f s  identical %b\n%!" family jobs t identical;
+          push
+            [ ("section", Bench_json.S "jobs"); ("family", Bench_json.S family);
+              ("param", Bench_json.I param); ("jobs", Bench_json.I jobs);
+              ("node_limit", Bench_json.I jobs_node_limit); ("wall_s", Bench_json.F t);
+              ("identical", Bench_json.B identical) ])
+        [ 1; 2; 8 ])
+    instances;
+  Bench_json.write ~out_dir ~file:"BENCH_exact.json" ~bench:"exact"
+    ~scale:(match scale with `Quick -> "quick" | `Paper -> "paper" | `Default -> "default")
+    ~extra:
+      [ ("note",
+         Bench_json.S
+           "single-core container: the jobs sweep measures determinism overhead, not speedup") ]
+    (List.rev !entries)
 
 (* ------------------------------------------------------ micro-benchmarks *)
 
@@ -233,9 +374,13 @@ let () =
     find args
   in
   let out_dir = "results" in
-  if not (List.mem "--skip-figures" args) then
-    Par.with_pool ~jobs (fun pool -> run_figures scale pool out_dir);
-  run_sweep_par_bench jobs;
-  run_hotpath_bench scale out_dir;
-  if not (List.mem "--skip-micro" args) then run_micro ();
+  if List.mem "--only-exact" args then run_exact_bench scale out_dir
+  else begin
+    if not (List.mem "--skip-figures" args) then
+      Par.with_pool ~jobs (fun pool -> run_figures scale pool out_dir);
+    run_sweep_par_bench jobs;
+    run_hotpath_bench scale out_dir;
+    run_exact_bench scale out_dir;
+    if not (List.mem "--skip-micro" args) then run_micro ()
+  end;
   Printf.printf "\nAll sections complete; CSVs in %s/\n" out_dir

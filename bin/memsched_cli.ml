@@ -206,9 +206,12 @@ let validate_cmd =
 let exact_cmd =
   let dag = Arg.(required & pos 0 (some file) None & info [] ~docv:"DAG" ~doc:"DAG file.") in
   let nodes = Arg.(value & opt int 2_000_000 & info [ "node-limit" ] ~doc:"Branch-and-bound node budget.") in
-  let run platform dag nodes =
+  let run platform dag nodes jobs =
     let g = read_dag dag in
-    let r = Exact.solve ~node_limit:nodes g platform in
+    let r =
+      if jobs > 1 then Par.with_pool ~jobs (fun pool -> Exact.solve ~pool ~node_limit:nodes g platform)
+      else Exact.solve ~node_limit:nodes g platform
+    in
     let status =
       match r.Exact.status with
       | Exact.Proven_optimal -> "optimal"
@@ -217,11 +220,19 @@ let exact_cmd =
       | Exact.Unknown -> "unknown (node budget hit)"
     in
     Printf.printf "status: %s\nnodes: %d\n" status r.Exact.nodes;
-    if not (Float.is_nan r.Exact.makespan) then Printf.printf "makespan: %g\n" r.Exact.makespan
+    if not (Float.is_nan r.Exact.makespan) then Printf.printf "makespan: %g\n" r.Exact.makespan;
+    if not (Float.is_nan r.Exact.best_bound) then begin
+      Printf.printf "best bound: %g\n" r.Exact.best_bound;
+      match r.Exact.status with
+      | Exact.Feasible when r.Exact.makespan > 0. ->
+        Printf.printf "gap: %.2f%%\n"
+          (100. *. (r.Exact.makespan -. r.Exact.best_bound) /. r.Exact.makespan)
+      | _ -> ()
+    end
   in
   Cmd.v
     (Cmd.info "exact" ~doc:"Exact branch-and-bound scheduling (small instances).")
-    Term.(const run $ platform_term $ dag $ nodes)
+    Term.(const run $ platform_term $ dag $ nodes $ jobs_term)
 
 (* -------------------------------------------------------------- export-lp *)
 
@@ -387,7 +398,7 @@ let experiment_cmd =
   let run which paper out_dir jobs =
     Par.with_pool ~jobs @@ fun pool ->
     match which with
-    | `T1 -> Figures.table1 ~out_dir ()
+    | `T1 -> Figures.table1 ~out_dir ~pool ()
     | `F8 -> Figures.figure8 ~out_dir ()
     | `F9 -> Figures.figure9 ~out_dir ()
     | `F10 ->

@@ -156,6 +156,87 @@ let o_exact =
     doc = "a proven optimum lower-bounds every heuristic on tiny instances";
     check }
 
+(* Three independent routes to the same optimum must agree: the overhauled
+   commit/undo branch-and-bound ([Exact.solve]), the per-node-copy reference
+   search kept verbatim from before the overhaul ([Exact.solve_reference]),
+   and — on the tiniest instances with finite memory caps — the paper's ILP
+   through the built-in MIP.  Budget-capped verdicts constrain nothing, but
+   a proven optimum on one route must never contradict a proven optimum or a
+   proven infeasibility on another. *)
+let o_exact_agreement =
+  let check cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    if Dag.n_tasks g > cfg.exact_task_limit then Skip "instance above the exact-solver size cap"
+    else begin
+      let errs = ref [] in
+      let r_undo = Exact.solve ~node_limit:cfg.exact_node_limit g p in
+      let r_ref = Exact.solve_reference ~node_limit:cfg.exact_node_limit g p in
+      (match (r_undo.Exact.status, r_ref.Exact.status) with
+      | Exact.Proven_optimal, Exact.Proven_optimal ->
+        let tol = cfg.eps *. (1. +. Float.abs r_ref.Exact.makespan) in
+        if Float.abs (r_undo.Exact.makespan -. r_ref.Exact.makespan) > tol then
+          errs :=
+            Printf.sprintf "undo %.17g vs reference %.17g proven optima differ"
+              r_undo.Exact.makespan r_ref.Exact.makespan
+            :: !errs
+      | Exact.Proven_infeasible, (Exact.Proven_optimal | Exact.Feasible)
+      | (Exact.Proven_optimal | Exact.Feasible), Exact.Proven_infeasible ->
+        errs := "undo and reference searches disagree on feasibility" :: !errs
+      | _ -> ());
+      (* ILP leg: tiny models only (the MIP is exponential), and the paper's
+         ILP needs finite caps.  Seeding with the exact optimum (plus a hair)
+         makes a wrong-low exact makespan surface as MIP infeasibility and a
+         wrong-high one as a cheaper MIP optimum. *)
+      let finite_caps =
+        Float.is_finite (Platform.capacity p Platform.Blue)
+        && Float.is_finite (Platform.capacity p Platform.Red)
+      in
+      if Dag.n_tasks g <= 3 && Platform.n_procs p <= 3 && finite_caps then begin
+        let model = Ilp_model.build g p in
+        let seed =
+          match r_undo.Exact.status with
+          | Exact.Proven_optimal -> Some (r_undo.Exact.makespan +. 1e-3)
+          | _ -> None
+        in
+        let sol = Mip.solve ~node_limit:300 ?incumbent:seed (Ilp_model.lp model) in
+        let mip_tol = 1e-5 *. (1. +. Float.abs r_undo.Exact.makespan) in
+        match (r_undo.Exact.status, sol.Mip.status, sol.Mip.incumbent) with
+        | Exact.Proven_optimal, Mip.Optimal, Some (_, obj) ->
+          if Float.abs (obj -. r_undo.Exact.makespan) > mip_tol then
+            errs :=
+              Printf.sprintf "MIP optimum %.17g vs exact optimum %.17g differ" obj
+                r_undo.Exact.makespan
+              :: !errs
+        | Exact.Proven_optimal, Mip.Infeasible, _ ->
+          errs := "MIP proves infeasible below the exact optimum" :: !errs
+        | Exact.Proven_infeasible, Mip.Optimal, Some (x, obj) -> (
+          (* The LP tolerates dust-level capacity violations, so an instance
+             sitting within [eps] of the feasibility boundary (the
+             just-below-peak fuzz regime) can legitimately flip between the
+             two solvers.  Only a MIP schedule that fits with a clear margin
+             contradicts the exact infeasibility proof. *)
+          let s = Ilp_model.extract_schedule model x in
+          match Validator.validate ~eps:cfg.eps g p s with
+          | Error _ -> ()
+          | Ok v ->
+            let margin m peak = peak <= Platform.capacity p m -. cfg.eps in
+            if margin Platform.Blue v.Validator.peak_blue
+               && margin Platform.Red v.Validator.peak_red then
+              errs :=
+                Printf.sprintf
+                  "MIP optimum %.17g (schedule fits with margin) on an exact-proven-infeasible \
+                   instance"
+                  obj
+                :: !errs)
+        | _ -> ()
+      end;
+      verdict_of_errors !errs
+    end
+  in
+  { name = "exact-agreement";
+    doc = "commit/undo search, per-node-copy reference and the ILP agree on tiny instances";
+    check }
+
 (* Cross-examine reported infeasibility: a heuristic refusal is legitimate
    (the heuristics are incomplete), but a proven-infeasible instance must be
    refused by every memory-aware heuristic, and an instance that is provably
@@ -307,8 +388,8 @@ let o_lint =
   { name = "lint"; doc = "the source tree stays clean under the lib/lint static-analysis rules"; check }
 
 let all =
-  [ o_validator; o_lower_bound; o_reference; o_exact; o_infeasibility; o_serialization;
-    o_jobs_invariance; o_lint ]
+  [ o_validator; o_lower_bound; o_reference; o_exact; o_exact_agreement; o_infeasibility;
+    o_serialization; o_jobs_invariance; o_lint ]
 
 let names = List.map (fun o -> o.name) all
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -32,8 +32,17 @@ type t = {
 
 val all : t list
 (** The full registry: [validator], [lower-bound], [reference-agreement],
-    [exact-dominates], [infeasibility], [serialization],
+    [exact-dominates], [exact-agreement], [infeasibility], [serialization],
     [jobs-invariance], [lint].
+
+    [exact-agreement] cross-checks three independent routes to the optimum
+    on tiny instances: the commit/undo branch-and-bound ({!Exact.solve}),
+    the per-node-copy reference search ({!Exact.solve_reference}), and — on
+    instances of at most 3 tasks with finite memory caps — the paper's ILP
+    through the built-in MIP.  Instances within [eps] of the feasibility
+    boundary are tolerated in the infeasible-vs-optimal direction (the LP
+    accepts dust-level capacity violations); see the committed
+    [exact-agreement-seed42-*] corpus entries.
 
     [lint] folds the static harness into the dynamic one: it runs
     {!Lint_engine.run} over the repository containing the current working

@@ -10,6 +10,29 @@ let default_options = { comm_mode = Jit_per_edge; proc_policy = Earliest_availab
 
 let eps = 1e-9
 
+(* One trail record per [commit], capturing every piece of state the commit
+   overwrites (plus journal marks for the two staircases) so [uncommit] can
+   restore the state bit-for-bit.  Shared structure (the previous [busy] list,
+   the previous [ready] list) is captured by reference: both are persistent
+   lists that [commit] replaces rather than mutates. *)
+type undo = {
+  u_task : int;
+  u_proc : int;
+  u_avail : float;
+  u_busy : (float * float) list;
+  u_min_blue : float;
+  u_min_red : float;
+  u_aft : float;
+  u_start : float;
+  u_sproc : int;
+  mutable u_comms : (int * float option) list;
+  u_ready : int list;
+  u_planned_blue : float;
+  u_planned_red : float;
+  u_mark_blue : Staircase.mark;
+  u_mark_red : Staircase.mark;
+}
+
 type t = {
   g : Dag.t;
   platform : Platform.t;
@@ -38,6 +61,8 @@ type t = {
   mutable assigned_count : int;
   mutable planned_blue : float;
   mutable planned_red : float;
+  mutable trailing : bool;
+  mutable trail : undo list;
 }
 
 let create ?(options = default_options) g platform =
@@ -73,6 +98,8 @@ let create ?(options = default_options) g platform =
     assigned_count = 0;
     planned_blue = 0.;
     planned_red = 0.;
+    trailing = false;
+    trail = [];
   }
 
 let copy t =
@@ -92,6 +119,21 @@ let copy t =
         procs = Array.copy t.sched.Schedule.procs;
         comm_starts = Array.copy t.sched.Schedule.comm_starts;
       };
+    trailing = false;
+    trail = [];
+  }
+
+let set_trail t on =
+  t.trailing <- on;
+  t.trail <- [];
+  Staircase.set_journal t.free_blue on;
+  Staircase.set_journal t.free_red on
+
+let snapshot_schedule t =
+  {
+    Schedule.starts = Array.copy t.sched.Schedule.starts;
+    procs = Array.copy t.sched.Schedule.procs;
+    comm_starts = Array.copy t.sched.Schedule.comm_starts;
   }
 
 let graph t = t.g
@@ -302,6 +344,31 @@ let commit t e =
   let start = e.est and eft = e.eft in
   let free_mu = free_of t mu and free_other = free_of t (Platform.other mu) in
   let proc = select_proc t mu ~start ~w in
+  (* Capture the about-to-be-overwritten state before any mutation.  The
+     record only reads; it cannot perturb the commit, so a trailing commit is
+     bit-identical to a plain one. *)
+  let undo =
+    if not t.trailing then None
+    else
+      Some
+        {
+          u_task = i;
+          u_proc = proc;
+          u_avail = t.avail.(proc);
+          u_busy = t.busy.(proc);
+          u_min_blue = t.min_avail_blue;
+          u_min_red = t.min_avail_red;
+          u_aft = t.aft.(i);
+          u_start = t.sched.Schedule.starts.(i);
+          u_sproc = t.sched.Schedule.procs.(i);
+          u_comms = [];
+          u_ready = t.ready;
+          u_planned_blue = t.planned_blue;
+          u_planned_red = t.planned_red;
+          u_mark_blue = Staircase.mark t.free_blue;
+          u_mark_red = Staircase.mark t.free_red;
+        }
+  in
   insert_interval t proc ~start ~finish:eft;
   t.sched.Schedule.starts.(i) <- start;
   t.sched.Schedule.procs.(i) <- proc;
@@ -321,6 +388,9 @@ let commit t e =
           | Jit_per_edge | Jit_batched -> start -. edge.Dag.comm
           | Eager -> t.aft.(j)
         in
+        (match undo with
+        | Some u -> u.u_comms <- (edge.Dag.eid, t.sched.Schedule.comm_starts.(edge.Dag.eid)) :: u.u_comms
+        | None -> ());
         t.sched.Schedule.comm_starts.(edge.Dag.eid) <- Some tau;
         Staircase.add_from free_mu tau (-.edge.Dag.size);
         deferred_frees := (free_other, tau +. edge.Dag.comm, edge.Dag.size) :: !deferred_frees
@@ -354,7 +424,34 @@ let commit t e =
     (fun c ->
       t.pending_parents.(c) <- t.pending_parents.(c) - 1;
       if t.pending_parents.(c) = 0 then t.ready <- insert_ready c t.ready)
-    (Dag.children g i)
+    (Dag.children g i);
+  match undo with Some u -> t.trail <- u :: t.trail | None -> ()
+
+let uncommit t =
+  match t.trail with
+  | [] -> invalid_arg "Sched_state.uncommit: empty trail (enable set_trail and commit first)"
+  | u :: rest ->
+    t.trail <- rest;
+    let i = u.u_task in
+    Staircase.undo_to t.free_blue u.u_mark_blue;
+    Staircase.undo_to t.free_red u.u_mark_red;
+    t.busy.(u.u_proc) <- u.u_busy;
+    t.avail.(u.u_proc) <- u.u_avail;
+    t.min_avail_blue <- u.u_min_blue;
+    t.min_avail_red <- u.u_min_red;
+    t.sched.Schedule.starts.(i) <- u.u_start;
+    t.sched.Schedule.procs.(i) <- u.u_sproc;
+    List.iter (fun (eid, prev) -> t.sched.Schedule.comm_starts.(eid) <- prev) u.u_comms;
+    t.aft.(i) <- u.u_aft;
+    t.assigned.(i) <- false;
+    t.mem_of.(i) <- None;
+    t.assigned_count <- t.assigned_count - 1;
+    t.planned_blue <- u.u_planned_blue;
+    t.planned_red <- u.u_planned_red;
+    List.iter
+      (fun c -> t.pending_parents.(c) <- t.pending_parents.(c) + 1)
+      (Dag.children t.g i);
+    t.ready <- u.u_ready
 
 (* Pre-optimisation reference machinery, kept verbatim for the A/B
    bit-identity tests and the campaign/hotpath reference timings: three

@@ -114,6 +114,30 @@ val commit : t -> estimate -> unit
     @raise Invalid_argument if the task is already assigned or the estimate
     is stale (recompute estimates after every commit). *)
 
+(** {2 Commit/undo trail}
+
+    Backtracking search support for the exact branch-and-bound: instead of
+    deep-copying the whole state at every node (O(n + breakpoints) per node),
+    the search mutates one state in place and rewinds.  With the trail
+    enabled, every {!commit} pushes an undo record (captured before any
+    mutation, so a trailing commit is bit-identical to a plain one) and
+    {!uncommit} pops it, restoring the state bit-for-bit — including the
+    staircases, which are rewound through their structural mutation journal
+    (float arithmetic does not round-trip, so replaying negated deltas would
+    not). *)
+
+val set_trail : t -> bool -> unit
+(** Enable or disable the undo trail (and the staircase journals).  Both
+    directions clear any recorded history. *)
+
+val uncommit : t -> unit
+(** Rewinds the most recent {!commit} recorded on the trail.
+    @raise Invalid_argument when the trail is empty. *)
+
+val snapshot_schedule : t -> Schedule.t
+(** A deep copy of the current schedule arrays only — what the exact search
+    stores for an incumbent instead of a full {!copy}. *)
+
 (** Pre-optimisation reference implementations, kept verbatim: O(n)
     ready-set rescans, three predecessor-list traversals per estimate, and
     linear staircase scans.  The A/B test suite asserts the optimised paths

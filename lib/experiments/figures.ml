@@ -16,7 +16,7 @@ let write_file out_dir file contents =
 
 (* ---------------------------------------------------------------- Table 1 *)
 
-let table1 ?(out_dir = "results") () =
+let table1 ?(out_dir = "results") ?pool () =
   section "Table 1 -- kernel running times on a 192x192 tile (ms)";
   let rows =
     List.filter_map
@@ -28,13 +28,54 @@ let table1 ?(out_dir = "results") () =
   Table.print ~header:[ "kernel"; "CPU (Table 1)"; "GPU (derived)" ] rows;
   Printf.printf "\ntile transfer: %g ms, tile size: %g memory unit\n" Kernels.tile_transfer_ms
     Kernels.tile_size;
-  write_csv out_dir "table1.csv" [ "kernel"; "cpu_ms"; "gpu_ms" ]
+  (* Exact-baseline certification: makespan, best bound and optimality gap of
+     the branch-and-bound on reference instances.  The last entry runs under
+     a deliberately tiny node budget so the reported gap is nonzero. *)
+  let exact_instances =
+    [ ("exact:chain3", Toy.chain ~n:3 ~w:2. ~f:1. ~c:1.,
+       Platform.make ~p_blue:1 ~p_red:1 ~m_blue:4. ~m_red:4., 100_000);
+      ("exact:fork2", Toy.fork_join ~width:2 ~w:1. ~f:1. ~c:1.,
+       Platform.make ~p_blue:1 ~p_red:1 ~m_blue:6. ~m_red:6., 100_000);
+      ("exact:tiny_capped",
+       (match Workloads.tiny_rand_set ~count:1 () with [ d ] -> d | _ -> assert false),
+       Workloads.platform_random, 10) ]
+  in
+  let exact_rows =
+    pool_map ?pool
+      ~f:(fun (name, g, p, node_limit) ->
+        let r = Exact.solve ?pool ~node_limit g p in
+        let makespan_cell =
+          if Float.is_nan r.Exact.makespan then "-" else Csv.float_cell r.Exact.makespan
+        in
+        let bound_cell =
+          if Float.is_nan r.Exact.best_bound then "-" else Csv.float_cell r.Exact.best_bound
+        in
+        let gap_cell =
+          match r.Exact.status with
+          | Exact.Proven_optimal -> Csv.float_cell 0.
+          | Exact.Feasible when r.Exact.makespan > 0. ->
+            Csv.float_cell ((r.Exact.makespan -. r.Exact.best_bound) /. r.Exact.makespan)
+          | _ -> "-"
+        in
+        [ name; makespan_cell; bound_cell; gap_cell ])
+      exact_instances
+  in
+  Printf.printf "\n";
+  Table.print ~header:[ "exact instance"; "makespan"; "best bound"; "gap" ] exact_rows;
+  write_csv out_dir "table1.csv"
+    [ "entry"; "cpu_ms"; "gpu_ms"; "exact_makespan"; "exact_best_bound"; "exact_gap" ]
     (List.filter_map
        (fun k ->
          if k = Kernels.Fictitious then None
          else
-           Some [ Kernels.name k; Csv.float_cell (Kernels.cpu_ms k); Csv.float_cell (Kernels.gpu_ms k) ])
-       Kernels.all)
+           Some
+             [ Kernels.name k; Csv.float_cell (Kernels.cpu_ms k);
+               Csv.float_cell (Kernels.gpu_ms k); "-"; "-"; "-" ])
+       Kernels.all
+    @ List.map (fun r -> match r with
+        | [ name; ms; bb; gap ] -> [ name; "-"; "-"; ms; bb; gap ]
+        | _ -> assert false)
+        exact_rows)
 
 (* ----------------------------------------------------------- Figures 8, 9 *)
 
@@ -183,7 +224,7 @@ let absolute_detail ~label ~csv ?pool ?(exact_nodes = None) out_dir platform dag
     | None -> None
     | Some nodes ->
       let p = Platform.with_bounds platform ~m_blue:bound ~m_red:bound in
-      Some (Exact.solve ~node_limit:nodes dag p)
+      Some (Exact.solve ?pool ~node_limit:nodes dag p)
   in
   let header =
     [ "memory"; "MemHEFT"; "MemMinMin" ]
@@ -328,7 +369,7 @@ let ilp_cross_check ?(out_dir = "results") ?pool ?(node_limit = 50_000) () =
         (* Seed the MIP with the exact solver's value (plus a hair, so the
            optimal node itself survives gap pruning). *)
         let seed =
-          match Exact.solve g p with
+          match Exact.solve ?pool g p with
           | { Exact.status = Exact.Proven_optimal; makespan; _ } -> Some (makespan +. 1e-3)
           | _ -> None
         in
@@ -347,7 +388,7 @@ let ilp_cross_check ?(out_dir = "results") ?pool ?(node_limit = 50_000) () =
             match Validator.validate g p s with Ok _ -> "yes" | Error _ -> "NO")
           | None -> "-"
         in
-        let ex = Exact.solve g p in
+        let ex = Exact.solve ?pool g p in
         let exact_cell =
           match ex.Exact.status with
           | Exact.Proven_optimal -> Printf.sprintf "%.3f" ex.Exact.makespan
@@ -434,7 +475,7 @@ let extensions ?(out_dir = "results") ?pool ?(count = 30)
 (* ------------------------------------------------------------------ suites *)
 
 let all_quick ?(out_dir = "results") ?pool () =
-  table1 ~out_dir ();
+  table1 ~out_dir ?pool ();
   figure8 ~out_dir ();
   figure9 ~out_dir ~size:300 ();
   figure10 ~out_dir ?pool ~count:15 ~exact_nodes:5_000 ~capped_count:5 ~tiny_count:10 ();
@@ -449,7 +490,7 @@ let all_quick ?(out_dir = "results") ?pool () =
   Plots.write_gnuplot ~out_dir ()
 
 let all_paper ?(out_dir = "results") ?pool () =
-  table1 ~out_dir ();
+  table1 ~out_dir ?pool ();
   figure8 ~out_dir ();
   figure9 ~out_dir ();
   figure10 ~out_dir ?pool ();

@@ -12,8 +12,11 @@ val default_alphas : float list
 (** 0.05 to 1.0 in steps of 0.05 — the normalised-memory axis of
     Figures 10 and 12. *)
 
-val table1 : ?out_dir:string -> unit -> unit
-(** Table 1: kernel timing model (CPU measured / GPU derived). *)
+val table1 : ?out_dir:string -> ?pool:Par.t -> unit -> unit
+(** Table 1: kernel timing model (CPU measured / GPU derived), plus an
+    exact-baseline certification block: makespan, best bound and optimality
+    gap of {!Exact.solve} on reference instances — including one run under a
+    deliberately tiny node budget, whose gap is nonzero. *)
 
 val figure8 : ?out_dir:string -> unit -> unit
 (** Figure 8: a SmallRandSet DAG — statistics + DOT file. *)

@@ -97,7 +97,7 @@ let exact_sweep ?pool ~node_limit platform ~alphas baselines =
   let solve (alpha, b) =
     let bound = alpha *. b.heft_peak in
     let p = Platform.with_bounds platform ~m_blue:bound ~m_red:bound in
-    Exact.solve ~node_limit b.dag p
+    Exact.solve ?pool ~node_limit b.dag p
   in
   let grid = grid_map ?pool ~f:solve ~alphas baselines in
   let barr = Array.of_list baselines in

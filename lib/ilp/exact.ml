@@ -4,27 +4,56 @@ type result = {
   status : status;
   schedule : Schedule.t option;
   makespan : float;
+  best_bound : float;
   nodes : int;
 }
 
 let eps = 1e-9
 
-let solve ?(node_limit = 2_000_000) ?(seed_incumbent = true) g platform =
-  let n = Dag.n_tasks g in
-  (* Static per-task lower bound on the remaining critical path: min-duration
-     bottom level with free transfers. *)
-  let bottom = Paths.bottom_levels g ~node_weight:(Dag.w_min g) ~edge_weight:(fun _ -> 0.) in
+(* Shared by both solvers: static per-task lower bound on the remaining
+   critical path (min-duration bottom level with free transfers), and the
+   heuristic-seeded incumbent. *)
+let bottom_levels g =
+  Paths.bottom_levels g ~node_weight:(Dag.w_min g) ~edge_weight:(fun _ -> 0.)
+
+let seed_heuristics g platform =
   let incumbent = ref infinity in
   let best_schedule = ref None in
-  if seed_incumbent then
-    List.iter
-      (fun h ->
-        let o = Outcome.run h g platform in
-        if o.Outcome.feasible && o.Outcome.makespan < !incumbent then begin
-          incumbent := o.Outcome.makespan;
-          best_schedule := o.Outcome.schedule
-        end)
-      [ Heuristics.MemHEFT; Heuristics.MemMinMin ];
+  List.iter
+    (fun h ->
+      let o = Outcome.run h g platform in
+      if o.Outcome.feasible && o.Outcome.makespan < !incumbent then begin
+        incumbent := o.Outcome.makespan;
+        best_schedule := o.Outcome.schedule
+      end)
+    [ Heuristics.MemHEFT; Heuristics.MemMinMin ];
+  (!incumbent, !best_schedule)
+
+let status_of best_schedule capped =
+  match (best_schedule, capped) with
+  | Some _, false -> Proven_optimal
+  | Some _, true -> Feasible
+  | None, false -> Proven_infeasible
+  | None, true -> Unknown
+
+(* Pre-overhaul copy-based search, kept verbatim as the A/B reference (the
+   qtests assert the undo-based solver visits the same tree node for node, and
+   the campaign/exact bench times this as the throughput baseline).  The only
+   edits relative to the original are the float-discipline fixes the lint
+   cannot see syntactically ([Float.compare] on the [eft] record fields,
+   [Option.is_none] instead of polymorphic [= None]) — both are
+   behaviour-identical for non-nan floats — and the trivially-derived
+   [best_bound] field the overhaul added to [result]. *)
+let solve_reference ?(node_limit = 2_000_000) ?(seed_incumbent = true) g platform =
+  let n = Dag.n_tasks g in
+  let bottom = bottom_levels g in
+  let incumbent = ref infinity in
+  let best_schedule = ref None in
+  if seed_incumbent then begin
+    let inc, best = seed_heuristics g platform in
+    incumbent := inc;
+    best_schedule := best
+  end;
   let nodes = ref 0 in
   let capped = ref false in
   (* Depth-first over (ready task, memory) decisions. *)
@@ -56,7 +85,7 @@ let solve ?(node_limit = 2_000_000) ?(seed_incumbent = true) g platform =
         in
         let candidates =
           List.sort
-            (fun (a, _) (b, _) -> compare a.Sched_state.eft b.Sched_state.eft)
+            (fun (a, _) (b, _) -> Float.compare a.Sched_state.eft b.Sched_state.eft)
             candidates
         in
         List.iter
@@ -67,7 +96,7 @@ let solve ?(node_limit = 2_000_000) ?(seed_incumbent = true) g platform =
               match Sched_state.estimate child e.Sched_state.task e.Sched_state.memory with
               | Some e' ->
                 Sched_state.commit child e';
-                explore child (max current_max e'.Sched_state.eft)
+                explore child (Float.max current_max e'.Sched_state.eft)
               | None -> ()
             end)
           candidates
@@ -75,21 +104,295 @@ let solve ?(node_limit = 2_000_000) ?(seed_incumbent = true) g platform =
     end
   in
   explore (Sched_state.create g platform) 0.;
-  let status =
-    match (!best_schedule, !capped) with
-    | Some _, false -> Proven_optimal
-    | Some _, true -> Feasible
-    | None, false -> Proven_infeasible
-    | None, true -> Unknown
-  in
+  let status = status_of !best_schedule !capped in
   {
     status;
     schedule = !best_schedule;
-    makespan = (if !best_schedule = None then nan else !incumbent);
+    makespan = (if Option.is_none !best_schedule then nan else !incumbent);
+    best_bound =
+      (match status with
+      | Proven_optimal -> !incumbent
+      | Proven_infeasible -> infinity
+      | Feasible | Unknown -> 0.);
     nodes = !nodes;
   }
 
-let optimal_makespan ?node_limit g platform =
-  match solve ?node_limit g platform with
+(* How many transposition signatures a single subtree search may retain.
+   Inserts are bounded by the node budget anyway; the cap only guards the
+   pathological full-default-budget case (16-byte digests, ~80 bytes per
+   hashtable entry). *)
+let transposition_cap = 1_000_000
+
+let solve ?pool ?(frontier = 32) ?(dominance = true) ?(node_limit = 2_000_000)
+    ?(seed_incumbent = true) g platform =
+  if frontier < 1 then invalid_arg "Exact.solve: frontier must be >= 1";
+  let n = Dag.n_tasks g in
+  let bottom = bottom_levels g in
+  let seed_val, seed_sched =
+    if seed_incumbent then seed_heuristics g platform else (infinity, None)
+  in
+  let incumbent = ref seed_val in
+  let best = ref seed_sched in
+  let total_nodes = ref 0 in
+  let capped = ref false in
+  (* Smallest known lower bound over the abandoned (budget-truncated) parts of
+     the tree: together with the incumbent this yields [best_bound]. *)
+  let open_lb = ref infinity in
+  (* Canonical signature of the set of committed decisions: for every task,
+     one presence byte plus (processor, start-time bits) when assigned.  Two
+     partial schedules with the same signature have placed the same tasks at
+     the same starts on the same processors (the memory is implied by the
+     processor), so they expose identical resource and memory state up to
+     float dust from commit-order-dependent rounding inside the staircases —
+     the same eps-tolerance the whole planner already works under.  Digested
+     to 16 bytes so the transposition table stays small. *)
+  let signature state =
+    let buf = Buffer.create (12 * n) in
+    let sched = Sched_state.schedule state in
+    for i = 0 to n - 1 do
+      if Sched_state.is_assigned state i then begin
+        Buffer.add_char buf '\001';
+        Buffer.add_uint16_le buf sched.Schedule.procs.(i);
+        Buffer.add_int64_le buf (Int64.bits_of_float sched.Schedule.starts.(i))
+      end
+      else Buffer.add_char buf '\000'
+    done;
+    Digest.string (Buffer.contents buf)
+  in
+  (* Precedence-only node lower bound: a ready task cannot start before its
+     latest parent finishes (transfer times excluded — the task's memory is
+     not fixed yet, and a same-memory placement pays no transfer), and then
+     needs its min-duration bottom level.  Unlike the per-candidate
+     [est + bottom] bound this never uses memory-dependent ESTs, which are
+     not monotone under further commits (releases can free memory and move a
+     task's memory-EST earlier), so it is sound as a node-level prune. *)
+  let prec_bound state =
+    List.fold_left
+      (fun acc i ->
+        let prec =
+          List.fold_left
+            (fun p (e : Dag.edge) -> Float.max p (Sched_state.finish_time state e.Dag.src))
+            0. (Dag.pred g i)
+        in
+        Float.max acc (prec +. bottom.(i)))
+      0.
+      (Sched_state.ready_tasks state)
+  in
+  (* In-place depth-first search over a trailing state: commit, recurse,
+     uncommit.  With [dominance = false] the control flow replicates
+     [solve_reference] exactly (same candidate generation, same order, same
+     budget checks), so the two visit the same tree node for node — the A/B
+     qtests assert exactly that. *)
+  let search state ~start_max ~budget ~incumbent0 =
+    let inc = ref incumbent0 in
+    let found = ref None in
+    let nodes = ref 0 in
+    let cap = ref false in
+    let olb = ref infinity in
+    let seen = if dominance then Some (Hashtbl.create 1024) else None in
+    let rec explore current_max =
+      if !nodes >= budget then begin
+        cap := true;
+        if current_max < !olb then olb := current_max
+      end
+      else begin
+        incr nodes;
+        if Sched_state.n_assigned state = n then begin
+          if current_max < !inc -. eps then begin
+            inc := current_max;
+            found := Some (Sched_state.snapshot_schedule state)
+          end
+        end
+        else begin
+          let dominated =
+            match seen with
+            | None -> false
+            | Some tbl ->
+              (* Bound prune first (certified, no table traffic), then the
+                 transposition check. *)
+              Float.max current_max (prec_bound state) >= !inc -. eps
+              ||
+              let key = signature state in
+              Hashtbl.mem tbl key
+              ||
+              (if Hashtbl.length tbl < transposition_cap then Hashtbl.add tbl key ();
+               false)
+          in
+          if not dominated then begin
+            let ready = Sched_state.ready_tasks state in
+            let candidates =
+              List.concat_map
+                (fun i ->
+                  (* Precedence-only prescreen: for either memory,
+                     [est >= max parent AFT], so when even that cheap bound
+                     cannot beat the incumbent both per-memory estimates are
+                     dead on arrival — skip computing them.  The skipped
+                     entries would have been dropped by the [lb] filter
+                     below, so the candidate list (and hence the tree and
+                     the reference parity) is unchanged. *)
+                  let prec =
+                    List.fold_left
+                      (fun p (e : Dag.edge) -> Float.max p (Sched_state.finish_time state e.Dag.src))
+                      0. (Dag.pred g i)
+                  in
+                  if Float.max current_max (prec +. bottom.(i)) >= !inc -. eps then []
+                  else
+                    List.filter_map
+                      (fun mu ->
+                        match Sched_state.estimate state i mu with
+                        | Some e ->
+                          let lb = Float.max current_max (e.Sched_state.est +. bottom.(i)) in
+                          if lb >= !inc -. eps then None else Some (e, lb)
+                        | None -> None)
+                      Platform.memories)
+                ready
+            in
+            let candidates =
+              List.sort
+                (fun (a, _) (b, _) -> Float.compare a.Sched_state.eft b.Sched_state.eft)
+                candidates
+            in
+            List.iter
+              (fun (e, lb) ->
+                if lb < !inc -. eps && not !cap then begin
+                  Sched_state.commit state e;
+                  explore (Float.max current_max e.Sched_state.eft);
+                  Sched_state.uncommit state
+                end
+                else if !cap && lb < !inc -. eps && lb < !olb then olb := lb)
+              candidates
+          end
+        end
+      end
+    in
+    explore start_max;
+    (!inc, !found, !nodes, !cap, !olb)
+  in
+  let fresh_state () =
+    let st = Sched_state.create g platform in
+    Sched_state.set_trail st true;
+    st
+  in
+  if frontier = 1 then begin
+    (* No decomposition: one search over the whole tree. *)
+    let inc, found, nodes, cap, olb = search (fresh_state ()) ~start_max:0. ~budget:node_limit ~incumbent0:!incumbent in
+    total_nodes := nodes;
+    if cap then capped := true;
+    if olb < !open_lb then open_lb := olb;
+    (match found with
+    | Some s when inc < !incumbent -. eps ->
+      incumbent := inc;
+      best := Some s
+    | _ -> ())
+  end
+  else begin
+    (* Breadth-first expansion of the root into a frontier of subtree roots.
+       The frontier size is a fixed constant — never a function of the pool's
+       job count — so the decomposition, every subtree budget, every node
+       count and hence every output byte is identical for every --jobs value;
+       the pool only changes how many subtrees run at once.  Each queue entry
+       is a decision prefix (reversed) plus the max EFT along it; prefixes are
+       replayed onto one trailing state to expand them. *)
+    let state = fresh_state () in
+    let replay prefix = List.iter (fun e -> Sched_state.commit state e) (List.rev prefix) in
+    let unreplay prefix = List.iter (fun _ -> Sched_state.uncommit state) prefix in
+    let roots = Queue.create () in
+    Queue.add ([], 0.) roots;
+    let continue = ref true in
+    while !continue && not (Queue.is_empty roots) && Queue.length roots < frontier do
+      let prefix, pmax = Queue.take roots in
+      if !total_nodes >= node_limit then begin
+        capped := true;
+        if pmax < !open_lb then open_lb := pmax;
+        continue := false
+      end
+      else begin
+        incr total_nodes;
+        replay prefix;
+        if Sched_state.n_assigned state = n then begin
+          if pmax < !incumbent -. eps then begin
+            incumbent := pmax;
+            best := Some (Sched_state.snapshot_schedule state)
+          end
+        end
+        else if (not dominance) || Float.max pmax (prec_bound state) < !incumbent -. eps then begin
+          let candidates =
+            List.concat_map
+              (fun i ->
+                List.filter_map
+                  (fun mu ->
+                    match Sched_state.estimate state i mu with
+                    | Some e ->
+                      let lb = Float.max pmax (e.Sched_state.est +. bottom.(i)) in
+                      if lb >= !incumbent -. eps then None else Some (e, lb)
+                    | None -> None)
+                  Platform.memories)
+              (Sched_state.ready_tasks state)
+          in
+          let candidates =
+            List.sort (fun (a, _) (b, _) -> Float.compare a.Sched_state.eft b.Sched_state.eft) candidates
+          in
+          List.iter
+            (fun (e, _) -> Queue.add (e :: prefix, Float.max pmax e.Sched_state.eft) roots)
+            candidates
+        end;
+        unreplay prefix
+      end
+    done;
+    let subtrees = List.of_seq (Queue.to_seq roots) in
+    if !capped || !total_nodes >= node_limit then begin
+      (* Budget exhausted during expansion: the remaining roots are abandoned
+         open parts of the tree. *)
+      if subtrees <> [] then capped := true;
+      List.iter (fun (_, pmax) -> if pmax < !open_lb then open_lb := pmax) subtrees
+    end
+    else if subtrees <> [] then begin
+      let budget_per = max 1 ((node_limit - !total_nodes) / List.length subtrees) in
+      (* Freeze the incumbent at split time: workers never share improvements
+         (cross-worker sharing would make pruning depend on completion order,
+         i.e. on the job count). *)
+      let split_incumbent = !incumbent in
+      let solve_subtree (prefix, pmax) =
+        let st = fresh_state () in
+        List.iter (fun e -> Sched_state.commit st e) (List.rev prefix);
+        search st ~start_max:pmax ~budget:budget_per ~incumbent0:split_incumbent
+      in
+      let results =
+        match pool with
+        | Some p -> Par.parallel_map p ~f:solve_subtree subtrees
+        | None -> List.map solve_subtree subtrees
+      in
+      (* Merge in subtree order — deterministic and jobs-invariant. *)
+      List.iter
+        (fun (inc, found, nodes, cap, olb) ->
+          total_nodes := !total_nodes + nodes;
+          if cap then capped := true;
+          if olb < !open_lb then open_lb := olb;
+          match found with
+          | Some s when inc < !incumbent -. eps ->
+            incumbent := inc;
+            best := Some s
+          | _ -> ())
+        results
+    end
+  end;
+  let status = status_of !best !capped in
+  let best_bound =
+    match status with
+    | Proven_optimal -> !incumbent
+    | Proven_infeasible -> infinity
+    | Feasible -> Float.min !incumbent !open_lb
+    | Unknown -> if !open_lb < infinity then !open_lb else 0.
+  in
+  {
+    status;
+    schedule = !best;
+    makespan = (if Option.is_none !best then nan else !incumbent);
+    best_bound;
+    nodes = !total_nodes;
+  }
+
+let optimal_makespan ?pool ?node_limit g platform =
+  match solve ?pool ?node_limit g platform with
   | { status = Proven_optimal; makespan; _ } -> Some makespan
   | _ -> None

@@ -14,7 +14,18 @@
     covered by committing other tasks first.  The solver is cross-checked
     against the ILP (via {!Mip}) on toy instances in the test suite.  A
     {!result} is [Proven_optimal] only when the search space was exhausted
-    within the node budget. *)
+    within the node budget.
+
+    {!solve} is the overhauled engine: an in-place commit/undo backtracking
+    search (no per-node state copy), memory-aware dominance pruning (a
+    precedence-only node lower bound plus a transposition set over canonical
+    partial-schedule signatures), and a deterministic parallel mode that
+    splits the tree breadth-first into a {e fixed-size} frontier of subtrees
+    solved over a [lib/par] pool.  The frontier size never depends on the job
+    count and workers never share incumbents, so statuses, makespans,
+    schedules and node counts are identical for every [--jobs] value.
+    {!solve_reference} is the pre-overhaul copy-based search, kept verbatim
+    for A/B tests and the [campaign/exact] bench baseline. *)
 
 type status =
   | Proven_optimal  (** search exhausted: best found is optimal (in-class) *)
@@ -26,12 +37,44 @@ type result = {
   status : status;
   schedule : Schedule.t option;
   makespan : float;  (** [nan] without an incumbent *)
+  best_bound : float;
+      (** Certified lower bound on the optimal makespan: equals [makespan]
+          when [Proven_optimal], [infinity] when [Proven_infeasible], and
+          the smallest lower bound over the budget-truncated parts of the
+          tree otherwise ([0.] when nothing is known).  [makespan -.
+          best_bound] is the optimality gap a capped run leaves open.
+          {!solve_reference} does not track truncated subtrees and reports
+          the trivial bound for non-proven statuses. *)
   nodes : int;
 }
 
-val solve : ?node_limit:int -> ?seed_incumbent:bool -> Dag.t -> Platform.t -> result
-(** Defaults: [node_limit = 2_000_000], [seed_incumbent = true] (run the
-    heuristics first to obtain an upper bound). *)
+val solve :
+  ?pool:Par.t ->
+  ?frontier:int ->
+  ?dominance:bool ->
+  ?node_limit:int ->
+  ?seed_incumbent:bool ->
+  Dag.t ->
+  Platform.t ->
+  result
+(** Defaults: [frontier = 32], [dominance = true], [node_limit = 2_000_000],
+    [seed_incumbent = true] (run the heuristics first for an upper bound).
 
-val optimal_makespan : ?node_limit:int -> Dag.t -> Platform.t -> float option
+    [frontier] is the number of subtree roots the breadth-first split aims
+    for; it must stay a constant across runs for outputs to be comparable
+    (it is {e not} derived from the pool size, precisely so results are
+    jobs-invariant).  [frontier = 1] disables decomposition entirely.
+    [dominance = false] disables the node lower bound and the transposition
+    set; combined with [frontier = 1] the search replicates
+    {!solve_reference} node for node (asserted by the A/B qtests).
+    [pool]: solve subtrees on the pool's domains; with [None] (or a 1-job
+    pool) they are solved serially — same results either way.  Under
+    decomposition the node budget is split evenly over the subtrees, so the
+    total node count can exceed [node_limit] by at most the frontier size. *)
+
+val solve_reference : ?node_limit:int -> ?seed_incumbent:bool -> Dag.t -> Platform.t -> result
+(** The pre-overhaul search, verbatim: copies the whole scheduler state at
+    every node and prunes only with [est + bottom] against the incumbent. *)
+
+val optimal_makespan : ?pool:Par.t -> ?node_limit:int -> Dag.t -> Platform.t -> float option
 (** Convenience: [Some makespan] when [Proven_optimal], [None] otherwise. *)

@@ -7,7 +7,8 @@ type solution = {
   nodes : int;
 }
 
-let solve ?(node_limit = 200_000) ?time_limit ?(int_tol = 1e-6) ?(gap_tol = 1e-6) ?incumbent lp =
+let solve ?(node_limit = 200_000) ?time_limit ?(int_tol = 1e-6) ?(gap_tol = 1e-6) ?incumbent
+    ?(warm_start = true) lp =
   (* The wall-clock budget is an explicit caller opt-in (off by default);
      campaign code never passes [time_limit], so determinism holds there. *)
   let deadline = Option.map (fun s -> Sys.time () +. s) time_limit in (* lint: allow determinism -- opt-in time budget *)
@@ -25,15 +26,32 @@ let solve ?(node_limit = 200_000) ?time_limit ?(int_tol = 1e-6) ?(gap_tol = 1e-6
   let capped = ref false in
   let open_bounds = ref [] in
   (* DFS.  Each node's bound overrides are applied before its relaxation and
-     undone by re-applying the parent's full fixing list. *)
-  let rec explore fixings =
+     undone by re-applying the parent's full fixing list.  With [warm_start]
+     each node re-solves from its parent's optimal basis with the dual
+     simplex (bound changes keep that basis dual-feasible); any shape break,
+     restore failure or iteration cap falls back to the cold two-phase solve,
+     which also refreshes the warm basis for the node's own children. *)
+  let rec explore fixings warm =
     if !nodes >= node_limit || out_of_time () then capped := true
     else begin
       incr nodes;
       restore ();
       (* Oldest first, so a re-branched variable keeps its newest bounds. *)
       List.iter (fun (v, lb, ub) -> Lp.override_bounds lp v ~lb ~ub) (List.rev fixings);
-      match Simplex.solve_relaxation lp with
+      let relax, warm' =
+        if not warm_start then (Simplex.solve_relaxation lp, None)
+        else
+          match warm with
+          | Some w -> (
+            (* A bound change needs few dual pivots from the parent basis; a
+               node that wants more is cheaper to re-solve cold than to let
+               the dual iteration (which prices every column) grind on. *)
+            match Simplex.resolve_dual ~max_iters:500 w lp with
+            | Some (res, w') -> (res, w')
+            | None -> Simplex.solve_relaxation_warm lp)
+          | None -> Simplex.solve_relaxation_warm lp
+      in
+      match relax with
       | Simplex.Infeasible -> ()
       | Simplex.Unbounded | Simplex.Capped ->
         (* No valid bound for this subtree: remember it stays open. *)
@@ -71,13 +89,13 @@ let solve ?(node_limit = 200_000) ?time_limit ?(int_tol = 1e-6) ?(gap_tol = 1e-6
             let xv = x.(v) in
             let lo = (v, lb0, floor xv) and hi = (v, ceil xv, ub0) in
             let first, second = if xv -. floor xv <= 0.5 then (lo, hi) else (hi, lo) in
-            explore (first :: fixings);
-            explore (second :: fixings)
+            explore (first :: fixings) warm';
+            explore (second :: fixings) warm'
           end
         end
     end
   in
-  explore [];
+  explore [] None;
   restore ();
   let status =
     match (!best, !capped) with

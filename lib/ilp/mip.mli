@@ -25,10 +25,19 @@ val solve :
   ?int_tol:float ->
   ?gap_tol:float ->
   ?incumbent:float ->
+  ?warm_start:bool ->
   Lp.t ->
   solution
 (** [incumbent] seeds an upper bound (e.g. from a heuristic schedule);
     branches proving [bound >= incumbent - gap_tol] are pruned.
     [time_limit] is in CPU seconds ({!Sys.time}).  Defaults:
     [node_limit = 200_000], no time limit, [int_tol = 1e-6],
-    [gap_tol = 1e-6]. *)
+    [gap_tol = 1e-6], [warm_start = true].
+
+    [warm_start]: re-solve each child node with the dual simplex from its
+    parent's optimal basis ({!Simplex.solve_relaxation_warm} /
+    {!Simplex.resolve_dual}), falling back to the cold two-phase solve
+    whenever the warm path cannot run.  [~warm_start:false] is the
+    pre-overhaul behaviour, kept as the A/B reference: both modes visit the
+    same tree and prune with the same objective values up to LP-solver
+    rounding, so statuses and incumbents agree within tolerances. *)

@@ -10,6 +10,11 @@ let tol = 1e-7
    substituted out as constants, which keeps branch-and-bound subproblems
    small.  Rows whose slack enters positively start basic on their slack;
    only the remaining rows get artificial columns. *)
+(* Identity of a cold-tableau column in terms of the LP, so an optimal basis
+   can be re-established on the warm tableau (whose column layout differs:
+   no fixed-variable substitution, no artificials). *)
+type ident = Ivar of int | Islack_constr of int | Islack_ub of int | Iart
+
 type tableau = {
   m : int;
   ncols : int;
@@ -20,6 +25,7 @@ type tableau = {
   col_of_var : int array;  (** -1 when the variable is fixed *)
   fixed_value : float array;  (** meaningful when col_of_var = -1 *)
   n_art : int;
+  ident_of_col : ident array;
 }
 
 let build lp =
@@ -60,6 +66,8 @@ let build lp =
      slack column/sign; artificials are appended afterwards. *)
   let a = Array.init m (fun _ -> Array.make n_real 0.) in
   let b = Array.make m 0. in
+  let ident_real = Array.make n_real Iart in
+  Array.iteri (fun v col -> if col >= 0 then ident_real.(col) <- Ivar v) col_of_var;
   let slack_col = Array.make m (-1) in
   let slack_sign = Array.make m 0. in
   let slack_cursor = ref !ncols_struct in
@@ -85,11 +93,13 @@ let build lp =
         a.(r).(!slack_cursor) <- 1.;
         slack_col.(r) <- !slack_cursor;
         slack_sign.(r) <- 1.;
+        ident_real.(!slack_cursor) <- Islack_constr r;
         incr slack_cursor
       | Lp.Ge ->
         a.(r).(!slack_cursor) <- -1.;
         slack_col.(r) <- !slack_cursor;
         slack_sign.(r) <- -1.;
+        ident_real.(!slack_cursor) <- Islack_constr r;
         incr slack_cursor
       | Lp.Eq -> ());
       incr row)
@@ -101,6 +111,7 @@ let build lp =
       a.(r).(!slack_cursor) <- 1.;
       slack_col.(r) <- !slack_cursor;
       slack_sign.(r) <- 1.;
+      ident_real.(!slack_cursor) <- Islack_ub v;
       incr slack_cursor;
       b.(r) <- ub;
       incr row)
@@ -133,7 +144,18 @@ let build lp =
     end
     else basis.(r) <- slack_col.(r)
   done;
-  { m; ncols; a = a'; b; basis; n_real; col_of_var; fixed_value; n_art = !n_art }
+  {
+    m;
+    ncols;
+    a = a';
+    b;
+    basis;
+    n_real;
+    col_of_var;
+    fixed_value;
+    n_art = !n_art;
+    ident_of_col = Array.append ident_real (Array.make !n_art Iart);
+  }
 
 let reduced_costs t c =
   let z = Array.copy c in
@@ -222,10 +244,13 @@ let run_phase t c ~allowed ~max_iters =
   done;
   Option.get !result
 
-let solve_relaxation ?(max_iters = 20000) lp =
+(* Two-phase primal solve; returns the final tableau alongside the result so
+   the warm-start layer can read the optimal basis off it. *)
+let solve_cold ~max_iters lp =
   let t = build lp in
   let nv = Lp.n_vars lp in
   let vars = Lp.vars lp in
+  let res =
   (* Phase 1 (only when artificials exist). *)
   let phase1_capped =
     if t.n_art = 0 then false
@@ -281,4 +306,340 @@ let solve_relaxation ?(max_iters = 20000) lp =
       in
       let obj = List.fold_left (fun acc (coef, v) -> acc +. (coef *. x.(v))) 0. terms in
       Optimal { x; obj }
+  end
+  in
+  (res, t)
+
+let solve_relaxation ?(max_iters = 20000) lp = fst (solve_cold ~max_iters lp)
+
+(* ------------------------------------------------- warm-started re-solve ---
+
+   Branch-and-bound re-solves near-identical LPs: only variable bounds change
+   between a node and its children.  The cold path above rebuilds the tableau
+   (substituting newly-fixed variables out, so even its {e shape} changes) and
+   runs two phases from scratch at every node.  The warm path instead keeps a
+   {e bound-invariant} tableau:
+
+   - every variable is a structural column shifted by its current lower bound
+     (the shift moves bounds into [b] only — the coefficient matrix never
+     changes);
+   - finite upper bounds are materialised as [x + s = ub - lb] rows, present
+     for every variable that has a finite bound when the tableau is first
+     built, so fixing or tightening a bound later only changes that row's
+     rhs;
+   - [m] identity "tracking" columns (cost 0, never allowed to enter the
+     basis) are appended.  After any sequence of pivots the tracking part of
+     row [r] is row [r] of the basis inverse, so a child's right-hand side is
+     just [B^-1 b0(child bounds)] — one matrix-vector product instead of a
+     refactorisation.
+
+   A bound change leaves the reduced costs untouched (they depend on [A] and
+   [c] only), so the parent's optimal basis stays {e dual}-feasible at the
+   child and the dual simplex re-establishes primal feasibility in a few
+   pivots.  Fallbacks to the cold path: the root basis retains an artificial,
+   a variable acquires its first finite upper bound after the tableau was
+   built (shape break), the basis restore or the dual-feasibility check
+   fails, or the dual iteration cap is hit. *)
+
+type warm = {
+  wm : int;
+  wnstruct : int;
+  wtrack0 : int;
+  wncols : int;
+  wa : float array array;
+  wb : float array;
+  wbasis : int array;
+  wc : float array;  (** minimise-sense costs over non-tracking columns *)
+  wub_row_of : int array;  (** var -> its upper-bound row, or -1 *)
+  wslack_of_row : int array;  (** row -> its slack column, or -1 (Eq rows) *)
+}
+
+(* Right-hand side of the warm tableau under the LP's current bounds. *)
+let warm_b0 lp w =
+  let vars = Lp.vars lp in
+  let constrs = Lp.constrs lp in
+  let b0 = Array.make w.wm 0. in
+  Array.iteri
+    (fun r c ->
+      b0.(r) <-
+        List.fold_left
+          (fun acc (coef, v) -> acc -. (coef *. vars.(v).Lp.lb))
+          c.Lp.rhs c.Lp.terms)
+    constrs;
+  Array.iteri
+    (fun v row -> if row >= 0 then b0.(row) <- vars.(v).Lp.ub -. vars.(v).Lp.lb)
+    w.wub_row_of;
+  b0
+
+let warm_reduced_costs w =
+  let z = Array.copy w.wc in
+  for r = 0 to w.wm - 1 do
+    let cb = w.wc.(w.wbasis.(r)) in
+    if not (Float.equal cb 0.) then begin
+      let arow = w.wa.(r) in
+      for j = 0 to w.wncols - 1 do
+        z.(j) <- z.(j) -. (cb *. arow.(j))
+      done
+    end
+  done;
+  z
+
+let warm_pivot w ~row ~col =
+  let arow = w.wa.(row) in
+  let inv = 1. /. arow.(col) in
+  for j = 0 to w.wncols - 1 do
+    arow.(j) <- arow.(j) *. inv
+  done;
+  w.wb.(row) <- w.wb.(row) *. inv;
+  for r = 0 to w.wm - 1 do
+    if r <> row then begin
+      let arr = w.wa.(r) in
+      let f = arr.(col) in
+      if not (Float.equal f 0.) then begin
+        for j = 0 to w.wncols - 1 do
+          arr.(j) <- arr.(j) -. (f *. arow.(j))
+        done;
+        w.wb.(r) <- w.wb.(r) -. (f *. w.wb.(row))
+      end
+    end
+  done;
+  w.wbasis.(row) <- col
+
+(* Fresh (identity-basis) warm tableau for the LP's current structure, with
+   [wb] set from the current bounds.  [wbasis] is unset (-1). *)
+let warm_skeleton lp =
+  let nv = Lp.n_vars lp in
+  let vars = Lp.vars lp in
+  if Array.exists (fun v -> Float.equal v.Lp.lb neg_infinity) vars then None
+  else begin
+    let constrs = Lp.constrs lp in
+    let nc = Array.length constrs in
+    let ub_vars =
+      Array.to_list vars |> List.filter_map (fun v -> if v.Lp.ub < infinity then Some v.Lp.idx else None)
+    in
+    let m = nc + List.length ub_vars in
+    let n_slack =
+      Array.fold_left
+        (fun acc c -> match c.Lp.sense with Lp.Le | Lp.Ge -> acc + 1 | Lp.Eq -> acc)
+        0 constrs
+      + List.length ub_vars
+    in
+    let wtrack0 = nv + n_slack in
+    let wncols = wtrack0 + m in
+    let wa = Array.init m (fun _ -> Array.make wncols 0.) in
+    let wub_row_of = Array.make nv (-1) in
+    let wslack_of_row = Array.make m (-1) in
+    let slack_cursor = ref nv in
+    Array.iteri
+      (fun r c ->
+        List.iter (fun (coef, v) -> wa.(r).(v) <- wa.(r).(v) +. coef) c.Lp.terms;
+        match c.Lp.sense with
+        | Lp.Le ->
+          wa.(r).(!slack_cursor) <- 1.;
+          wslack_of_row.(r) <- !slack_cursor;
+          incr slack_cursor
+        | Lp.Ge ->
+          wa.(r).(!slack_cursor) <- -1.;
+          wslack_of_row.(r) <- !slack_cursor;
+          incr slack_cursor
+        | Lp.Eq -> ())
+      constrs;
+    List.iteri
+      (fun k v ->
+        let r = nc + k in
+        wa.(r).(v) <- 1.;
+        wa.(r).(!slack_cursor) <- 1.;
+        wslack_of_row.(r) <- !slack_cursor;
+        wub_row_of.(v) <- r;
+        incr slack_cursor)
+      ub_vars;
+    for r = 0 to m - 1 do
+      wa.(r).(wtrack0 + r) <- 1.
+    done;
+    let wc = Array.make wncols 0. in
+    let sign, terms =
+      match Lp.objective lp with Lp.Minimize e -> (1., e) | Lp.Maximize e -> (-1., e)
+    in
+    List.iter (fun (coef, v) -> wc.(v) <- wc.(v) +. (sign *. coef)) terms;
+    let w =
+      {
+        wm = m;
+        wnstruct = nv;
+        wtrack0;
+        wncols;
+        wa;
+        wb = Array.make m 0.;
+        wbasis = Array.make m (-1);
+        wc;
+        wub_row_of;
+        wslack_of_row;
+      }
+    in
+    Array.blit (warm_b0 lp w) 0 w.wb 0 m;
+    Some w
+  end
+
+(* Re-establish the cold tableau's optimal basis on a fresh warm skeleton by
+   Gaussian pivoting, then verify it is dual-feasible.  Returns [None] on any
+   mismatch (caller falls back to cold solves). *)
+let warm_of_tableau lp (t : tableau) =
+  match warm_skeleton lp with
+  | None -> None
+  | Some w ->
+    let exception Fail in
+    (try
+       (* Desired basic columns: the cold basis translated by identity, plus
+          the slacks of the upper-bound rows of cold-fixed variables (absent
+          from the cold tableau; their slack is basic at 0 and keeps reduced
+          cost 0, so dual feasibility is unaffected). *)
+       let desired = Array.make w.wm (-1) in
+       let cursor = ref 0 in
+       let push col =
+         if col < 0 || !cursor >= w.wm then raise Fail;
+         desired.(!cursor) <- col;
+         incr cursor
+       in
+       Array.iter
+         (fun col ->
+           match t.ident_of_col.(col) with
+           | Ivar v -> push v
+           | Islack_constr r -> push w.wslack_of_row.(r)
+           | Islack_ub v -> push w.wslack_of_row.(w.wub_row_of.(v))
+           | Iart -> raise Fail)
+         t.basis;
+       Array.iteri
+         (fun v col ->
+           if col < 0 && w.wub_row_of.(v) >= 0 then
+             push w.wslack_of_row.(w.wub_row_of.(v)))
+         t.col_of_var;
+       if !cursor <> w.wm then raise Fail;
+       Array.sort compare desired;
+       for k = 1 to w.wm - 1 do
+         if desired.(k) = desired.(k - 1) then raise Fail
+       done;
+       let row_done = Array.make w.wm false in
+       Array.iter
+         (fun col ->
+           let best = ref (-1) in
+           for r = 0 to w.wm - 1 do
+             if
+               (not row_done.(r))
+               && abs_float w.wa.(r).(col) > tol
+               && (!best < 0 || abs_float w.wa.(r).(col) > abs_float w.wa.(!best).(col))
+             then best := r
+           done;
+           if !best < 0 then raise Fail;
+           warm_pivot w ~row:!best ~col;
+           row_done.(!best) <- true)
+         desired;
+       let z = warm_reduced_costs w in
+       for j = 0 to w.wtrack0 - 1 do
+         if z.(j) < -.tol then raise Fail
+       done;
+       Some w
+     with Fail -> None)
+
+let copy_warm w =
+  {
+    w with
+    wa = Array.map Array.copy w.wa;
+    wb = Array.copy w.wb;
+    wbasis = Array.copy w.wbasis;
+  }
+
+let solve_relaxation_warm ?(max_iters = 20000) lp =
+  let res, t = solve_cold ~max_iters lp in
+  match res with
+  | Optimal _ -> (res, warm_of_tableau lp t)
+  | _ -> (res, None)
+
+let resolve_dual ?(max_iters = 20000) parent lp =
+  let nv = Lp.n_vars lp in
+  let vars = Lp.vars lp in
+  (* Shape check: the warm tableau must still describe this LP.  A variable
+     whose first finite upper bound appeared after the tableau was built has
+     no ub row — the relaxation would silently drop that bound. *)
+  let shape_ok =
+    nv = parent.wnstruct
+    && Array.for_all
+         (fun v ->
+           (not (Float.equal v.Lp.lb neg_infinity))
+           && (Float.equal v.Lp.ub infinity || parent.wub_row_of.(v.Lp.idx) >= 0))
+         vars
+  in
+  if not shape_ok then None
+  else begin
+    let w = copy_warm parent in
+    (* Child rhs via the tracking columns: b = B^-1 b0(current bounds). *)
+    let b0 = warm_b0 lp w in
+    for r = 0 to w.wm - 1 do
+      let arow = w.wa.(r) in
+      let acc = ref 0. in
+      for k = 0 to w.wm - 1 do
+        acc := !acc +. (arow.(w.wtrack0 + k) *. b0.(k))
+      done;
+      w.wb.(r) <- !acc
+    done;
+    let iters = ref 0 in
+    let verdict = ref None in
+    while !verdict = None do
+      incr iters;
+      (* Leaving row: most negative rhs (Bland-ish after half the budget:
+         lowest row index), deterministic tie-break on the row index. *)
+      let bland = !iters > max_iters / 2 in
+      let leave = ref (-1) in
+      let worst = ref (-.tol) in
+      (try
+         for r = 0 to w.wm - 1 do
+           if w.wb.(r) < -.tol then begin
+             if bland then begin
+               leave := r;
+               raise Exit
+             end
+             else if w.wb.(r) < !worst then begin
+               worst := w.wb.(r);
+               leave := r
+             end
+           end
+         done
+       with Exit -> ());
+      if !leave < 0 then verdict := Some `Primal_feasible
+      else begin
+        let r = !leave in
+        let z = warm_reduced_costs w in
+        let arow = w.wa.(r) in
+        (* Entering column: dual ratio test over non-tracking columns with a
+           negative pivot coefficient; ties break on the column index. *)
+        let enter = ref (-1) in
+        let best_ratio = ref infinity in
+        for j = 0 to w.wtrack0 - 1 do
+          if arow.(j) < -.tol then begin
+            let ratio = z.(j) /. -.arow.(j) in
+            if ratio < !best_ratio -. tol then begin
+              best_ratio := ratio;
+              enter := j
+            end
+          end
+        done;
+        if !enter < 0 then verdict := Some `Infeasible
+        else begin
+          warm_pivot w ~row:r ~col:!enter;
+          if !iters >= max_iters then verdict := Some `Capped
+        end
+      end
+    done;
+    match !verdict with
+    | Some `Capped | None -> None
+    | Some `Infeasible -> Some (Infeasible, None)
+    | Some `Primal_feasible ->
+      let y = Array.make w.wncols 0. in
+      for r = 0 to w.wm - 1 do
+        y.(w.wbasis.(r)) <- w.wb.(r)
+      done;
+      let x = Array.init nv (fun v -> y.(v) +. vars.(v).Lp.lb) in
+      let terms =
+        match Lp.objective lp with Lp.Minimize e -> e | Lp.Maximize e -> e
+      in
+      let obj = List.fold_left (fun acc (coef, v) -> acc +. (coef *. x.(v))) 0. terms in
+      Some (Optimal { x; obj }, Some w)
   end

@@ -19,3 +19,30 @@ val solve_relaxation : ?max_iters:int -> Lp.t -> result
 (** Solves the LP obtained by dropping integrality.
     @raise Invalid_argument if some variable has an infinite lower bound
     (the paper's models never do). *)
+
+(** {2 Warm-started re-solves}
+
+    Branch-and-bound re-solves near-identical LPs where only variable bounds
+    differ.  A {!warm} value snapshots an optimal basis on a
+    {e bound-invariant} tableau (all variables structural, upper bounds as
+    rows, plus identity tracking columns giving the basis inverse), so a
+    child node only recomputes the right-hand side and runs the dual simplex
+    from the parent basis — bound changes leave reduced costs untouched, so
+    that basis stays dual-feasible. *)
+
+type warm
+
+val solve_relaxation_warm : ?max_iters:int -> Lp.t -> result * warm option
+(** Cold two-phase solve plus, when the result is [Optimal], a warm snapshot
+    of its basis.  The snapshot is [None] when the optimal basis cannot be
+    re-established on the warm tableau (it retains an artificial, or the
+    dual-feasibility verification fails) — callers then simply keep cold
+    solving. *)
+
+val resolve_dual : ?max_iters:int -> warm -> Lp.t -> (result * warm option) option
+(** [resolve_dual w lp] re-solves [lp] (same structure, possibly different
+    bounds) by dual simplex from the basis in [w], without mutating [w].
+    [None] means the warm path could not run to completion (structure
+    changed — e.g. a variable acquired its first finite upper bound — or the
+    iteration cap was hit): fall back to a cold solve.  [Some (Infeasible,
+    _)] is a certified infeasibility (dual unbounded). *)

@@ -10,17 +10,47 @@
    (O(len)) on the next query, so a burst of queries between two updates —
    the scheduler's estimate phase — pays the rebuild once. *)
 
+(* One journal record per destructive [add_from]: the pre-mutation tail of the
+   breakpoint arrays starting at the first index the update could touch.
+   Structural snapshots (rather than replaying the inverse delta) are the only
+   exact undo: float addition does not round-trip ((v +. x) -. x <> v in
+   general) and [coalesce]/eps-snapping destroy structure that arithmetic
+   cannot rebuild.  Entries below [j_from] are never modified by [add_from]
+   ([coalesce] can only merge at or after the first touched index), so
+   restoring the tail restores the staircase bit-for-bit. *)
+type journal_entry = {
+  j_from : int;
+  j_xs : float array;
+  j_vs : float array;
+  j_len : int;
+}
+
+type mark = int
+
 type t = {
   mutable xs : float array;
   mutable vs : float array;
   mutable len : int;
   mutable suffmin : float array;
   mutable suffmin_ok : bool;
+  mutable journaling : bool;
+  mutable journal : journal_entry list;
+  mutable jdepth : int;
 }
 
 let eps = 1e-9
 
-let create v = { xs = [| 0. |]; vs = [| v |]; len = 1; suffmin = [||]; suffmin_ok = false }
+let create v =
+  {
+    xs = [| 0. |];
+    vs = [| v |];
+    len = 1;
+    suffmin = [||];
+    suffmin_ok = false;
+    journaling = false;
+    journal = [];
+    jdepth = 0;
+  }
 
 let copy s =
   {
@@ -29,7 +59,17 @@ let copy s =
     len = s.len;
     suffmin = Array.copy s.suffmin;
     suffmin_ok = s.suffmin_ok;
+    journaling = false;
+    journal = [];
+    jdepth = 0;
   }
+
+let set_journal s on =
+  s.journaling <- on;
+  s.journal <- [];
+  s.jdepth <- 0
+
+let mark s = s.jdepth
 
 let ensure_capacity s n =
   let cap = Array.length s.xs in
@@ -73,6 +113,20 @@ let add_from s t delta =
   if not (Float.equal delta 0.) then begin
     s.suffmin_ok <- false;
     let i = step_index s t in
+    if s.journaling then begin
+      (* Snapshot the tail from [i]: every code path below (snap-to-i,
+         snap-to-i+1, split at i+1, the delta loop, coalesce) only writes at
+         index [i] or later. *)
+      s.journal <-
+        {
+          j_from = i;
+          j_xs = Array.sub s.xs i (s.len - i);
+          j_vs = Array.sub s.vs i (s.len - i);
+          j_len = s.len;
+        }
+        :: s.journal;
+      s.jdepth <- s.jdepth + 1
+    end;
     let start =
       (* Snap onto a breakpoint within eps instead of splitting: repeated
          just-in-time transfer times ([start -. comm]) land eps-close to
@@ -97,6 +151,21 @@ let add_from s t delta =
     done;
     coalesce s
   end
+
+let undo_to s m =
+  if m > s.jdepth then invalid_arg "Staircase.undo_to: mark is ahead of the journal";
+  while s.jdepth > m do
+    match s.journal with
+    | [] -> invalid_arg "Staircase.undo_to: journal underflow"
+    | e :: rest ->
+        ensure_capacity s e.j_len;
+        Array.blit e.j_xs 0 s.xs e.j_from (Array.length e.j_xs);
+        Array.blit e.j_vs 0 s.vs e.j_from (Array.length e.j_vs);
+        s.len <- e.j_len;
+        s.suffmin_ok <- false;
+        s.journal <- rest;
+        s.jdepth <- s.jdepth - 1
+  done
 
 let add_range s t1 t2 delta =
   if t1 > t2 then invalid_arg "Staircase.add_range: t1 > t2";

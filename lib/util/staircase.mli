@@ -63,5 +63,31 @@ val length : t -> int
 (** Number of stored breakpoints (after lazy coalescing). *)
 
 val copy : t -> t
+(** Deep copy of the current function.  The copy starts with journaling off
+    and an empty journal regardless of the source's journal state. *)
+
+(** {2 Mutation journal}
+
+    Exact structural undo for {!add_from}, used by the exact solver's
+    commit/undo search state (backtracking instead of deep-copying the
+    scheduler state at every branch-and-bound node).  Undo restores the
+    breakpoint arrays bit-for-bit: replaying [add_from t (-.delta)] would not
+    (float addition does not round-trip, and eps-snapping/coalescing destroy
+    structure). *)
+
+type mark
+(** A position in the mutation journal. *)
+
+val set_journal : t -> bool -> unit
+(** [set_journal s on] enables or disables journaling.  Both directions reset
+    the journal to empty; marks taken before the call are invalidated. *)
+
+val mark : t -> mark
+(** Current journal position.  Only valid while journaling is on. *)
+
+val undo_to : t -> mark -> unit
+(** [undo_to s m] rewinds every mutation recorded after [mark s] returned [m],
+    restoring the staircase to its exact state at that point.  Marks must be
+    consumed LIFO. *)
 
 val pp : Format.formatter -> t -> unit

@@ -425,6 +425,103 @@ let exact_schedules_validate =
       | Some s -> Result.is_ok (Validator.validate g p s)
       | None -> true)
 
+(* A provably infeasible cap, mirroring lib/check Fuzz_gen's "below-min"
+   platform regime: no single-memory placement of the widest task fits. *)
+let test_exact_proven_infeasible () =
+  let g = dag_of_seed ~size:8 7 in
+  let m = 0.99 *. Lower_bound.min_memory g in
+  let p = Platform.make ~p_blue:2 ~p_red:2 ~m_blue:m ~m_red:m in
+  let r = Exact.solve g p in
+  check_bool "infeasible" true (r.Exact.status = Exact.Proven_infeasible);
+  check_bool "nan makespan" true (Float.is_nan r.Exact.makespan);
+  check_float "bound is infinity" infinity r.Exact.best_bound;
+  let rr = Exact.solve_reference g p in
+  check_bool "reference agrees" true (rr.Exact.status = Exact.Proven_infeasible)
+
+(* Under a tiny node budget the status depends on whether the heuristics
+   seeded an incumbent: Feasible with the seed, Unknown without. *)
+let test_exact_feasible_vs_unknown () =
+  let p = dex_platform 5. in
+  let seeded = Exact.solve ~node_limit:2 dex p in
+  check_bool "seeded: Feasible" true (seeded.Exact.status = Exact.Feasible);
+  check_bool "seeded: has schedule" true (Option.is_some seeded.Exact.schedule);
+  let blind = Exact.solve ~node_limit:2 ~seed_incumbent:false dex p in
+  check_bool "unseeded: Unknown" true (blind.Exact.status = Exact.Unknown);
+  check_bool "unseeded: nan makespan" true (Float.is_nan blind.Exact.makespan)
+
+(* best_bound: certified runs close the gap, capped runs report a bound no
+   larger than the incumbent. *)
+let test_exact_best_bound () =
+  let proven = Exact.solve dex (dex_platform 4.) in
+  check_float "proven: gap closed" proven.Exact.makespan proven.Exact.best_bound;
+  let capped = Exact.solve ~node_limit:3 dex (dex_platform 5.) in
+  check_bool "capped status" true (capped.Exact.status = Exact.Feasible);
+  check_bool "bound below incumbent" true
+    (capped.Exact.best_bound <= capped.Exact.makespan +. 1e-9);
+  check_bool "bound nonnegative" true (capped.Exact.best_bound >= 0.)
+
+let bits f = Int64.bits_of_float f
+
+(* The undo-based search in reference-parity mode (no dominance, no frontier
+   split) must visit the same tree as the copy-based reference: same status,
+   same makespan bit for bit, same node count. *)
+let exact_undo_matches_reference =
+  qtest ~count:50 "undo search == reference (status, makespan, nodes)"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = dag_of_seed ~size:7 seed in
+      let p0 = Platform.unbounded ~p_blue:2 ~p_red:1 in
+      let peak = Outcome.peak_max (Outcome.run Heuristics.HEFT g p0) in
+      let p = Platform.with_bounds p0 ~m_blue:(0.75 *. peak) ~m_red:(0.75 *. peak) in
+      let r = Exact.solve_reference ~node_limit:60_000 g p in
+      let u = Exact.solve ~frontier:1 ~dominance:false ~node_limit:60_000 g p in
+      r.Exact.status = u.Exact.status
+      && Int64.equal (bits r.Exact.makespan) (bits u.Exact.makespan)
+      && r.Exact.nodes = u.Exact.nodes)
+
+(* The full solver (dominance pruning + frontier decomposition) agrees with
+   the reference whenever both certify: pruning must never change the
+   certified optimum or flip feasibility. *)
+let exact_dominance_agrees_with_reference =
+  qtest ~count:30 "dominance/frontier solver agrees when both certify"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = dag_of_seed ~size:7 seed in
+      let p0 = Platform.unbounded ~p_blue:2 ~p_red:1 in
+      let peak = Outcome.peak_max (Outcome.run Heuristics.HEFT g p0) in
+      let p = Platform.with_bounds p0 ~m_blue:(0.75 *. peak) ~m_red:(0.75 *. peak) in
+      let r = Exact.solve_reference ~node_limit:60_000 g p in
+      let o = Exact.solve ~node_limit:60_000 g p in
+      match (r.Exact.status, o.Exact.status) with
+      | Exact.Proven_optimal, Exact.Proven_optimal ->
+        Float.abs (r.Exact.makespan -. o.Exact.makespan) <= 1e-6
+      | Exact.Proven_infeasible, s -> s = Exact.Proven_infeasible
+      | s, Exact.Proven_infeasible -> s = Exact.Proven_infeasible
+      | _ -> true)
+
+(* The parallel decomposition is jobs-invariant by construction: pool absent,
+   1-job pool and multi-job pool return identical results, including node
+   counts. *)
+let exact_jobs_invariant =
+  qtest ~count:10 "exact solve is jobs-invariant"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = dag_of_seed ~size:7 seed in
+      let p0 = Platform.unbounded ~p_blue:2 ~p_red:2 in
+      let peak = Outcome.peak_max (Outcome.run Heuristics.HEFT g p0) in
+      let p = Platform.with_bounds p0 ~m_blue:(0.8 *. peak) ~m_red:(0.8 *. peak) in
+      let serial = Exact.solve ~node_limit:20_000 g p in
+      let with_jobs jobs =
+        Par.with_pool ~jobs (fun pool -> Exact.solve ~pool ~node_limit:20_000 g p)
+      in
+      let same (a : Exact.result) (b : Exact.result) =
+        a.Exact.status = b.Exact.status
+        && Int64.equal (bits a.Exact.makespan) (bits b.Exact.makespan)
+        && Int64.equal (bits a.Exact.best_bound) (bits b.Exact.best_bound)
+        && a.Exact.nodes = b.Exact.nodes
+      in
+      same serial (with_jobs 1) && same serial (with_jobs 2) && same serial (with_jobs 4))
+
 (* ---------------------------------------------------------- properties --- *)
 
 (* Random small LP whose text form round-trips exactly: integer-valued
@@ -495,6 +592,29 @@ let lp_roundtrip_property =
            (fun k -> constr_eq k constrs.(k) constrs'.(k))
            (List.init (Array.length constrs) Fun.id)
       && obj_eq)
+
+(* Warm-started node LPs are a pure optimisation: on random small MILPs the
+   warm and cold modes must reach the same proven verdict, and the same
+   optimum up to LP-solver rounding (the dual simplex may stop at a
+   different optimal vertex, so bit-equality is not required and the two
+   modes may even explore differently shaped trees). *)
+let mip_warm_matches_cold =
+  qtest ~count:60 "warm-started MIP == cold MIP (proven status, objective)" seed_arb
+    (fun seed ->
+      let lp = random_roundtrip_lp seed in
+      let limit = 2_000 in
+      let cold = Mip.solve ~node_limit:limit ~warm_start:false lp in
+      let warm = Mip.solve ~node_limit:limit ~warm_start:true lp in
+      if cold.Mip.nodes >= limit || warm.Mip.nodes >= limit then true
+      else
+        match (cold.Mip.status, warm.Mip.status) with
+        | Mip.Optimal, Mip.Optimal -> (
+          match (cold.Mip.incumbent, warm.Mip.incumbent) with
+          | Some (_, a), Some (_, b) -> Float.abs (a -. b) <= 1e-6 *. (1. +. Float.abs a)
+          | _ -> false)
+        | Mip.Infeasible, Mip.Infeasible -> true
+        | (Mip.Optimal | Mip.Infeasible), (Mip.Optimal | Mip.Infeasible) -> false
+        | _ -> true)
 
 (* Gaussian elimination with partial pivoting on a tiny dense system;
    [None] when (numerically) singular. *)
@@ -650,5 +770,12 @@ let () =
           Alcotest.test_case "node budget" `Quick test_exact_node_budget;
           Alcotest.test_case "optimal_makespan" `Quick test_exact_optimal_makespan;
           exact_dominates_heuristics;
-          exact_schedules_validate ] );
-      ("property", [ lp_roundtrip_property; simplex_matches_vertex_enumeration ]) ]
+          exact_schedules_validate;
+          Alcotest.test_case "proven infeasible" `Quick test_exact_proven_infeasible;
+          Alcotest.test_case "feasible vs unknown" `Quick test_exact_feasible_vs_unknown;
+          Alcotest.test_case "best bound" `Quick test_exact_best_bound;
+          exact_undo_matches_reference;
+          exact_dominance_agrees_with_reference;
+          exact_jobs_invariant ] );
+      ("property",
+        [ lp_roundtrip_property; mip_warm_matches_cold; simplex_matches_vertex_enumeration ]) ]

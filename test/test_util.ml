@@ -271,6 +271,34 @@ let stair_suffix_is_correct =
       | None -> not (ok_from 21.)
       | Some t -> ok_from t && (Float.equal t 0. || not (ok_from (t -. 0.25))))
 
+(* The journal must restore the staircase bit-for-bit: after [undo_to] the
+   breakpoint list (times and values) and the final value equal those of a
+   [copy] taken at the mark, under polymorphic compare (bitwise on floats
+   here — every value is a finite sum of the same terms). *)
+let stair_journal_undo_bitwise =
+  qtest ~count:300 "journal undo_to restores the mark state bit-for-bit"
+    QCheck.(triple stair_jittered_ops stair_jittered_ops stair_jittered_ops)
+    (fun (pre, mid, post) ->
+      let s = Staircase.create 50. in
+      stair_apply_jittered s pre;
+      Staircase.set_journal s true;
+      let same_as snap =
+        compare (Staircase.breakpoints s) (Staircase.breakpoints snap) = 0
+        && Float.equal (Staircase.final_value s) (Staircase.final_value snap)
+        && Staircase.length s = Staircase.length snap
+      in
+      let m1 = Staircase.mark s in
+      let c1 = Staircase.copy s in
+      stair_apply_jittered s mid;
+      (* marks are LIFO: undo the inner one first, then the outer one *)
+      let m2 = Staircase.mark s in
+      let c2 = Staircase.copy s in
+      stair_apply_jittered s post;
+      Staircase.undo_to s m2;
+      let inner_ok = same_as c2 in
+      Staircase.undo_to s m1;
+      inner_ok && same_as c1)
+
 (* ----------------------------------------------------------------- Fp --- *)
 
 let fp_lb_plus_sound =
@@ -458,7 +486,8 @@ let () =
           stair_fast_queries_match_scan;
           stair_min_from_brute;
           stair_matches_reference;
-          stair_suffix_is_correct ] );
+          stair_suffix_is_correct;
+          stair_journal_undo_bitwise ] );
       ( "fp",
         [ fp_lb_plus_sound;
           Alcotest.test_case "lb_plus cases" `Quick test_fp_lb_plus_exact;

@@ -1,6 +1,6 @@
 TMP ?= /tmp/memsched-verify
 
-.PHONY: all build test lint lint-json bench bench-smoke bench-exact bench-exact-smoke fuzz-smoke verify clean
+.PHONY: all build test lint lint-json bench bench-smoke bench-exact bench-exact-smoke bench-serve serve-smoke fuzz-smoke verify clean
 
 all: build
 
@@ -42,6 +42,42 @@ bench-exact-smoke: build
 	jq -e '.bench == "exact" and (.entries | length > 0) and ([.entries[] | select(.section == "jobs") | .identical] | all)' results/BENCH_exact.json > /dev/null
 	@echo "bench-exact-smoke OK"
 
+# Daemon bench (campaign/serve): burst throughput and completion latency of
+# the scheduling daemon at --jobs 1/2/8, cold vs warm result cache.  Writes
+# results/BENCH_serve.json; every row must report a byte-identical response
+# stream and a fully-cached warm pass.
+bench-serve: build
+	dune exec bench/main.exe -- --only-serve
+	test -s results/BENCH_serve.json
+	jq -e '.bench == "serve" and (.entries | length > 0) and ([.entries[] | .identical] | all) and ([.entries[] | select(.phase == "warm") | .computed == 0] | all)' results/BENCH_serve.json > /dev/null
+	@echo "bench-serve OK"
+
+# End-to-end smoke of the scheduling daemon: a fixed-seed DAG through every
+# algorithm selector, piped through `serve` at --jobs 1 and 2 — the response
+# streams must be byte-identical to each other, to a doubled (warm-cache)
+# replay, and to the committed golden transcript.
+serve-smoke: build
+	mkdir -p $(TMP)
+	dune exec bin/memsched_cli.exe -- generate daggen --size 20 --seed 2014 -o $(TMP)/serve_dag.txt 2> /dev/null
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo memheft --id 1 --m-blue 80 --m-red 80 -o $(TMP)/serve_req.bin
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo memminmin --id 2 --m-blue 80 --m-red 80 -o $(TMP)/serve_req.bin --append
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo memmaxmin --id 3 --m-blue 80 --m-red 80 -o $(TMP)/serve_req.bin --append
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo memsufferage --id 4 --m-blue 80 --m-red 80 -o $(TMP)/serve_req.bin --append
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo heft --id 5 -o $(TMP)/serve_req.bin --append
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo minmin --id 6 -o $(TMP)/serve_req.bin --append
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo maxmin --id 7 -o $(TMP)/serve_req.bin --append
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo sufferage --id 8 -o $(TMP)/serve_req.bin --append
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo multistart --id 9 --seed 2014 --restarts 4 --m-blue 80 --m-red 80 -o $(TMP)/serve_req.bin --append
+	dune exec bin/memsched_cli.exe -- serve-req $(TMP)/serve_dag.txt --algo exact --id 10 --node-limit 5000 --m-blue 80 --m-red 80 -o $(TMP)/serve_req.bin --append
+	dune exec bin/memsched_cli.exe -- serve --jobs 1 -q < $(TMP)/serve_req.bin > $(TMP)/serve_out1.bin
+	dune exec bin/memsched_cli.exe -- serve --jobs 2 -q < $(TMP)/serve_req.bin > $(TMP)/serve_out2.bin
+	cmp $(TMP)/serve_out1.bin $(TMP)/serve_out2.bin
+	cat $(TMP)/serve_req.bin $(TMP)/serve_req.bin | dune exec bin/memsched_cli.exe -- serve --jobs 2 -q > $(TMP)/serve_double.bin
+	cat $(TMP)/serve_out1.bin $(TMP)/serve_out1.bin | cmp - $(TMP)/serve_double.bin
+	cmp $(TMP)/serve_out1.bin test/golden/serve_smoke.bin
+	dune exec bin/memsched_cli.exe -- serve-show test/golden/serve_smoke.bin > /dev/null
+	@echo "serve-smoke OK"
+
 # Fixed-seed differential-fuzzing smoke run: 500 cases through the whole
 # oracle registry (lib/check), on the parallel runtime.  Any violation
 # exits non-zero and serialises the shrunk instance into test/corpus/.
@@ -51,7 +87,7 @@ fuzz-smoke: build
 # Tier-1 verification plus a smoke run of the parallel runtime: the CLI is
 # driven end-to-end with --jobs 2 (multistart over the domain pool, then a
 # figure regeneration), so the parallel path is exercised on every run.
-verify: build lint test bench-smoke bench-exact-smoke fuzz-smoke
+verify: build lint test bench-smoke bench-exact-smoke serve-smoke fuzz-smoke
 	mkdir -p $(TMP)
 	dune exec bin/memsched_cli.exe -- generate daggen --size 30 --seed 2014 -o $(TMP)/dag.txt
 	dune exec bin/memsched_cli.exe -- schedule $(TMP)/dag.txt -H memheft --restarts 8 --jobs 2

@@ -3,10 +3,11 @@
    micro-benchmarks of the library's hot paths.
 
    Usage: main.exe [--quick | --paper] [--skip-micro] [--skip-figures]
-                   [--only-exact] [--jobs N]
+                   [--only-exact] [--only-serve] [--jobs N]
    Default scale completes in a few minutes; --paper runs the full SS 6
    campaign (50x30, 100x1000, 13x13 with the complete alpha grid).
    --only-exact runs just the campaign/exact section (results/BENCH_exact.json).
+   --only-serve runs just the campaign/serve section (results/BENCH_serve.json).
    --jobs N fans the campaign out over a N-domain Par pool (results are
    bit-identical for every N; default: recognised CPUs). *)
 
@@ -275,6 +276,140 @@ let run_exact_bench scale out_dir =
            "single-core container: the jobs sweep measures determinism overhead, not speedup") ]
     (List.rev !entries)
 
+(* --------------------------------------------------- campaign/serve ------ *)
+
+(* Throughput and completion-latency of the scheduling daemon (lib/serve):
+   a burst of distinct requests is piped through the real [Server.serve]
+   loop — writer domain in, server domain on the pool, response frames
+   timestamped here as they arrive — first against a cold result cache,
+   then replayed against the warm one, at --jobs 1/2/8.  Emits
+   results/BENCH_serve.json.  The response-stream digest is cross-checked
+   on every row: every jobs count and both cache states must produce the
+   identical bytes (the daemon's core contract). *)
+let run_serve_bench scale out_dir =
+  Printf.printf "\n==== campaign/serve -- daemon throughput, cold vs warm cache ====\n\n%!";
+  let quick = scale = `Quick in
+  let n_requests = if quick then 24 else 60 in
+  let size = if quick then 40 else 80 in
+  let dags = Workloads.large_rand_set ~count:n_requests ~size () in
+  let platform = Workloads.platform_random in
+  let algos =
+    [| Heuristics.MemHEFT; Heuristics.MemMinMin; Heuristics.HEFT; Heuristics.MinMin |]
+  in
+  let script =
+    String.concat ""
+      (List.mapi
+         (fun k g ->
+           let req =
+             { Wire.id = Int64.of_int (k + 1); algo = Wire.Heuristic algos.(k mod 4); seed = 0L;
+               restarts = 0; node_limit = 0; platform; dag = g }
+           in
+           Wire.frame (Wire.encode_message (Wire.Request req)))
+         dags)
+  in
+  let write_all fd s =
+    let b = Bytes.unsafe_of_string s in
+    let rec go off =
+      if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+    in
+    go 0
+  in
+  let read_exact fd n =
+    let buf = Bytes.create n in
+    let rec go off =
+      if off = n then Some (Bytes.unsafe_to_string buf)
+      else
+        match Unix.read fd buf off (n - off) with 0 -> None | k -> go (off + k)
+    in
+    go 0
+  in
+  (* One pass of the whole script through a server sharing [pool] and
+     [cache]; returns wall time, per-response completion times and the
+     digest of the response byte stream. *)
+  let run_pass pool cache =
+    let in_r, in_w = Unix.pipe () and out_r, out_w = Unix.pipe () in
+    let writer =
+      Domain.spawn (fun () ->
+          write_all in_w script;
+          Unix.close in_w)
+    in
+    let server =
+      Domain.spawn (fun () ->
+          let c = Server.serve ~pool ~cache ~input:in_r ~output:out_w () in
+          Unix.close out_w;
+          c)
+    in
+    let t0 = Unix.gettimeofday () in
+    let times = ref [] and all = Buffer.create 4096 in
+    let rec read_frames () =
+      match read_exact out_r 4 with
+      | None -> ()
+      | Some prefix -> (
+        let declared = Int32.to_int (String.get_int32_be prefix 0) land 0xFFFF_FFFF in
+        match read_exact out_r declared with
+        | None -> ()
+        | Some payload ->
+          times := (Unix.gettimeofday () -. t0) :: !times;
+          Buffer.add_string all prefix;
+          Buffer.add_string all payload;
+          read_frames ())
+    in
+    read_frames ();
+    let wall = Unix.gettimeofday () -. t0 in
+    let counters = Domain.join server in
+    Domain.join writer;
+    Unix.close in_r;
+    Unix.close out_r;
+    let times = Array.of_list (List.rev !times) in
+    Array.sort Float.compare times;
+    (wall, times, Digest.to_hex (Digest.string (Buffer.contents all)), counters)
+  in
+  let pct times q =
+    let n = Array.length times in
+    if n = 0 then nan
+    else times.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+  in
+  let entries = ref [] in
+  let reference = ref None in
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun pool ->
+          let cache = Serve_cache.create () in
+          List.iter
+            (fun phase ->
+              let wall, times, digest, c = run_pass pool cache in
+              let identical =
+                match !reference with
+                | None ->
+                  reference := Some digest;
+                  true
+                | Some d -> d = digest
+              in
+              let rps = float_of_int n_requests /. wall in
+              let p50 = 1e3 *. pct times 0.50 and p99 = 1e3 *. pct times 0.99 in
+              Printf.printf
+                "--jobs %d  %-5s %3d req  %7.3f s  %8.1f req/s  p50 %7.2f ms  p99 %7.2f ms  \
+                 computed %2d  identical %b\n%!"
+                jobs phase n_requests wall rps p50 p99 c.Server.computed identical;
+              entries :=
+                [ ("jobs", Bench_json.I jobs); ("phase", Bench_json.S phase);
+                  ("n_requests", Bench_json.I n_requests); ("wall_s", Bench_json.F wall);
+                  ("rps", Bench_json.F rps); ("p50_ms", Bench_json.F p50);
+                  ("p99_ms", Bench_json.F p99); ("computed", Bench_json.I c.Server.computed);
+                  ("served", Bench_json.I c.Server.served); ("digest", Bench_json.S digest);
+                  ("identical", Bench_json.B identical) ]
+                :: !entries)
+            [ "cold"; "warm" ]))
+    [ 1; 2; 8 ];
+  Bench_json.write ~out_dir ~file:"BENCH_serve.json" ~bench:"serve"
+    ~scale:(match scale with `Quick -> "quick" | `Paper -> "paper" | `Default -> "default")
+    ~extra:
+      [ ("note",
+         Bench_json.S
+           "completion-time percentiles under a one-flush burst; single-core container: the jobs \
+            sweep pins byte-identity, not speedup") ]
+    (List.rev !entries)
+
 (* ------------------------------------------------------ micro-benchmarks *)
 
 open Bechamel
@@ -375,12 +510,14 @@ let () =
   in
   let out_dir = "results" in
   if List.mem "--only-exact" args then run_exact_bench scale out_dir
+  else if List.mem "--only-serve" args then run_serve_bench scale out_dir
   else begin
     if not (List.mem "--skip-figures" args) then
       Par.with_pool ~jobs (fun pool -> run_figures scale pool out_dir);
     run_sweep_par_bench jobs;
     run_hotpath_bench scale out_dir;
     run_exact_bench scale out_dir;
+    run_serve_bench scale out_dir;
     if not (List.mem "--skip-micro" args) then run_micro ()
   end;
   Printf.printf "\nAll sections complete; CSVs in %s/\n" out_dir

@@ -12,7 +12,12 @@
                  registry (lib/check), with shrinking + corpus capture
      lint        compiler-libs static analysis enforcing the repo's
                  determinism / float-discipline / domain-safety /
-                 io-purity / order-stability invariants (lib/lint) *)
+                 io-purity / order-stability invariants (lib/lint)
+     serve       persistent scheduling daemon: length-prefixed binary
+                 requests in (stdin or a unix socket), responses out,
+                 sharded over the domain pool with an LRU result cache
+     serve-req   build binary request frames for the daemon from DAG files
+     serve-show  decode a file of frames into human-readable text *)
 
 open Cmdliner
 
@@ -378,6 +383,244 @@ let lint_cmd =
           domain-safety, io-purity and order-stability invariants.  Exit code 1 on findings.")
     Term.(ret (const run $ root $ rules $ format $ jobs_term))
 
+(* ------------------------------------------------------------------ serve *)
+
+let serve_algo_conv =
+  Arg.enum
+    [ ("heft", Wire.Heuristic Heuristics.HEFT); ("minmin", Wire.Heuristic Heuristics.MinMin);
+      ("memheft", Wire.Heuristic Heuristics.MemHEFT);
+      ("memminmin", Wire.Heuristic Heuristics.MemMinMin);
+      ("maxmin", Wire.Heuristic Heuristics.MaxMin);
+      ("sufferage", Wire.Heuristic Heuristics.Sufferage);
+      ("memmaxmin", Wire.Heuristic Heuristics.MemMaxMin);
+      ("memsufferage", Wire.Heuristic Heuristics.MemSufferage);
+      ("multistart", Wire.Multistart); ("exact", Wire.Exact) ]
+
+let algo_to_string = function
+  | Wire.Heuristic h -> Heuristics.name_to_string h
+  | Wire.Multistart -> "multistart"
+  | Wire.Exact -> "exact"
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a unix-domain socket at $(docv) instead of serving stdin/stdout.  \
+             Connections are served one after another with a shared pool and warm cache, until \
+             SIGINT.")
+  in
+  let cache_entries =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-entries" ] ~docv:"N" ~doc:"Result-cache capacity in entries.")
+  in
+  let cache_bytes =
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "cache-bytes" ] ~docv:"B" ~doc:"Result-cache capacity in response-body bytes.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the result cache (recompute every request).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Bound on responses buffered for in-order emission before reading stalls.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Do not print the counters summary to stderr.")
+  in
+  let run jobs socket cache_entries cache_bytes no_cache max_inflight quiet =
+    let stop_flag = Atomic.make false in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true));
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    let stop () = Atomic.get stop_flag in
+    let cache =
+      if no_cache then None
+      else Some (Serve_cache.create ~max_entries:cache_entries ~max_bytes:cache_bytes ())
+    in
+    let report c = if not quiet then Format.eprintf "serve: %a@." Server.pp_counters c in
+    Par.with_pool ~jobs @@ fun pool ->
+    match socket with
+    | None ->
+      report (Server.serve ~pool ?cache ~max_inflight ~stop ~input:Unix.stdin ~output:Unix.stdout ())
+    | Some path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        if not (stop ()) then
+          match Unix.accept sock with
+          | fd, _ ->
+            report (Server.serve ~pool ?cache ~max_inflight ~stop ~input:fd ~output:fd ());
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            accept_loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      in
+      accept_loop ();
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent scheduling daemon: length-prefixed binary request frames in, response frames \
+          out, in request order.  Identical request bytes always produce identical response \
+          bytes, for every --jobs value and cache state.")
+    Term.(
+      const run $ jobs_term $ socket $ cache_entries $ cache_bytes $ no_cache $ max_inflight
+      $ quiet)
+
+let serve_req_cmd =
+  let dags =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"DAG" ~doc:"DAG files (one request frame per file, in argument order).")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt serve_algo_conv (Wire.Heuristic Heuristics.MemHEFT)
+      & info [ "algo"; "H" ]
+          ~doc:
+            "heft | minmin | memheft | memminmin | maxmin | sufferage | memmaxmin | memsufferage \
+             | multistart | exact.")
+  in
+  let id =
+    Arg.(
+      value & opt int64 1L
+      & info [ "id" ] ~docv:"N" ~doc:"Id of the first request; later files count up from it.")
+  in
+  let seed =
+    Arg.(value & opt int64 2014L & info [ "seed" ] ~docv:"S" ~doc:"Multistart tie-breaking seed.")
+  in
+  let restarts =
+    Arg.(
+      value & opt int 8
+      & info [ "restarts" ] ~docv:"K" ~doc:"Multistart passes beyond the deterministic one.")
+  in
+  let node_limit =
+    Arg.(value & opt int 200_000 & info [ "node-limit" ] ~docv:"N" ~doc:"Exact-solver node budget.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Append a stats-request frame after the request frames.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout by default).")
+  in
+  let append =
+    Arg.(value & flag & info [ "append" ] ~doc:"Append to the output file instead of truncating.")
+  in
+  let run platform dags algo id seed restarts node_limit stats out append =
+    let buf = Buffer.create 4096 in
+    List.iteri
+      (fun i path ->
+        let req =
+          {
+            Wire.id = Int64.add id (Int64.of_int i);
+            algo;
+            seed;
+            restarts;
+            node_limit;
+            platform;
+            dag = read_dag path;
+          }
+        in
+        Buffer.add_string buf (Wire.frame (Wire.encode_message (Wire.Request req))))
+      dags;
+    if stats then begin
+      let sid = Int64.add id (Int64.of_int (List.length dags)) in
+      Buffer.add_string buf (Wire.frame (Wire.encode_message (Wire.Stats_request sid)))
+    end;
+    match out with
+    | None ->
+      set_binary_mode_out stdout true;
+      print_string (Buffer.contents buf)
+    | Some path ->
+      let flags =
+        if append then [ Open_wronly; Open_creat; Open_append; Open_binary ]
+        else [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+      in
+      let oc = open_out_gen flags 0o644 path in
+      output_string oc (Buffer.contents buf);
+      close_out oc
+  in
+  Cmd.v
+    (Cmd.info "serve-req" ~doc:"Build binary request frames for the scheduling daemon.")
+    Term.(
+      const run $ platform_term $ dags $ algo $ id $ seed $ restarts $ node_limit $ stats $ out
+      $ append)
+
+let serve_show_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Frame file, requests or responses (stdin by default).")
+  in
+  let pp_proof = function
+    | Wire.Heuristic_result -> ""
+    | Wire.Exact_optimal { nodes; bound } -> Printf.sprintf " optimal nodes=%d bound=%g" nodes bound
+    | Wire.Exact_budget { nodes; bound } ->
+      Printf.sprintf " budget-hit nodes=%d bound=%g" nodes bound
+  in
+  let pp_message = function
+    | Wire.Request r ->
+      Printf.printf "#%Ld request %s tasks=%d edges=%d seed=%Ld restarts=%d node-limit=%d\n"
+        r.Wire.id (algo_to_string r.Wire.algo) (Dag.n_tasks r.Wire.dag) (Dag.n_edges r.Wire.dag)
+        r.Wire.seed r.Wire.restarts r.Wire.node_limit
+    | Wire.Stats_request id -> Printf.printf "#%Ld stats-request\n" id
+    | Wire.Response { rid; body } -> (
+      match body with
+      | Wire.Schedule b ->
+        Printf.printf "#%Ld %s: makespan=%g peaks=(%g, %g)%s\n" rid (algo_to_string b.Wire.r_algo)
+          b.Wire.makespan b.Wire.peak_blue b.Wire.peak_red (pp_proof b.Wire.proof)
+      | Wire.Infeasible { n_scheduled; reason } ->
+        Printf.printf "#%Ld infeasible after %d tasks: %s\n" rid n_scheduled reason
+      | Wire.Failure { code; message } -> Printf.printf "#%Ld error %d: %s\n" rid code message
+      | Wire.Stats_reply s ->
+        Printf.printf "#%Ld stats: requests=%d hits=%d misses=%d computed=%d errors=%d\n" rid
+          s.Wire.requests s.Wire.cache_hits s.Wire.cache_misses s.Wire.computed s.Wire.errors)
+  in
+  let run file =
+    let s =
+      match file with
+      | Some path ->
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      | None ->
+        set_binary_mode_in stdin true;
+        let b = Buffer.create 4096 in
+        (try
+           while true do
+             Buffer.add_channel b stdin 1
+           done
+         with End_of_file -> ());
+        Buffer.contents b
+    in
+    match Wire.decode_stream s with
+    | Ok msgs ->
+      List.iter pp_message msgs;
+      `Ok ()
+    | Error e -> `Error (false, Wire.error_to_string e)
+  in
+  Cmd.v
+    (Cmd.info "serve-show" ~doc:"Decode a file of daemon frames into human-readable text.")
+    Term.(ret (const run $ file))
+
 (* ------------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -429,4 +672,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; schedule_cmd; validate_cmd; exact_cmd; export_lp_cmd; check_cmd;
-            lint_cmd; experiment_cmd ]))
+            lint_cmd; serve_cmd; serve_req_cmd; serve_show_cmd; experiment_cmd ]))

@@ -298,6 +298,115 @@ let o_serialization =
   in
   { name = "serialization"; doc = "DAG and instance text formats round-trip exactly"; check }
 
+(* The daemon's binary codec (lib/serve): encode→decode→encode must be a
+   byte-level fixpoint on every message this instance can produce, decoding
+   must be total (an error value, never an exception, never a hang) on
+   truncated and corrupted bytes, and the cache key must quotient out
+   exactly the request id — nothing more, nothing less. *)
+let o_wire =
+  let algo_label = function
+    | Wire.Heuristic h -> Heuristics.name_to_string h
+    | Wire.Multistart -> "multistart"
+    | Wire.Exact -> "exact"
+  in
+  let flip s pos =
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+    Bytes.unsafe_to_string b
+  in
+  let check cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    let errs = ref [] in
+    let fail fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+    let fixpoint what payload =
+      match Wire.decode_message payload with
+      | Error e -> fail "%s: decode failed: %s" what (Wire.error_to_string e)
+      | Ok m -> if Wire.encode_message m <> payload then fail "%s: encode∘decode is not the identity" what
+      | exception e -> fail "%s: decoder raised %s" what (Printexc.to_string e)
+    in
+    let total what payload =
+      match Wire.decode_message payload with
+      | Ok _ | Error _ -> ()
+      | exception e -> fail "%s: decoder raised %s" what (Printexc.to_string e)
+    in
+    let algos = List.map (fun h -> Wire.Heuristic h) heuristic_names @ [ Wire.Multistart; Wire.Exact ] in
+    let request algo =
+      { Wire.id = 9000L; algo; seed = 77L; restarts = 2;
+        node_limit = cfg.exact_node_limit; platform = p; dag = g }
+    in
+    List.iter
+      (fun algo ->
+        let req = request algo in
+        let payload = Wire.encode_message (Wire.Request req) in
+        fixpoint (Printf.sprintf "request/%s" (algo_label algo)) payload;
+        (* The id — and only the id — is quotiented out of the cache key. *)
+        let other_id = Wire.encode_message (Wire.Request { req with Wire.id = 4242L }) in
+        if Wire.cache_key payload <> Wire.cache_key other_id then
+          fail "request/%s: cache key depends on the request id" (algo_label algo);
+        let other_seed = Wire.encode_message (Wire.Request { req with Wire.seed = 78L }) in
+        if Wire.cache_key payload = Wire.cache_key other_seed then
+          fail "request/%s: cache key ignores the seed" (algo_label algo);
+        (* Response leg: run the daemon's dispatcher and round-trip its
+           answer.  Exact only on instances under the size cap. *)
+        let run_response =
+          match algo with Wire.Exact -> Dag.n_tasks g <= cfg.exact_task_limit | _ -> true
+        in
+        if run_response then begin
+          let body = Serve_dispatch.compute req in
+          let full = Wire.encode_message (Wire.Response { Wire.rid = req.Wire.id; body }) in
+          fixpoint (Printf.sprintf "response/%s" (algo_label algo)) full;
+          (* The cache stores id-free bodies; reassembly must agree with
+             the one-shot encoder for any id. *)
+          if Wire.response_payload ~rid:req.Wire.id (Wire.encode_body body) <> full then
+            fail "response/%s: response_payload disagrees with encode_message" (algo_label algo)
+        end)
+      algos;
+    (* Totality on malformed bytes, derived deterministically from a real
+       request payload. *)
+    let payload = Wire.encode_message (Wire.Request (request (Wire.Heuristic Heuristics.MemHEFT))) in
+    let len = String.length payload in
+    for cut = 0 to min 6 (len - 1) do
+      total (Printf.sprintf "truncated-at-%d" cut) (String.sub payload 0 cut)
+    done;
+    total "truncated-at-end" (String.sub payload 0 (len - 1));
+    total "trailing-byte" (payload ^ "\x00");
+    (match Wire.decode_message (flip payload 0) with
+    | Error (Wire.Bad_version _) -> ()
+    | Ok _ | Error _ -> fail "bad version byte not rejected as Bad_version"
+    | exception e -> fail "bad-version: decoder raised %s" (Printexc.to_string e));
+    (match Wire.decode_message (flip payload 1) with
+    | Error (Wire.Bad_kind _) -> ()
+    | Ok _ | Error _ -> fail "bad kind byte not rejected as Bad_kind"
+    | exception e -> fail "bad-kind: decoder raised %s" (Printexc.to_string e));
+    let step = max 1 (len / 32) in
+    let pos = ref 2 in
+    while !pos < len do
+      total (Printf.sprintf "flip-at-%d" !pos) (flip payload !pos);
+      pos := !pos + step
+    done;
+    (* Framing: a declared length above the bound is rejected before any
+       allocation; a stream cut mid-frame is Truncated. *)
+    let huge = Bytes.create 8 in
+    Bytes.set_int32_be huge 0 (Int32.of_int (Wire.max_frame + 1));
+    (match Wire.next_frame (Bytes.unsafe_to_string huge) ~pos:0 with
+    | Error (Wire.Oversized _) -> ()
+    | Ok _ | Error _ -> fail "oversized declared length not rejected as Oversized"
+    | exception e -> fail "oversized: next_frame raised %s" (Printexc.to_string e));
+    let framed = Wire.frame payload in
+    (match Wire.decode_stream (String.sub framed 0 (String.length framed - 1)) with
+    | Error Wire.Truncated -> ()
+    | Ok _ | Error _ -> fail "stream cut mid-frame not rejected as Truncated"
+    | exception e -> fail "mid-frame cut: decode_stream raised %s" (Printexc.to_string e));
+    (match Wire.decode_stream (framed ^ framed) with
+    | Ok [ Wire.Request _; Wire.Request _ ] -> ()
+    | Ok _ | Error _ -> fail "two consecutive frames do not decode to two requests"
+    | exception e -> fail "two frames: decode_stream raised %s" (Printexc.to_string e));
+    verdict_of_errors !errs
+  in
+  { name = "wire-roundtrip";
+    doc = "the daemon's binary codec is a byte-level fixpoint and total on malformed input";
+    check }
+
 (* The campaign combinators must be bit-identical for every jobs count. *)
 let o_jobs_invariance =
   let check cfg (i : Fuzz_instance.t) =
@@ -389,7 +498,7 @@ let o_lint =
 
 let all =
   [ o_validator; o_lower_bound; o_reference; o_exact; o_exact_agreement; o_infeasibility;
-    o_serialization; o_jobs_invariance; o_lint ]
+    o_serialization; o_wire; o_jobs_invariance; o_lint ]
 
 let names = List.map (fun o -> o.name) all
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -33,7 +33,7 @@ type t = {
 val all : t list
 (** The full registry: [validator], [lower-bound], [reference-agreement],
     [exact-dominates], [exact-agreement], [infeasibility], [serialization],
-    [jobs-invariance], [lint].
+    [wire-roundtrip], [jobs-invariance], [lint].
 
     [exact-agreement] cross-checks three independent routes to the optimum
     on tiny instances: the commit/undo branch-and-bound ({!Exact.solve}),
@@ -43,6 +43,14 @@ val all : t list
     boundary are tolerated in the infeasible-vs-optimal direction (the LP
     accepts dust-level capacity violations); see the committed
     [exact-agreement-seed42-*] corpus entries.
+
+    [wire-roundtrip] pins the daemon's binary codec (lib/serve): for every
+    algorithm selector, encoding the instance as a request — and the
+    dispatcher's response to it — then decoding and re-encoding must
+    reproduce the bytes exactly; truncations, corrupted bytes, bad
+    version/kind bytes and oversized declared lengths must come back as
+    {!Wire.error} values, never as exceptions; and the cache key must be
+    invariant under the request id and nothing else.
 
     [lint] folds the static harness into the dynamic one: it runs
     {!Lint_engine.run} over the repository containing the current working

@@ -233,6 +233,12 @@ let await fut =
   | Cancelled_before_start -> raise Cancelled
   | Pending | Running -> assert false
 
+let poll fut =
+  Mutex.lock fut.f_mutex;
+  let resolved = match fut.st with Pending | Running -> false | _ -> true in
+  Mutex.unlock fut.f_mutex;
+  resolved
+
 let cancel fut =
   Mutex.lock fut.f_mutex;
   let cancelled =

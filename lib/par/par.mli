@@ -53,6 +53,14 @@ val await : 'a future -> 'a
     exception with the original backtrace.  @raise Cancelled if the future
     was cancelled first. *)
 
+val poll : 'a future -> bool
+(** [true] once the task has finished (with a value, an exception or a
+    cancellation) — i.e. exactly when {!await} would return without
+    blocking.  Never blocks beyond the pool mutex.  The serve dispatcher
+    uses this to stream responses in request order: the head-of-line
+    response is written as soon as it resolves, without blocking the read
+    loop on tasks that are still running. *)
+
 val cancel : 'a future -> bool
 (** Try to cancel a task that has not started running; [true] on success.
     A running or finished task is not interrupted ([false]). *)

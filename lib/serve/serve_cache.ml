@@ -1,0 +1,123 @@
+(* LRU result cache: Hashtbl for lookup, an intrusive doubly-linked list
+   for recency order (most recent at the head).  No Hashtbl iteration
+   anywhere, so hash-bucket order cannot reach any output. *)
+
+type node = {
+  key : string;
+  mutable value : string;
+  mutable prev : node option;  (* towards the head (more recent) *)
+  mutable next : node option;  (* towards the tail (least recent) *)
+}
+
+type t = {
+  max_entries : int;
+  max_bytes : int;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+}
+
+let create ?(max_entries = 4096) ?(max_bytes = 64 * 1024 * 1024) () =
+  if max_entries < 1 then invalid_arg "Serve_cache.create: max_entries must be >= 1";
+  if max_bytes < 1 then invalid_arg "Serve_cache.create: max_bytes must be >= 1";
+  {
+    max_entries;
+    max_bytes;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    insertions = 0;
+  }
+
+(* ------------------------------------------------------- list surgery --- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink t n;
+    push_front t n
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.key;
+    t.bytes <- t.bytes - String.length n.value;
+    t.evictions <- t.evictions + 1
+
+let enforce_bounds t =
+  while Hashtbl.length t.table > t.max_entries || t.bytes > t.max_bytes do
+    evict_tail t
+  done
+
+(* ---------------------------------------------------------------- api --- *)
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    touch t n;
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.bytes <- t.bytes - String.length n.value + String.length value;
+    n.value <- value;
+    touch t n
+  | None ->
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key n;
+    push_front t n;
+    t.bytes <- t.bytes + String.length value;
+    t.insertions <- t.insertions + 1);
+  enforce_bounds t
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  entries : int;
+  bytes : int;
+}
+
+let counters (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    insertions = t.insertions;
+    entries = Hashtbl.length t.table;
+    bytes = t.bytes;
+  }
+
+let pp_counters ppf c =
+  Format.fprintf ppf "hits=%d misses=%d evictions=%d insertions=%d entries=%d bytes=%d" c.hits
+    c.misses c.evictions c.insertions c.entries c.bytes

@@ -1,0 +1,42 @@
+(** Content-addressed result cache of the scheduling daemon.
+
+    Maps the canonical digest of a request ({!Wire.cache_key}) to the
+    response body bytes the dispatcher produced for it.  Because every
+    algorithm in the repository is bit-deterministic, a cached body is
+    byte-for-byte what a fresh computation would produce — so serving from
+    the cache cannot be observed through the response stream, only through
+    the hit/miss counters.
+
+    Eviction is LRU, bounded both by entry count and by total stored
+    bytes.  The cache is {e not} synchronised: the daemon confines every
+    access to its serial read/emit loop (see server.ml), which also keeps
+    the hit/miss counters deterministic for a given request arrival
+    order. *)
+
+type t
+
+val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
+(** Defaults: 4096 entries, 64 MiB of stored response bytes.
+    @raise Invalid_argument if either bound is < 1. *)
+
+val find : t -> string -> string option
+(** Lookup by digest; a hit refreshes the entry's LRU position and counts
+    as [hits], a miss as [misses]. *)
+
+val add : t -> string -> string -> unit
+(** Insert (or refresh) an entry, then evict least-recently-used entries
+    until both bounds hold again.  A value larger than [max_bytes] on its
+    own is inserted and immediately evicted (counted), leaving the cache
+    unchanged. *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  entries : int;  (** currently cached *)
+  bytes : int;  (** currently cached value bytes *)
+}
+
+val counters : t -> counters
+val pp_counters : Format.formatter -> counters -> unit

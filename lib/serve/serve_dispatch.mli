@@ -1,0 +1,18 @@
+(** The daemon's compute path: a pure, deterministic map from one decoded
+    scheduling request to its response body.
+
+    [compute] runs the selected algorithm (heuristic pass, MemHEFT
+    multistart, or the exact branch-and-bound) serially — requests
+    parallelise {e across} pool workers, never within one — validates any
+    schedule through the full §3 oracle to obtain makespan and memory
+    peaks, and folds every failure mode into a structured response:
+    heuristic refusals become [Infeasible], exceptions become [Failure]
+    (code {!Wire.err_compute}).  Nothing here can raise, so a poisoned
+    request cannot take the daemon down. *)
+
+val compute : Wire.request -> Wire.response_body
+
+val compute_bytes : Wire.request -> string
+(** [Wire.encode_body (compute req)]: the thunk the server submits to the
+    pool, so encoding happens on the worker and the serial emit loop only
+    moves bytes. *)

@@ -1,0 +1,217 @@
+(* The serve loop.  See server.mli for the full contract.
+
+   Shape: one serial thread owns the input fd, the output fd, the result
+   cache and the pending-response queue; pool workers only ever run the
+   pure [Serve_dispatch.compute_bytes].  That confinement is what makes the
+   daemon deterministic — cache lookups happen in arrival order, responses
+   are emitted in arrival order (head-of-line, via [Par.poll]), and no
+   counter is ever racing a worker. *)
+
+type entry =
+  | Ready of string  (* response body bytes, good to write *)
+  | Running of string option * string Par.future  (* cache key (if caching) + in-flight compute *)
+
+type counters = {
+  served : int;
+  requests : int;
+  computed : int;
+  protocol_errors : int;
+  max_inflight : int;
+  cache : Serve_cache.counters option;
+}
+
+let pp_counters ppf c =
+  Format.fprintf ppf "served=%d requests=%d computed=%d protocol_errors=%d max_inflight=%d" c.served
+    c.requests c.computed c.protocol_errors c.max_inflight;
+  match c.cache with
+  | None -> Format.fprintf ppf " cache=off"
+  | Some cc -> Format.fprintf ppf " cache: %a" Serve_cache.pp_counters cc
+
+(* ------------------------------------------------------------- raw IO --- *)
+
+(* The client closed its end while we still had frames for it (socket
+   mode): abandon the connection, keep the daemon alive. *)
+exception Client_gone
+
+type read_result = Chunk of string | Eof | Short | Stopped
+
+(* Read exactly [n] bytes.  EINTR (a signal interrupted the syscall) polls
+   [stop]: an interrupt requested between frames or mid-read abandons the
+   current partial frame and flows into the drain path. *)
+let read_exact ~stop fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Chunk (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 then Eof else Short
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> if stop () then Stopped else go off
+  in
+  go 0
+
+(* Write a whole frame.  EINTR retries unconditionally: a frame write is
+   never abandoned halfway, so the output stream only ever contains
+   complete frames (the shutdown contract). *)
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Client_gone
+  in
+  go 0
+
+let read_frame ~stop fd =
+  match read_exact ~stop fd 4 with
+  | Eof -> `Eof
+  | Stopped -> `Stopped
+  | Short -> `Proto Wire.Truncated
+  | Chunk prefix -> (
+    let declared = Int32.to_int (String.get_int32_be prefix 0) land 0xFFFF_FFFF in
+    if declared > Wire.max_frame then `Proto (Wire.Oversized declared)
+    else
+      match read_exact ~stop fd declared with
+      | Chunk payload -> `Frame payload
+      | Eof | Short -> `Proto Wire.Truncated
+      | Stopped -> `Stopped)
+
+(* --------------------------------------------------------------- serve --- *)
+
+let serve ?pool ?cache ?(max_inflight = 64) ?(stop = fun () -> false) ~input ~output () =
+  if max_inflight < 1 then invalid_arg "Server.serve: max_inflight must be >= 1";
+  let pending : (int64 * entry) Queue.t = Queue.create () in
+  (* Identical requests still in flight share one future (keyed by the
+     same canonical digest as the cache), so a duplicate burst computes
+     once and — crucially — a hit/miss verdict depends only on whether the
+     key appeared earlier in the stream, never on completion timing.
+     Confined to this loop like the cache; never iterated. *)
+  let inflight : (string, string Par.future) Hashtbl.t = Hashtbl.create 16 in
+  let served = ref 0 and requests = ref 0 and computed = ref 0 in
+  let protocol_errors = ref 0 and hits = ref 0 and misses = ref 0 and high_water = ref 0 in
+  let emit_front () =
+    let id, entry = Queue.pop pending in
+    let body =
+      match entry with
+      | Ready b -> b
+      | Running (key, fut) ->
+        let b = Par.await fut in
+        (match (cache, key) with
+        | Some c, Some k ->
+          Serve_cache.add c k b;
+          Hashtbl.remove inflight k
+        | _ -> ());
+        b
+    in
+    write_all output (Wire.frame (Wire.response_payload ~rid:id body));
+    incr served
+  in
+  (* Stream every response whose turn has come: the head of the line is
+     written when resolved, later completions wait for their position. *)
+  let drain_ready () =
+    let blocked = ref false in
+    while (not !blocked) && not (Queue.is_empty pending) do
+      match Queue.peek pending with
+      | _, Ready _ -> emit_front ()
+      | _, Running (_, fut) -> if Par.poll fut then emit_front () else blocked := true
+    done
+  in
+  let push id entry =
+    Queue.push (id, entry) pending;
+    if Queue.length pending > !high_water then high_water := Queue.length pending;
+    drain_ready ();
+    (* Bound the responses buffered for in-order emission: block on the
+       head of the line until the queue is back under the cap. *)
+    while Queue.length pending >= max_inflight do
+      emit_front ()
+    done
+  in
+  let answer_error id e =
+    incr protocol_errors;
+    push id (Ready (Wire.encode_body (Wire.error_body e)))
+  in
+  let submit ~key req =
+    incr computed;
+    match pool with
+    | Some pool ->
+      let fut = Par.submit pool (fun () -> Serve_dispatch.compute_bytes req) in
+      (match key with Some k -> Hashtbl.replace inflight k fut | None -> ());
+      Running (key, fut)
+    | None -> (
+      let b = Serve_dispatch.compute_bytes req in
+      match (cache, key) with
+      | Some c, Some k ->
+        Serve_cache.add c k b;
+        Ready b
+      | _ -> Ready b)
+  in
+  let handle payload =
+    match Wire.decode_message payload with
+    | Ok (Wire.Request req) -> (
+      incr requests;
+      match cache with
+      | None ->
+        incr misses;
+        push req.Wire.id (submit ~key:None req)
+      | Some c -> (
+        let key = Wire.cache_key payload in
+        match Serve_cache.find c key with
+        | Some body ->
+          incr hits;
+          push req.Wire.id (Ready body)
+        | None -> (
+          match Hashtbl.find_opt inflight key with
+          | Some fut ->
+            (* A duplicate of a request still computing: share its future;
+               the original pending entry owns the cache insertion. *)
+            incr hits;
+            push req.Wire.id (Running (None, fut))
+          | None ->
+            incr misses;
+            push req.Wire.id (submit ~key:(Some key) req))))
+    | Ok (Wire.Stats_request id) ->
+      let s =
+        {
+          Wire.requests = !requests;
+          cache_hits = !hits;
+          cache_misses = !misses;
+          computed = !computed;
+          errors = !protocol_errors;
+        }
+      in
+      push id (Ready (Wire.encode_body (Wire.Stats_reply s)))
+    | Ok (Wire.Response { rid; _ }) ->
+      answer_error rid (Wire.Malformed "unexpected response frame from client")
+    | Error e ->
+      let id = Option.value (Wire.peek_request_id payload) ~default:0L in
+      answer_error id e
+  in
+  let rec loop () =
+    if not (stop ()) then
+      match read_frame ~stop input with
+      | `Eof | `Stopped -> ()
+      | `Frame payload ->
+        handle payload;
+        loop ()
+      | `Proto e ->
+        (* The byte stream cannot be resynchronised after a framing error:
+           answer it, then flow into the drain path as if at EOF. *)
+        answer_error 0L e
+  in
+  (try
+     loop ();
+     while not (Queue.is_empty pending) do
+       emit_front ()
+     done
+   with Client_gone -> ());
+  {
+    served = !served;
+    requests = !requests;
+    computed = !computed;
+    protocol_errors = !protocol_errors;
+    max_inflight = !high_water;
+    cache = Option.map Serve_cache.counters cache;
+  }

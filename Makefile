@@ -1,6 +1,6 @@
 TMP ?= /tmp/memsched-verify
 
-.PHONY: all build test lint lint-json bench bench-smoke bench-exact bench-exact-smoke bench-serve serve-smoke fuzz-smoke verify clean
+.PHONY: all build test lint lint-json bench bench-smoke bench-hotpath-smoke bench-exact bench-exact-smoke bench-serve serve-smoke fuzz-smoke verify clean
 
 all: build
 
@@ -29,6 +29,16 @@ bench-smoke: build
 	test -s results/BENCH_hotpath.json
 	jq -e '.bench == "hotpath" and (.entries | length > 0)' results/BENCH_hotpath.json > /dev/null
 	@echo "bench-smoke OK"
+
+# Hot-path smoke at quick scale: the campaign/hotpath section alone,
+# including the 10^5-task LU row — the flat CSR core must schedule it in
+# single-digit seconds (opt_ms < 10000) and the small optimised-vs-reference
+# A/B rows must still be present.
+bench-hotpath-smoke: build
+	dune exec bench/main.exe -- --quick --skip-figures --only-hotpath
+	test -s results/BENCH_hotpath.json
+	jq -e '.bench == "hotpath" and ([.entries[] | select(.n_tasks >= 100000 and .opt_ms < 10000)] | length > 0) and ([.entries[] | select(.ref_ms != null)] | length > 0)' results/BENCH_hotpath.json > /dev/null
+	@echo "bench-hotpath-smoke OK"
 
 # Exact-baseline bench (campaign/exact): node throughput of the commit/undo
 # branch-and-bound vs the per-node-copy reference, warm vs cold node LPs,
@@ -87,7 +97,7 @@ fuzz-smoke: build
 # Tier-1 verification plus a smoke run of the parallel runtime: the CLI is
 # driven end-to-end with --jobs 2 (multistart over the domain pool, then a
 # figure regeneration), so the parallel path is exercised on every run.
-verify: build lint test bench-smoke bench-exact-smoke serve-smoke fuzz-smoke
+verify: build lint test bench-smoke bench-hotpath-smoke bench-exact-smoke serve-smoke fuzz-smoke
 	mkdir -p $(TMP)
 	dune exec bin/memsched_cli.exe -- generate daggen --size 30 --seed 2014 -o $(TMP)/dag.txt
 	dune exec bin/memsched_cli.exe -- schedule $(TMP)/dag.txt -H memheft --restarts 8 --jobs 2

@@ -3,11 +3,13 @@
    micro-benchmarks of the library's hot paths.
 
    Usage: main.exe [--quick | --paper] [--skip-micro] [--skip-figures]
-                   [--only-exact] [--only-serve] [--jobs N]
+                   [--only-exact] [--only-serve] [--only-hotpath] [--jobs N]
    Default scale completes in a few minutes; --paper runs the full SS 6
    campaign (50x30, 100x1000, 13x13 with the complete alpha grid).
    --only-exact runs just the campaign/exact section (results/BENCH_exact.json).
    --only-serve runs just the campaign/serve section (results/BENCH_serve.json).
+   --only-hotpath runs just the campaign/hotpath section, including the
+   10^5-task LU row (results/BENCH_hotpath.json).
    --jobs N fans the campaign out over a N-domain Par pool (results are
    bit-identical for every N; default: recognised CPUs). *)
 
@@ -114,6 +116,34 @@ let run_hotpath_bench scale out_dir =
            (fun g p -> ignore (Heuristics.memminmin g p)),
            fun g p -> ignore (Heuristics.memminmin_reference g p)) ])
     instances;
+  (* The 10^5-task row: MemHEFT over the LU elimination DAG at n = 67
+     (102510 kernel tasks; broadcast pipelining off so the count is the
+     plain sum of the elimination kernels).  Bounds are HEFT's own planned
+     peaks — the §6.2.1 regime, where MemHEFT replays HEFT with zero
+     rejections — so the timing isolates the flat core: CSR estimate walks,
+     staircase updates and the flat ready set.  The reference runner is
+     deliberately absent (its full-list rescans are quadratic; hours at this
+     size), so the row carries opt_ms only. *)
+  let big_n = 67 in
+  let g = Lu.generate ~pipeline_broadcasts:false ~n:big_n () in
+  let n = Dag.n_tasks g in
+  let platform = Workloads.platform_mirage in
+  let t0 = Unix.gettimeofday () in
+  let _, (peak_blue, peak_red) = Heuristics.heft_measured g platform in
+  let t_peak = Unix.gettimeofday () -. t0 in
+  let p = Platform.with_bounds platform ~m_blue:peak_blue ~m_red:peak_red in
+  let t0 = Unix.gettimeofday () in
+  (match Heuristics.memheft g p with
+  | Ok _ -> ()
+  | Error _ -> failwith "hotpath: MemHEFT infeasible at HEFT's own peaks (§6.2.1 violation)");
+  let t_opt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-9s %-9s n=%-6d opt %7.0f ms  (HEFT peak pass %.0f ms; reference omitted)\n%!"
+    "MemHEFT" "lu" n (1e3 *. t_opt) (1e3 *. t_peak);
+  let big_entry =
+    [ ("family", Bench_json.S "lu"); ("param", Bench_json.I big_n);
+      ("n_tasks", Bench_json.I n); ("heuristic", Bench_json.S "MemHEFT");
+      ("opt_ms", Bench_json.F (1e3 *. t_opt)) ]
+  in
   let entries = List.rev !entries in
   Bench_json.write ~out_dir ~file:"BENCH_hotpath.json" ~bench:"hotpath"
     ~scale:(match scale with `Quick -> "quick" | `Paper -> "paper" | `Default -> "default")
@@ -123,7 +153,8 @@ let run_hotpath_bench scale out_dir =
            ("n_tasks", Bench_json.I n); ("heuristic", Bench_json.S hname);
            ("opt_ms", Bench_json.F (1e3 *. t_opt)); ("ref_ms", Bench_json.F (1e3 *. t_ref));
            ("speedup", Bench_json.F (t_ref /. t_opt)) ])
-       entries)
+       entries
+    @ [ big_entry ])
 
 (* --------------------------------------------------- campaign/exact ------ *)
 
@@ -511,6 +542,7 @@ let () =
   let out_dir = "results" in
   if List.mem "--only-exact" args then run_exact_bench scale out_dir
   else if List.mem "--only-serve" args then run_serve_bench scale out_dir
+  else if List.mem "--only-hotpath" args then run_hotpath_bench scale out_dir
   else begin
     if not (List.mem "--skip-figures" args) then
       Par.with_pool ~jobs (fun pool -> run_figures scale pool out_dir);

@@ -1,0 +1,106 @@
+(** Flat earliest-start-time evaluation over the CSR graph views.
+
+    This module owns the §5.1 EST formulas of the scheduler ([resource_EST],
+    [precedence_EST], [task_mem_EST], [comm_mem_EST]) evaluated over
+    {!Dag.Csr} arrays: one cache-linear walk of a task's packed predecessor
+    row with zero allocation in the loop (cross-edge ids go to a scratch
+    array, aggregates to locals).  {!Sched_state} re-exports the option and
+    estimate types below and embeds a {!ctx} that shares its mutable arrays;
+    use the [Sched_state] API unless you are inside the scheduling core.
+
+    Bit-identity contract: every float operation (operator choice, operand
+    order, accumulation order) mirrors the historical list-walking code in
+    [Sched_state] — kept verbatim as [Sched_state.Reference] — so optimised
+    and reference paths agree to the last bit (pinned by golden digests). *)
+
+type comm_mode =
+  | Jit_per_edge
+      (** transfers complete exactly at the task start; exact per-prefix
+          memory check (default) *)
+  | Jit_batched
+      (** transfers complete exactly at the task start; the paper's
+          aggregated [comm_mem_EST + C^(mu)] check *)
+  | Eager  (** ablation: transfers start as soon as the producer finishes *)
+
+type proc_policy =
+  | Earliest_available  (** paper behaviour: [resource_EST = min avail] *)
+  | Insertion  (** ablation: classic HEFT insertion into idle gaps *)
+
+type options = {
+  comm_mode : comm_mode;
+  proc_policy : proc_policy;
+}
+
+val default_options : options
+
+val eps : float
+(** [1e-9], the scheduler's internal tie-breaking tolerance. *)
+
+type estimate = {
+  task : int;
+  memory : Platform.memory;
+  est : float;  (** earliest execution start time *)
+  eft : float;  (** [est + W^(mu)] *)
+  comm_batch : float;  (** [C^(mu)(i)]: max transfer time over cross parents *)
+}
+
+(** The evaluation context.  All non-scratch arrays are shared with the
+    owning [Sched_state.t], which mutates them on commit; the context itself
+    only writes its scratch and the [min_avail_*] caches.  Never share a
+    context across domains. *)
+type ctx = {
+  options : options;
+  pred_off : int array;
+  pred_eid : int array;
+  pred_src : int array;
+  e_size : float array;
+  e_comm : float array;
+  w_blue : float array;
+  w_red : float array;
+  out_sz : float array;
+  free_blue : Staircase.t;
+  free_red : Staircase.t;
+  aft : float array;
+  mem_code : int array;  (** per task: [-1] unassigned, [0] Blue, [1] Red *)
+  avail : float array;
+  busy : (float * float) list array;
+  procs_blue : int list;
+  procs_red : int list;
+  mutable min_avail_blue : float;
+  mutable min_avail_red : float;
+  cross_a : int array;
+  cross_b : int array;
+}
+
+val make :
+  options:options ->
+  g:Dag.t ->
+  free_blue:Staircase.t ->
+  free_red:Staircase.t ->
+  aft:float array ->
+  mem_code:int array ->
+  avail:float array ->
+  busy:(float * float) list array ->
+  procs_blue:int list ->
+  procs_red:int list ->
+  ctx
+(** Builds a context around the given shared state ([min_avail_*] start at
+    [0.], matching an empty schedule). *)
+
+val code_of_mem : Platform.memory -> int
+val free_of : ctx -> Platform.memory -> Staircase.t
+val min_avail_of : ctx -> Platform.memory -> float
+
+val resource_est : ctx -> Platform.memory -> lb:float -> w:float -> float
+(** Earliest start on some processor of the memory, at or after [lb]. *)
+
+val estimate_ready : ctx -> int -> Platform.memory -> estimate option
+(** EST/EFT of a task on one memory, or [None] when it cannot fit.  The
+    caller must guarantee the task is ready (all parents assigned). *)
+
+val estimate_pair_ready : ctx -> int -> estimate option * estimate option
+(** [(blue, red)] estimates from a single predecessor walk — bit-identical
+    to two {!estimate_ready} calls at half the traversal cost. *)
+
+val better_estimate : estimate option -> estimate option -> estimate option
+(** Minimum-EFT choice (ties: earlier EST, then the first argument). *)

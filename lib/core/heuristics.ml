@@ -13,9 +13,9 @@ let fail state reason = Error { reason; n_scheduled = Sched_state.n_assigned sta
    Committed tasks are unlinked from the scan order (a doubly linked list
    over priority positions, sentinel at [n]), so later rounds only touch the
    tasks still to be placed instead of re-testing the whole list. *)
-let memheft_run ?options ?rng g platform =
+let memheft_run ?options ?rng ?ranks g platform =
   let state = Sched_state.create ?options g platform in
-  let order = Rank.priority_list ?rng g in
+  let order = Rank.priority_list ?rng ?ranks g in
   let n = Dag.n_tasks g in
   let next = Array.init (n + 1) (fun k -> (k + 1) mod (n + 1)) in
   let prev = Array.init (n + 1) (fun k -> (k + n) mod (n + 1)) in
@@ -48,7 +48,7 @@ let memheft_run ?options ?rng g platform =
   in
   (state, round ())
 
-let memheft ?options ?rng g platform = snd (memheft_run ?options ?rng g platform)
+let memheft ?options ?rng ?ranks g platform = snd (memheft_run ?options ?rng ?ranks g platform)
 
 (* Algorithm 2 (MemMinMin).  Among ready tasks, schedule the one with the
    smallest earliest finish time; ties break by task id. *)
@@ -59,15 +59,13 @@ let memminmin_run ?options g platform =
     if Sched_state.n_assigned state = n then Ok (Sched_state.schedule state)
     else begin
       let best = ref None in
-      List.iter
-        (fun i ->
+      Sched_state.iter_ready state (fun i ->
           match Sched_state.best_estimate state i with
           | Some e -> (
             match !best with
             | Some b when b.Sched_state.eft <= e.Sched_state.eft -> ()
             | _ -> best := Some e)
-          | None -> ())
-        (Sched_state.ready_tasks state);
+          | None -> ());
       match !best with
       | Some e ->
         Sched_state.commit state e;
@@ -154,21 +152,18 @@ let dynamic_run ?options ~select g platform =
     if Sched_state.n_assigned state = n then Ok (Sched_state.schedule state)
     else begin
       let best = ref None in
-      List.iter
-        (fun i ->
-          let blue = Sched_state.estimate state i Platform.Blue in
-          let red = Sched_state.estimate state i Platform.Red in
-          (* The winner is derived from the pair already in hand with the
-             exact comparison best_estimate uses — recomputing both
-             estimates here doubled the per-task work of every round. *)
+      Sched_state.iter_ready state (fun i ->
+          (* Both memories from a single predecessor walk; the winner is
+             derived from the pair already in hand with the exact comparison
+             best_estimate uses. *)
+          let blue, red = Sched_state.estimate_pair state i in
           match Sched_state.better_estimate blue red with
           | Some e ->
             let score = select ~best:e ~blue ~red in
             (match !best with
             | Some (s, _) when s >= score -> ()
             | _ -> best := Some (score, e))
-          | None -> ())
-        (Sched_state.ready_tasks state);
+          | None -> ());
       match !best with
       | Some (_, e) ->
         Sched_state.commit state e;
@@ -205,8 +200,8 @@ let never_binding_platform g platform =
   let cap = Float.max 1. (Dag.total_file_size g) in
   Platform.with_bounds platform ~m_blue:cap ~m_red:cap
 
-let heft_measured ?options ?rng g platform =
-  match memheft_run ?options ?rng g (never_binding_platform g platform) with
+let heft_measured ?options ?rng ?ranks g platform =
+  match memheft_run ?options ?rng ?ranks g (never_binding_platform g platform) with
   | state, Ok s ->
     (s, (Sched_state.planned_peak state Platform.Blue, Sched_state.planned_peak state Platform.Red))
   | _, Error _ -> assert false
@@ -217,8 +212,8 @@ let minmin_measured ?options g platform =
     (s, (Sched_state.planned_peak state Platform.Blue, Sched_state.planned_peak state Platform.Red))
   | _, Error _ -> assert false
 
-let heft ?options ?rng g platform =
-  match memheft ?options ?rng g (unbounded_platform platform) with
+let heft ?options ?rng ?ranks g platform =
+  match memheft ?options ?rng ?ranks g (unbounded_platform platform) with
   | Ok s -> s
   | Error _ -> assert false (* unbounded memories: the scan always commits *)
 
@@ -257,13 +252,13 @@ let is_memory_aware = function
   | HEFT | MinMin | MaxMin | Sufferage -> false
   | MemHEFT | MemMinMin | MemMaxMin | MemSufferage -> true
 
-let run ?options ?rng name g platform =
+let run ?options ?rng ?ranks name g platform =
   match name with
-  | HEFT -> Ok (heft ?options ?rng g platform)
+  | HEFT -> Ok (heft ?options ?rng ?ranks g platform)
   | MinMin -> Ok (minmin ?options g platform)
   | MaxMin -> Ok (maxmin ?options g platform)
   | Sufferage -> Ok (sufferage ?options g platform)
-  | MemHEFT -> memheft ?options ?rng g platform
+  | MemHEFT -> memheft ?options ?rng ?ranks g platform
   | MemMinMin -> memminmin ?options g platform
   | MemMaxMin -> memmaxmin ?options g platform
   | MemSufferage -> memsufferage ?options g platform

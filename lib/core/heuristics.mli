@@ -17,9 +17,11 @@ type failure = {
 type result = (Schedule.t, failure) Result.t
 
 val memheft :
-  ?options:Sched_state.options -> ?rng:Rng.t -> Dag.t -> Platform.t -> result
+  ?options:Sched_state.options -> ?rng:Rng.t -> ?ranks:float array -> Dag.t -> Platform.t -> result
 (** Memory-aware HEFT.  [rng] randomises rank tie-breaking as in the paper;
-    omitted, ties break by task id (deterministic). *)
+    omitted, ties break by task id (deterministic).  [ranks] supplies
+    precomputed {!Rank.upward_ranks} (multi-restart callers compute them
+    once — they depend only on the graph). *)
 
 val memminmin : ?options:Sched_state.options -> Dag.t -> Platform.t -> result
 (** Memory-aware MinMin. *)
@@ -35,7 +37,13 @@ val memminmin_reference : ?options:Sched_state.options -> Dag.t -> Platform.t ->
 (** Pre-optimisation MemMinMin, kept verbatim (O(n) ready-set rebuilds,
     {!Sched_state.Reference} estimates).  Bit-identical to {!memminmin}. *)
 
-val heft : ?options:Sched_state.options -> ?rng:Rng.t -> Dag.t -> Platform.t -> Schedule.t
+val heft :
+  ?options:Sched_state.options ->
+  ?rng:Rng.t ->
+  ?ranks:float array ->
+  Dag.t ->
+  Platform.t ->
+  Schedule.t
 (** Reference HEFT: ignores the platform's memory bounds (runs with unbounded
     memories).  Never fails. *)
 
@@ -43,7 +51,12 @@ val minmin : ?options:Sched_state.options -> Dag.t -> Platform.t -> Schedule.t
 (** Reference MinMin, memory-oblivious. *)
 
 val heft_measured :
-  ?options:Sched_state.options -> ?rng:Rng.t -> Dag.t -> Platform.t -> Schedule.t * (float * float)
+  ?options:Sched_state.options ->
+  ?rng:Rng.t ->
+  ?ranks:float array ->
+  Dag.t ->
+  Platform.t ->
+  Schedule.t * (float * float)
 (** HEFT together with its planned memory peaks [(blue, red)] — the paper's
     [M^HEFT] quantities, measured with the planner's own accounting (see
     {!Sched_state.planned_peak}).  MemHEFT run with these values as bounds
@@ -80,5 +93,14 @@ val extension_names : name list
 
 val is_memory_aware : name -> bool
 
-val run : ?options:Sched_state.options -> ?rng:Rng.t -> name -> Dag.t -> Platform.t -> result
-(** Dispatch by name; the memory-oblivious heuristics always return [Ok]. *)
+val run :
+  ?options:Sched_state.options ->
+  ?rng:Rng.t ->
+  ?ranks:float array ->
+  name ->
+  Dag.t ->
+  Platform.t ->
+  result
+(** Dispatch by name; the memory-oblivious heuristics always return [Ok].
+    [ranks] is forwarded to the rank-based heuristics (HEFT/MemHEFT) and
+    ignored by the dynamic ones. *)

@@ -8,13 +8,17 @@ type t = {
 let memheft ?options ?pool ?(restarts = 8) ?(seed = 1) g platform =
   if restarts < 0 then invalid_arg "Multistart.memheft: negative restarts";
   let unbounded = Platform.with_bounds platform ~m_blue:infinity ~m_red:infinity in
+  (* Upward ranks depend only on the graph: compute them once here instead
+     of once per restart (each pass re-jitters the tie-breaking, not the
+     ranks themselves). *)
+  let ranks = Rank.upward_ranks g in
   (* Each pass owns an RNG derived from (seed + index) up front, so the runs
      are independent tasks and the outcome is the same for every jobs
      count; the fold below keeps the serial selection order. *)
   let passes =
-    (fun () -> Heuristics.memheft ?options g platform)
+    (fun () -> Heuristics.memheft ?options ~ranks g platform)
     :: List.init restarts (fun k () ->
-           Heuristics.memheft ?options ~rng:(Rng.create (seed + k)) g platform)
+           Heuristics.memheft ?options ~rng:(Rng.create (seed + k)) ~ranks g platform)
   in
   let runs =
     match pool with

@@ -8,14 +8,14 @@ type t = {
   failure : string option;
 }
 
-let run ?options ?rng heuristic g platform =
+let run ?options ?rng ?ranks heuristic g platform =
   (* The memory-oblivious baselines ignore the bounds; validate them against
      unbounded capacities and report their measured peaks. *)
   let check_platform =
     if Heuristics.is_memory_aware heuristic then platform
     else Platform.with_bounds platform ~m_blue:infinity ~m_red:infinity
   in
-  match Heuristics.run ?options ?rng heuristic g platform with
+  match Heuristics.run ?options ?rng ?ranks heuristic g platform with
   | Ok s -> (
     match Validator.validate g check_platform s with
     | Ok report ->

@@ -12,7 +12,13 @@ type t = {
 }
 
 val run :
-  ?options:Sched_state.options -> ?rng:Rng.t -> Heuristics.name -> Dag.t -> Platform.t -> t
+  ?options:Sched_state.options ->
+  ?rng:Rng.t ->
+  ?ranks:float array ->
+  Heuristics.name ->
+  Dag.t ->
+  Platform.t ->
+  t
 (** Any schedule returned by a heuristic is re-validated; a validation error
     is a bug and raises [Failure].  A heuristic's refusal (memory bounds too
     tight) yields [feasible = false]. *)

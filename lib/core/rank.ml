@@ -1,12 +1,11 @@
 let upward_ranks g =
+  let wb = Dag.Csr.w_blue g and wr = Dag.Csr.w_red g in
   Paths.bottom_levels g
-    ~node_weight:(fun i ->
-      let t = Dag.task g i in
-      (t.Dag.w_blue +. t.Dag.w_red) /. 2.)
+    ~node_weight:(fun i -> (wb.(i) +. wr.(i)) /. 2.)
     ~edge_weight:(fun e -> e.Dag.comm /. 2.)
 
-let priority_list ?rng g =
-  let ranks = upward_ranks g in
+let priority_list ?rng ?ranks g =
+  let ranks = match ranks with Some r -> r | None -> upward_ranks g in
   let n = Dag.n_tasks g in
   let jitter =
     match rng with

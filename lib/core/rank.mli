@@ -6,6 +6,9 @@
 
 val upward_ranks : Dag.t -> float array
 
-val priority_list : ?rng:Rng.t -> Dag.t -> int array
+val priority_list : ?rng:Rng.t -> ?ranks:float array -> Dag.t -> int array
 (** Tasks sorted by non-increasing upward rank.  Ties are broken randomly
-    when [rng] is given (as in the paper), by increasing id otherwise. *)
+    when [rng] is given (as in the paper), by increasing id otherwise.
+    [ranks] supplies precomputed {!upward_ranks} — they only depend on the
+    graph, so multi-restart callers compute them once and every pass reuses
+    the same array instead of re-deriving it. *)

@@ -25,7 +25,7 @@
     HEFT's measured peaks reproduces HEFT exactly.  The {!Eager} ablation
     instead fires each transfer as soon as its producer completes. *)
 
-type comm_mode =
+type comm_mode = Est.comm_mode =
   | Jit_per_edge
       (** transfers complete exactly at the task start; exact per-prefix
           memory check (default) *)
@@ -34,11 +34,11 @@ type comm_mode =
           aggregated [comm_mem_EST + C^(mu)] check *)
   | Eager  (** ablation: transfers start as soon as the producer finishes *)
 
-type proc_policy =
+type proc_policy = Est.proc_policy =
   | Earliest_available  (** paper behaviour: [resource_EST = min avail] *)
   | Insertion  (** ablation: classic HEFT insertion into idle gaps *)
 
-type options = {
+type options = Est.options = {
   comm_mode : comm_mode;
   proc_policy : proc_policy;
 }
@@ -65,9 +65,14 @@ val is_ready : t -> int -> bool
 (** All parents assigned (the task itself not yet). *)
 
 val ready_tasks : t -> int list
-(** Ready tasks in ascending id order.  O(1): the set is maintained
-    incrementally by {!commit} (a task enters when its last parent commits,
-    leaves when it commits itself) instead of rescanning all [n] tasks. *)
+(** Ready tasks in ascending id order, built from the flat ready set (a
+    sorted int array plus an insertion buffer maintained incrementally by
+    {!commit}/{!uncommit} — O(width) to materialise the list, amortised O(1)
+    per commit to maintain).  Hot loops should prefer {!iter_ready}. *)
+
+val iter_ready : t -> (int -> unit) -> unit
+(** Applies the function to every ready task in ascending id order without
+    materialising a list.  The callback must not {!commit}/{!uncommit}. *)
 
 val finish_time : t -> int -> float
 (** [AFT(i)]; meaningful only once [i] is assigned. *)
@@ -85,7 +90,7 @@ val planned_peak : t -> Platform.memory -> float
     decisions as HEFT" — is a theorem.  Only tracked when the platform
     capacities are finite ([0.] otherwise). *)
 
-type estimate = {
+type estimate = Est.estimate = {
   task : int;
   memory : Platform.memory;
   est : float;  (** earliest execution start time *)
@@ -95,7 +100,13 @@ type estimate = {
 
 val estimate : t -> int -> Platform.memory -> estimate option
 (** [None] when the task is not ready or cannot fit in the memory (the
-    paper's [EFT = +infinity] case). *)
+    paper's [EFT = +infinity] case).  Evaluated by {!Est} over the flat CSR
+    views: one allocation-free predecessor walk. *)
+
+val estimate_pair : t -> int -> estimate option * estimate option
+(** [(estimate t i Blue, estimate t i Red)] from a single predecessor walk —
+    bit-identical to the two separate calls at half the traversal cost.
+    [(None, None)] when the task is not ready. *)
 
 val better_estimate : estimate option -> estimate option -> estimate option
 (** The minimum-EFT comparison used by {!best_estimate} (ties: earlier EST,

@@ -1,6 +1,34 @@
 type task = { id : int; name : string; w_blue : float; w_red : float }
 type edge = { eid : int; src : int; dst : int; size : float; comm : float }
 
+(* Flat mirror of the record/list graph, built once at [finalize].  Hot loops
+   (EST evaluation, commit, rank computation) walk these arrays cache-linearly
+   instead of chasing [edge list] spines; the packed edge ids of each row are
+   in ascending eid order, i.e. exactly the insertion order of the
+   corresponding [succ]/[pred] list, so any fold rewritten over the CSR view
+   accumulates floats in the same order and stays bit-identical. *)
+type csr = {
+  succ_off : int array;  (* length n+1: row [i] is [succ_off.(i) .. succ_off.(i+1) - 1] *)
+  succ_eid : int array;  (* packed outgoing edge ids, ascending eid within a row *)
+  succ_dst : int array;  (* dst of the edge at the same packed index *)
+  pred_off : int array;
+  pred_eid : int array;  (* packed incoming edge ids, ascending eid within a row *)
+  pred_src : int array;
+  e_src : int array;  (* SoA edge attributes, indexed by eid *)
+  e_dst : int array;
+  e_size : float array;
+  e_comm : float array;
+  w_blue : float array;  (* SoA task attributes, indexed by task id *)
+  w_red : float array;
+  in_sz : float array;  (* total input / output file size per task *)
+  out_sz : float array;
+  layer_of : int array;  (* topological depth: 0 for sources, 1 + max parent depth *)
+  layer_off : int array;  (* length n_layers+1 into [layer_tasks] *)
+  layer_tasks : int array;  (* task ids grouped by layer, ascending within a layer *)
+  children_v : int list array;  (* precomputed list views for the legacy API *)
+  parents_v : int list array;
+}
+
 type t = {
   tasks : task array;
   edges : edge array;
@@ -8,6 +36,7 @@ type t = {
   pred : edge list array;  (* incoming, insertion order *)
   edge_index : (int * int, int) Hashtbl.t;
   topo : int array;  (* cached topological order *)
+  csr : csr;
 }
 
 module Builder = struct
@@ -27,6 +56,8 @@ module Builder = struct
     { rev_tasks = []; rev_edges = []; ntasks = 0; nedges = 0; seen = Hashtbl.create 64 }
 
   let add_task b ?name ~w_blue ~w_red () =
+    Fp.check_finite ~what:"Dag.Builder.add_task: processing time" w_blue;
+    Fp.check_finite ~what:"Dag.Builder.add_task: processing time" w_red;
     if w_blue < 0. || w_red < 0. then invalid_arg "Dag.Builder.add_task: negative time";
     let id = b.ntasks in
     let name = match name with Some n -> n | None -> Printf.sprintf "t%d" id in
@@ -38,6 +69,8 @@ module Builder = struct
     if src < 0 || src >= b.ntasks || dst < 0 || dst >= b.ntasks then
       invalid_arg "Dag.Builder.add_edge: dangling endpoint";
     if src = dst then invalid_arg "Dag.Builder.add_edge: self-loop";
+    Fp.check_finite ~what:"Dag.Builder.add_edge: file size" size;
+    Fp.check_finite ~what:"Dag.Builder.add_edge: transfer time" comm;
     if size < 0. || comm < 0. then invalid_arg "Dag.Builder.add_edge: negative attribute";
     if Hashtbl.mem b.seen (src, dst) then invalid_arg "Dag.Builder.add_edge: duplicate edge";
     Hashtbl.add b.seen (src, dst) ();
@@ -71,6 +104,122 @@ module Builder = struct
     if !k <> n then invalid_arg "Dag.Builder.finalize: graph has a cycle";
     order
 
+  (* Two-pass counting sort by endpoint.  Scanning eids in ascending order
+     through the row cursors packs each row in ascending eid order — the same
+     order as the [succ]/[pred] insertion-order lists. *)
+  let build_csr ~n ~(edges : edge array) ~(tasks : task array) ~topo =
+    let m = Array.length edges in
+    let e_src = Array.make m 0 and e_dst = Array.make m 0 in
+    let e_size = Array.make m 0. and e_comm = Array.make m 0. in
+    for k = 0 to m - 1 do
+      let e = edges.(k) in
+      e_src.(k) <- e.src;
+      e_dst.(k) <- e.dst;
+      e_size.(k) <- e.size;
+      e_comm.(k) <- e.comm
+    done;
+    let succ_off = Array.make (n + 1) 0 and pred_off = Array.make (n + 1) 0 in
+    for k = 0 to m - 1 do
+      succ_off.(e_src.(k) + 1) <- succ_off.(e_src.(k) + 1) + 1;
+      pred_off.(e_dst.(k) + 1) <- pred_off.(e_dst.(k) + 1) + 1
+    done;
+    for i = 1 to n do
+      succ_off.(i) <- succ_off.(i) + succ_off.(i - 1);
+      pred_off.(i) <- pred_off.(i) + pred_off.(i - 1)
+    done;
+    let succ_eid = Array.make m 0 and succ_dst = Array.make m 0 in
+    let pred_eid = Array.make m 0 and pred_src = Array.make m 0 in
+    let scur = Array.sub succ_off 0 n and pcur = Array.sub pred_off 0 n in
+    for k = 0 to m - 1 do
+      let s = e_src.(k) and d = e_dst.(k) in
+      succ_eid.(scur.(s)) <- k;
+      succ_dst.(scur.(s)) <- d;
+      scur.(s) <- scur.(s) + 1;
+      pred_eid.(pcur.(d)) <- k;
+      pred_src.(pcur.(d)) <- s;
+      pcur.(d) <- pcur.(d) + 1
+    done;
+    let w_blue = Array.make n 0. and w_red = Array.make n 0. in
+    for i = 0 to n - 1 do
+      w_blue.(i) <- tasks.(i).w_blue;
+      w_red.(i) <- tasks.(i).w_red
+    done;
+    (* Same left-fold order over the same rows as the historical
+       [in_size]/[out_size] List.fold_left: bit-identical sums. *)
+    let in_sz = Array.make n 0. and out_sz = Array.make n 0. in
+    for i = 0 to n - 1 do
+      let acc = ref 0. in
+      for k = pred_off.(i) to pred_off.(i + 1) - 1 do
+        acc := !acc +. e_size.(pred_eid.(k))
+      done;
+      in_sz.(i) <- !acc;
+      let acc = ref 0. in
+      for k = succ_off.(i) to succ_off.(i + 1) - 1 do
+        acc := !acc +. e_size.(succ_eid.(k))
+      done;
+      out_sz.(i) <- !acc
+    done;
+    let layer_of = Array.make n 0 in
+    let n_layers = ref (if n = 0 then 0 else 1) in
+    Array.iter
+      (fun i ->
+        let d = ref 0 in
+        for k = pred_off.(i) to pred_off.(i + 1) - 1 do
+          let dp = layer_of.(pred_src.(k)) + 1 in
+          if dp > !d then d := dp
+        done;
+        layer_of.(i) <- !d;
+        if !d + 1 > !n_layers then n_layers := !d + 1)
+      topo;
+    let layer_off = Array.make (!n_layers + 1) 0 in
+    for i = 0 to n - 1 do
+      layer_off.(layer_of.(i) + 1) <- layer_off.(layer_of.(i) + 1) + 1
+    done;
+    for l = 1 to !n_layers do
+      layer_off.(l) <- layer_off.(l) + layer_off.(l - 1)
+    done;
+    let layer_tasks = Array.make n 0 in
+    let lcur = Array.sub layer_off 0 !n_layers in
+    for i = 0 to n - 1 do
+      let l = layer_of.(i) in
+      layer_tasks.(lcur.(l)) <- i;
+      lcur.(l) <- lcur.(l) + 1
+    done;
+    let children_v = Array.make n [] and parents_v = Array.make n [] in
+    for i = 0 to n - 1 do
+      let cs = ref [] in
+      for k = succ_off.(i + 1) - 1 downto succ_off.(i) do
+        cs := succ_dst.(k) :: !cs
+      done;
+      children_v.(i) <- !cs;
+      let ps = ref [] in
+      for k = pred_off.(i + 1) - 1 downto pred_off.(i) do
+        ps := pred_src.(k) :: !ps
+      done;
+      parents_v.(i) <- !ps
+    done;
+    {
+      succ_off;
+      succ_eid;
+      succ_dst;
+      pred_off;
+      pred_eid;
+      pred_src;
+      e_src;
+      e_dst;
+      e_size;
+      e_comm;
+      w_blue;
+      w_red;
+      in_sz;
+      out_sz;
+      layer_of;
+      layer_off;
+      layer_tasks;
+      children_v;
+      parents_v;
+    }
+
   let finalize b =
     let n = b.ntasks in
     let tasks = Array.make n { id = 0; name = ""; w_blue = 0.; w_red = 0. } in
@@ -89,7 +238,8 @@ module Builder = struct
     let topo = topo_sort ~n ~succ ~indeg in
     let edge_index = Hashtbl.create (max 16 b.nedges) in
     Array.iter (fun e -> Hashtbl.replace edge_index (e.src, e.dst) e.eid) edges;
-    { tasks; edges; succ; pred; edge_index; topo }
+    let csr = build_csr ~n ~edges ~tasks ~topo in
+    { tasks; edges; succ; pred; edge_index; topo; csr }
 end
 
 let n_tasks g = Array.length g.tasks
@@ -100,8 +250,11 @@ let tasks g = g.tasks
 let edges g = g.edges
 let succ g i = g.succ.(i)
 let pred g i = g.pred.(i)
-let children g i = List.map (fun e -> e.dst) g.succ.(i)
-let parents g i = List.map (fun e -> e.src) g.pred.(i)
+
+(* Precomputed at finalize (same elements, same order as the historical
+   per-call [List.map] over [succ]/[pred]); callers may not mutate. *)
+let children g i = g.csr.children_v.(i)
+let parents g i = g.csr.parents_v.(i)
 
 let find_edge g ~src ~dst =
   match Hashtbl.find_opt g.edge_index (src, dst) with
@@ -122,10 +275,46 @@ let sinks g =
   done;
   !acc
 
-let in_size g i = List.fold_left (fun acc e -> acc +. e.size) 0. g.pred.(i)
-let out_size g i = List.fold_left (fun acc e -> acc +. e.size) 0. g.succ.(i)
+let in_size g i = g.csr.in_sz.(i)
+let out_size g i = g.csr.out_sz.(i)
 let mem_req g i = in_size g i +. out_size g i
 let total_file_size g = Array.fold_left (fun acc e -> acc +. e.size) 0. g.edges
+
+(* Read-only views of the flat arena.  The contract (enforced by the
+   [order-stability] lint rule fencing raw [Array.unsafe_*] outside this
+   file, and by test_csr's equivalence oracle) is: packed rows are in
+   ascending eid order, identical to the [succ]/[pred] list order. *)
+module Csr = struct
+  let succ_off g = g.csr.succ_off
+  let succ_eid g = g.csr.succ_eid
+  let succ_dst g = g.csr.succ_dst
+  let pred_off g = g.csr.pred_off
+  let pred_eid g = g.csr.pred_eid
+  let pred_src g = g.csr.pred_src
+  let e_src g = g.csr.e_src
+  let e_dst g = g.csr.e_dst
+  let e_size g = g.csr.e_size
+  let e_comm g = g.csr.e_comm
+  let w_blue g = g.csr.w_blue
+  let w_red g = g.csr.w_red
+  let in_sz g = g.csr.in_sz
+  let out_sz g = g.csr.out_sz
+  let in_degree g i = g.csr.pred_off.(i + 1) - g.csr.pred_off.(i)
+  let out_degree g i = g.csr.succ_off.(i + 1) - g.csr.succ_off.(i)
+
+  let max_in_degree g =
+    let d = ref 0 in
+    for i = 0 to n_tasks g - 1 do
+      let di = in_degree g i in
+      if di > !d then d := di
+    done;
+    !d
+
+  let n_layers g = Array.length g.csr.layer_off - 1
+  let layer_of g = g.csr.layer_of
+  let layer_off g = g.csr.layer_off
+  let layer_tasks g = g.csr.layer_tasks
+end
 
 let w_min g i =
   let t = g.tasks.(i) in

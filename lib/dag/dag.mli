@@ -62,7 +62,13 @@ val pred : t -> int -> edge list
 (** Incoming edges of a task, in insertion order. *)
 
 val children : t -> int -> int list
+(** Child task ids in edge-insertion order.  Precomputed at
+    {!Builder.finalize}; the returned list is shared — do not mutate-by-copy
+    patterns that rely on freshness. *)
+
 val parents : t -> int -> int list
+(** Parent task ids in edge-insertion order.  Precomputed, shared. *)
+
 val find_edge : t -> src:int -> dst:int -> edge option
 
 val sources : t -> int list
@@ -86,6 +92,69 @@ val total_file_size : t -> float
 
 val w_min : t -> int -> float
 (** [min w_blue w_red] for a task. *)
+
+(** {1 Flat (CSR / SoA) views}
+
+    The scheduling hot paths walk the graph through these contiguous arrays
+    rather than the [edge list] accessors above.  All arrays are built once
+    at {!Builder.finalize} and are READ-ONLY: mutating them corrupts the
+    graph.  Packed adjacency rows are in ascending edge-id order — exactly
+    the insertion order of the corresponding {!succ}/{!pred} list — so a
+    fold over a CSR row accumulates in the same order as the list fold it
+    replaces (bit-identical float results). *)
+
+module Csr : sig
+  val succ_off : t -> int array
+  (** Length [n_tasks + 1]; outgoing row of task [i] is the packed index
+      range [succ_off.(i) .. succ_off.(i+1) - 1]. *)
+
+  val succ_eid : t -> int array
+  (** Packed outgoing edge ids (ascending within a row). *)
+
+  val succ_dst : t -> int array
+  (** Destination task of the packed edge at the same index. *)
+
+  val pred_off : t -> int array
+  val pred_eid : t -> int array
+
+  val pred_src : t -> int array
+  (** Source task of the packed incoming edge at the same index. *)
+
+  val e_src : t -> int array
+  (** Edge-attribute SoA, indexed by edge id. *)
+
+  val e_dst : t -> int array
+  val e_size : t -> float array
+  val e_comm : t -> float array
+
+  val w_blue : t -> float array
+  (** Task-attribute SoA, indexed by task id. *)
+
+  val w_red : t -> float array
+
+  val in_sz : t -> float array
+  (** Per-task total input / output file sizes ({!in_size} / {!out_size}
+      precomputed). *)
+
+  val out_sz : t -> float array
+  val in_degree : t -> int -> int
+  val out_degree : t -> int -> int
+  val max_in_degree : t -> int
+
+  val n_layers : t -> int
+  (** Topological layers: layer 0 holds the sources, and each task sits at
+      [1 + max] of its parents' layers.  Tasks within a layer are mutually
+      independent. *)
+
+  val layer_of : t -> int array
+  (** Layer index of each task. *)
+
+  val layer_off : t -> int array
+  (** Length [n_layers + 1] offsets into {!layer_tasks}. *)
+
+  val layer_tasks : t -> int array
+  (** Task ids grouped by layer, ascending ids within a layer. *)
+end
 
 (** {1 Orders and paths} *)
 

@@ -1,13 +1,21 @@
+(* Longest-path levels over the CSR rows: one pass of the cached topological
+   order, each task's packed adjacency row walked cache-linearly.  Row order
+   equals the historical [succ]/[pred] list order, so the [Float.max] folds
+   accumulate identically. *)
+
 let bottom_levels g ~node_weight ~edge_weight =
   let n = Dag.n_tasks g in
   let bl = Array.make n 0. in
   let topo = Dag.topological_order g in
+  let off = Dag.Csr.succ_off g and eid = Dag.Csr.succ_eid g in
+  let dst = Dag.Csr.succ_dst g in
   for k = n - 1 downto 0 do
     let i = topo.(k) in
-    let from_children =
-      List.fold_left (fun acc e -> Float.max acc (edge_weight e +. bl.(e.Dag.dst))) 0. (Dag.succ g i)
-    in
-    bl.(i) <- node_weight i +. from_children
+    let acc = ref 0. in
+    for p = off.(i) to off.(i + 1) - 1 do
+      acc := Float.max !acc (edge_weight (Dag.edge g eid.(p)) +. bl.(dst.(p)))
+    done;
+    bl.(i) <- node_weight i +. !acc
   done;
   bl
 
@@ -15,14 +23,16 @@ let top_levels g ~node_weight ~edge_weight =
   let n = Dag.n_tasks g in
   let tl = Array.make n 0. in
   let topo = Dag.topological_order g in
+  let off = Dag.Csr.pred_off g and eid = Dag.Csr.pred_eid g in
+  let src = Dag.Csr.pred_src g in
   Array.iter
     (fun i ->
-      let from_parents =
-        List.fold_left
-          (fun acc e -> Float.max acc (tl.(e.Dag.src) +. node_weight e.Dag.src +. edge_weight e))
-          0. (Dag.pred g i)
-      in
-      tl.(i) <- from_parents)
+      let acc = ref 0. in
+      for p = off.(i) to off.(i + 1) - 1 do
+        let j = src.(p) in
+        acc := Float.max !acc (tl.(j) +. node_weight j +. edge_weight (Dag.edge g eid.(p)))
+      done;
+      tl.(i) <- !acc)
     topo;
   tl
 

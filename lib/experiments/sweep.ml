@@ -1,5 +1,6 @@
 type baseline = {
   dag : Dag.t;
+  ranks : float array;
   heft_makespan : float;
   heft_peak : float;
   minmin_makespan : float;
@@ -9,12 +10,16 @@ type baseline = {
 
 let baseline platform dag =
   (* Peaks are the planner's accounting (Sched_state.planned_peak): the
-     quantity for which "bounds at least HEFT's usage reproduce HEFT". *)
-  let heft_schedule, (heft_blue, heft_red) = Heuristics.heft_measured dag platform in
+     quantity for which "bounds at least HEFT's usage reproduce HEFT".
+     Upward ranks depend only on the DAG: computed once here, reused by the
+     baseline HEFT run and every sweep point over this instance. *)
+  let ranks = Rank.upward_ranks dag in
+  let heft_schedule, (heft_blue, heft_red) = Heuristics.heft_measured ~ranks dag platform in
   let minmin_schedule, (minmin_blue, minmin_red) = Heuristics.minmin_measured dag platform in
   let unbounded = Platform.with_bounds platform ~m_blue:infinity ~m_red:infinity in
   {
     dag;
+    ranks;
     heft_makespan = (Validator.validate_exn dag unbounded heft_schedule).Validator.makespan;
     heft_peak = max heft_blue heft_red;
     minmin_makespan = (Validator.validate_exn dag unbounded minmin_schedule).Validator.makespan;
@@ -35,7 +40,7 @@ type measurement = {
 
 let run_bounded ?options platform b heuristic ~bound =
   let p = Platform.with_bounds platform ~m_blue:bound ~m_red:bound in
-  let o = Outcome.run ?options heuristic b.dag p in
+  let o = Outcome.run ?options ~ranks:b.ranks heuristic b.dag p in
   if o.Outcome.feasible then
     { feasible = true; makespan = o.Outcome.makespan; ratio = o.Outcome.makespan /. b.heft_makespan }
   else { feasible = false; makespan = nan; ratio = nan }

@@ -7,6 +7,9 @@
 
 type baseline = {
   dag : Dag.t;
+  ranks : float array;
+      (** {!Rank.upward_ranks}, computed once per instance and reused by
+          every sweep point (read-only across parallel grid points) *)
   heft_makespan : float;
   heft_peak : float;
       (** [max(M^HEFT_blue, M^HEFT_red)], measured with the planner's

@@ -291,10 +291,22 @@ let order_banned =
   [ "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys";
     "Hashtbl.to_seq_values" ]
 
+(* Unchecked array access reads whatever an off-by-one index happens to hit —
+   on the packed CSR rows that is a silently wrong (platform-dependent)
+   float, not an exception, so digests diverge with no failing test.  Only
+   the flat-graph owner (lib/dag/dag.ml), where construction establishes the
+   offsets, may use them. *)
+let order_unsafe = [ "Array.unsafe_get"; "Array.unsafe_set" ]
+let order_unsafe_owner = "lib/dag/dag.ml"
+
 let order_stability =
   let hint =
     "iterate sorted keys (or an explicit insertion-order list) instead; if a later sort already \
      restores a canonical order, annotate the call with its reason"
+  in
+  let unsafe_hint =
+    "walk CSR rows with the bounds-checked accessors (Dag.Csr offsets + a.(i)); unchecked \
+     indexing outside lib/dag/dag.ml turns an index bug into a silent wrong float"
   in
   let check ctx str =
     let acc = ref [] in
@@ -311,13 +323,23 @@ let order_stability =
                     CSV/digest outputs must not depend on it"
                    s)
               :: !acc
+          else if List.mem s order_unsafe && ctx.path <> order_unsafe_owner then
+            acc :=
+              finding ctx ~rule:"order-stability" ~hint:unsafe_hint loc
+                (Printf.sprintf
+                   "%s bypasses bounds checks: an off-by-one on a packed CSR row yields a \
+                    wrong value instead of an exception"
+                   s)
+              :: !acc
         | _ -> ())
       str;
     !acc
   in
   {
     id = "order-stability";
-    doc = "no Hashtbl.iter/fold/to_seq feeding order-sensitive output";
+    doc =
+      "no Hashtbl.iter/fold/to_seq feeding order-sensitive output; no Array.unsafe_get/set \
+       outside the CSR owner module";
     applies = (fun _ -> true);
     check;
   }

@@ -9,6 +9,9 @@ type t = { p_blue : int; p_red : int; m_blue : float; m_red : float }
 
 let make ~p_blue ~p_red ~m_blue ~m_red =
   if p_blue <= 0 || p_red <= 0 then invalid_arg "Platform.make: processor counts must be positive";
+  (* +infinity is a legal "unbounded" capacity, NaN never is. *)
+  Fp.check_not_nan ~what:"Platform.make: memory capacity" m_blue;
+  Fp.check_not_nan ~what:"Platform.make: memory capacity" m_red;
   if m_blue < 0. || m_red < 0. then invalid_arg "Platform.make: negative memory capacity";
   { p_blue; p_red; m_blue; m_red }
 

@@ -22,6 +22,16 @@ val lb_plus : float -> float -> float
 val default_eps : float
 (** [1e-6], the tolerance used by the validator and the fuzz oracles. *)
 
+val check_finite : what:string -> float -> unit
+(** Rejects NaN and [±infinity] with [Invalid_argument].  The builder-side
+    guard for model quantities (processing times, file sizes, transfer
+    times): [x < 0.] alone lets NaN through ([NaN < 0.] is [false]), and one
+    NaN poisons every downstream max/sum/staircase computation. *)
+
+val check_not_nan : what:string -> float -> unit
+(** Rejects NaN only — the capacity variant of {!check_finite}:
+    [+infinity] is a legal "unbounded memory" capacity. *)
+
 val eq : ?eps:float -> float -> float -> bool
 (** [eq a b]: [abs (a -. b) <= eps].  Symmetric; [eq ~eps:0.] is exact
     equality (except that [eq nan nan] is false, as with [=]). *)

@@ -1,22 +1,32 @@
 (* Breakpoints stored in two parallel growable arrays, sorted by time.
    Invariants: len >= 1, xs.(0) = 0., xs strictly increasing with gaps > eps
    (update times within eps of an existing breakpoint are snapped onto it),
-   adjacent values differ by more than eps ([coalesce] removes the rest).
+   adjacent values differ by more than eps ([coalesce_from] removes the rest).
 
-   Queries are served by a lazily rebuilt suffix-minimum array:
-   [suffmin.(i) = min vs.(i..len-1)], monotonically non-decreasing in [i],
-   which turns [min_from] into one lookup and [earliest_suffix_ge] into a
-   binary search.  Any mutation just flips [suffmin_ok]; the array is rebuilt
-   (O(len)) on the next query, so a burst of queries between two updates —
-   the scheduler's estimate phase — pays the rebuild once. *)
+   Queries are served by a lazily patched segment tree over the value array:
+   leaf [j] holds [vs.(j)] (+infinity beyond [len]), an internal node holds
+   the minimum of its children.  [add_from] only rewrites the breakpoint
+   arrays from the step containing the update time onwards, so it records
+   that first index and the next query re-derives just the dirty leaf suffix
+   and the tree levels above it — O(touched + log len) instead of the O(len)
+   a suffix-minimum array costs when the tail changes.  List schedulers
+   mutate near the advancing time frontier, which makes both the coalesce
+   scan and the tree patch effectively O(1) amortised per update.
+
+   The answers are bit-identical to the linear scans ([min_from_scan],
+   [earliest_suffix_ge_scan] below): the minimum of a set of non-NaN floats
+   does not depend on the comparison order, and [earliest_suffix_ge] returns
+   an element of [xs] selected by an index the tree descent and a
+   suffix-minimum binary search derive identically (the last index [j] with
+   [vs.(j) +. eps < level]). *)
 
 (* One journal record per destructive [add_from]: the pre-mutation tail of the
    breakpoint arrays starting at the first index the update could touch.
    Structural snapshots (rather than replaying the inverse delta) are the only
    exact undo: float addition does not round-trip ((v +. x) -. x <> v in
-   general) and [coalesce]/eps-snapping destroy structure that arithmetic
+   general) and [coalesce_from]/eps-snapping destroy structure that arithmetic
    cannot rebuild.  Entries below [j_from] are never modified by [add_from]
-   ([coalesce] can only merge at or after the first touched index), so
+   ([coalesce_from] can only merge at or after the first touched index), so
    restoring the tail restores the staircase bit-for-bit. *)
 type journal_entry = {
   j_from : int;
@@ -31,8 +41,14 @@ type t = {
   mutable xs : float array;
   mutable vs : float array;
   mutable len : int;
-  mutable suffmin : float array;
-  mutable suffmin_ok : bool;
+  (* segment tree: [tree] has length [2 * tsize] ([tsize] a power of two,
+     [tree.(0)] unused), leaf [j] lives at [tsize + j], [tree_len] is the
+     [len] the leaves currently reflect, [dirty_from] the first
+     possibly-stale index ([max_int] when clean). *)
+  mutable tree : float array;
+  mutable tsize : int;
+  mutable tree_len : int;
+  mutable dirty_from : int;
   mutable journaling : bool;
   mutable journal : journal_entry list;
   mutable jdepth : int;
@@ -45,8 +61,10 @@ let create v =
     xs = [| 0. |];
     vs = [| v |];
     len = 1;
-    suffmin = [||];
-    suffmin_ok = false;
+    tree = [| infinity; infinity |];
+    tsize = 1;
+    tree_len = 0;
+    dirty_from = 0;
     journaling = false;
     journal = [];
     jdepth = 0;
@@ -57,8 +75,10 @@ let copy s =
     xs = Array.copy s.xs;
     vs = Array.copy s.vs;
     len = s.len;
-    suffmin = Array.copy s.suffmin;
-    suffmin_ok = s.suffmin_ok;
+    tree = Array.copy s.tree;
+    tsize = s.tsize;
+    tree_len = s.tree_len;
+    dirty_from = s.dirty_from;
     journaling = false;
     journal = [];
     jdepth = 0;
@@ -82,6 +102,9 @@ let ensure_capacity s n =
     s.vs <- vs'
   end
 
+(* Record that indices >= [i] of [vs] (and possibly [len]) changed. *)
+let touch s i = if i < s.dirty_from then s.dirty_from <- i
+
 (* Index of the step containing time [t]: largest i with xs.(i) <= t. *)
 let step_index s t =
   let lo = ref 0 and hi = ref (s.len - 1) in
@@ -97,9 +120,14 @@ let value s t =
 
 let final_value s = s.vs.(s.len - 1)
 
-let coalesce s =
-  let w = ref 0 in
-  for r = 1 to s.len - 1 do
+(* Merge adjacent eps-equal values, scanning from the first index the caller
+   modified.  The untouched prefix already satisfies the invariant (adjacent
+   kept values differ by more than eps), so the historical full scan kept
+   every prefix entry and reached [from_] with its write cursor at
+   [from_ - 1]: starting there produces the exact same array. *)
+let coalesce_from s from_ =
+  let w = ref (max 0 (from_ - 1)) in
+  for r = !w + 1 to s.len - 1 do
     if abs_float (s.vs.(r) -. s.vs.(!w)) > eps then begin
       incr w;
       s.xs.(!w) <- s.xs.(r);
@@ -111,8 +139,8 @@ let coalesce s =
 let add_from s t delta =
   if t < 0. then invalid_arg "Staircase.add_from: negative time";
   if not (Float.equal delta 0.) then begin
-    s.suffmin_ok <- false;
     let i = step_index s t in
+    touch s i;
     if s.journaling then begin
       (* Snapshot the tail from [i]: every code path below (snap-to-i,
          snap-to-i+1, split at i+1, the delta loop, coalesce) only writes at
@@ -149,7 +177,7 @@ let add_from s t delta =
     for j = start to s.len - 1 do
       s.vs.(j) <- s.vs.(j) +. delta
     done;
-    coalesce s
+    coalesce_from s i
   end
 
 let undo_to s m =
@@ -162,7 +190,7 @@ let undo_to s m =
         Array.blit e.j_xs 0 s.xs e.j_from (Array.length e.j_xs);
         Array.blit e.j_vs 0 s.vs e.j_from (Array.length e.j_vs);
         s.len <- e.j_len;
-        s.suffmin_ok <- false;
+        touch s e.j_from;
         s.journal <- rest;
         s.jdepth <- s.jdepth - 1
   done
@@ -174,19 +202,75 @@ let add_range s t1 t2 delta =
     add_from s t2 (-.delta)
   end
 
-let refresh_suffmin s =
-  if not s.suffmin_ok then begin
-    if Array.length s.suffmin < s.len then s.suffmin <- Array.make (Array.length s.xs) 0.;
-    s.suffmin.(s.len - 1) <- s.vs.(s.len - 1);
-    for j = s.len - 2 downto 0 do
-      s.suffmin.(j) <- (if s.vs.(j) < s.suffmin.(j + 1) then s.vs.(j) else s.suffmin.(j + 1))
-    done;
-    s.suffmin_ok <- true
+let grow_tree s =
+  let cap = Array.length s.xs in
+  let ts = ref 1 in
+  while !ts < cap do
+    ts := 2 * !ts
+  done;
+  s.tsize <- !ts;
+  s.tree <- Array.make (2 * !ts) infinity;
+  for j = 0 to s.len - 1 do
+    s.tree.(!ts + j) <- s.vs.(j)
+  done;
+  for k = !ts - 1 downto 1 do
+    let l = s.tree.(2 * k) and r = s.tree.((2 * k) + 1) in
+    s.tree.(k) <- (if l < r then l else r)
+  done;
+  s.tree_len <- s.len;
+  s.dirty_from <- max_int
+
+(* Patch the dirty leaf suffix and the tree levels above it.  [len] can only
+   differ from [tree_len] when some index at or below the new [len] was
+   touched ([coalesce_from] never drops [len] below the touched index), so
+   the rewritten range [dirty_from .. max len tree_len - 1] covers every
+   changed leaf; leaves at or beyond it are already +infinity. *)
+let refresh_tree s =
+  if s.tsize < s.len then grow_tree s
+  else begin
+    let hi = max s.len s.tree_len - 1 in
+    if s.dirty_from <= hi then begin
+      let a = s.dirty_from in
+      for j = a to hi do
+        s.tree.(s.tsize + j) <- (if j < s.len then s.vs.(j) else infinity)
+      done;
+      let lo = ref ((s.tsize + a) / 2) and up = ref ((s.tsize + hi) / 2) in
+      while !lo >= 1 do
+        for k = !lo to !up do
+          let l = s.tree.(2 * k) and r = s.tree.((2 * k) + 1) in
+          s.tree.(k) <- (if l < r then l else r)
+        done;
+        lo := !lo / 2;
+        up := !up / 2
+      done;
+      s.tree_len <- s.len;
+      s.dirty_from <- max_int
+    end
   end
 
 let min_from s t =
-  refresh_suffmin s;
-  s.suffmin.(step_index s t)
+  refresh_tree s;
+  let i = step_index s t in
+  (* Range minimum over leaves [i .. tsize - 1].  The +infinity padding past
+     [len - 1] never beats a real value, and when every real value is
+     +infinity that is also the correct answer — so the padded suffix query
+     returns exactly [min vs.(i .. len - 1)], the same float the linear scan
+     finds (minima are comparison-order independent). *)
+  let m = ref infinity in
+  let l = ref (s.tsize + i) and r = ref (2 * s.tsize) in
+  while !l < !r do
+    if !l land 1 = 1 then begin
+      if s.tree.(!l) < !m then m := s.tree.(!l);
+      incr l
+    end;
+    if !r land 1 = 1 then begin
+      decr r;
+      if s.tree.(!r) < !m then m := s.tree.(!r)
+    end;
+    l := !l / 2;
+    r := !r / 2
+  done;
+  !m
 
 let min_on s t1 t2 =
   if t1 >= t2 then invalid_arg "Staircase.min_on: empty interval";
@@ -202,21 +286,23 @@ let min_on s t1 t2 =
 let earliest_suffix_ge s ~level ~from =
   if final_value s +. eps < level then None
   else begin
-    refresh_suffmin s;
+    refresh_tree s;
     (* The answer is the breakpoint following the last step whose value is
-       below [level] (or [from] when no step is).  [suffmin] is non-decreasing
-       and the final step passed the feasibility test above, so that last step
-       is exactly the last index with [suffmin +. eps < level]: binary
-       search. *)
-    if s.suffmin.(0) +. eps >= level then Some from
+       below [level] (or [from] when no step is).  [tree.(1)] is the global
+       minimum, so the guard matches the historical suffix-minimum check at
+       index 0; the descent then keeps the invariant "this subtree contains
+       a leaf with [vs +. eps < level]", preferring the right child, and so
+       lands on the last such index.  Padding leaves are +infinity and never
+       qualify, and the feasibility test above puts the found step strictly
+       before the final one, so the following breakpoint exists. *)
+    if s.tree.(1) +. eps >= level then Some from
     else begin
-      let lo = ref 0 and hi = ref (s.len - 1) in
-      (* invariant: suffmin.(lo) is below level, suffmin.(hi) is not *)
-      while !hi - !lo > 1 do
-        let mid = (!lo + !hi) / 2 in
-        if s.suffmin.(mid) +. eps < level then lo := mid else hi := mid
+      let k = ref 1 in
+      while !k < s.tsize do
+        let r = (2 * !k) + 1 in
+        k := (if s.tree.(r) +. eps < level then r else 2 * !k)
       done;
-      Some (max from s.xs.(!hi))
+      Some (max from s.xs.(!k - s.tsize + 1))
     end
   end
 

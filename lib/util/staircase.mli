@@ -35,8 +35,8 @@ val add_range : t -> float -> float -> float -> unit
 
 val min_from : t -> float -> float
 (** [min_from s t] is [inf { s t' | t' >= t }].  O(log len) via a lazily
-    rebuilt suffix-minimum array (rebuilt once per mutation, on the next
-    query). *)
+    patched minimum segment tree (only the suffix a mutation touched is
+    re-derived, on the next query). *)
 
 val min_on : t -> float -> float -> float
 (** [min_on s t1 t2] is the minimum of [s] on [\[t1, t2)] ([t1 < t2]). *)
@@ -46,7 +46,7 @@ val earliest_suffix_ge : t -> level:float -> from:float -> float option
     [s t' >= level] for every [t' >= t], or [None] when the final step is
     below [level] (the paper's [task_mem_EST] / [comm_mem_EST] primitives).
     A small epsilon tolerance absorbs floating-point dust from repeated
-    updates.  O(log len): a binary search on the suffix-minimum array. *)
+    updates.  O(log len): a descent of the minimum segment tree. *)
 
 val min_from_scan : t -> float -> float
 (** Pre-optimisation O(len) reference for {!min_from} — kept for the A/B

@@ -93,7 +93,17 @@ let test_path_carveouts () =
   clean "bin/ may print" "bin/cli.ml" "let f () = Printf.printf \"hi\"\n";
   clean "the Csv writer may print" "lib/util/csv.ml" "let f () = print_string \"x\"\n";
   (* domain-safety is a lib/ rule: a test fixture's global Hashtbl is fine *)
-  clean "test/ may hold globals" "test/t.ml" "let cache = Hashtbl.create 16\n"
+  clean "test/ may hold globals" "test/t.ml" "let cache = Hashtbl.create 16\n";
+  clean "lib/dag owns unchecked CSR indexing" "lib/dag/dag.ml"
+    "let g a i = Array.unsafe_get a i\n"
+
+(* Raw unchecked indexing is the order-stability rule's second head: outside
+   the CSR owner module it turns an off-by-one into a silent wrong value. *)
+let test_unsafe_array_rule () =
+  check_one_finding "unsafe_get in lib" ~rule:"order-stability" ~line:1 ~col:13
+    (lint ~path:"lib/core/x.ml" "let g a i = Array.unsafe_get a i\n");
+  check_one_finding "unsafe_set in bench" ~rule:"order-stability" ~line:1 ~col:15
+    (lint ~path:"bench/main.ml" "let s a i v = Array.unsafe_set a i v\n")
 
 let test_negatives () =
   let clean name src = check_int name 0 (List.length (lint ~path:"lib/core/x.ml" src)) in
@@ -283,6 +293,7 @@ let () =
         [ Alcotest.test_case "registry covered" `Quick test_registry_covered;
           Alcotest.test_case "each rule fires at file:line:col" `Quick test_rules_fire;
           Alcotest.test_case "path carve-outs" `Quick test_path_carveouts;
+          Alcotest.test_case "unsafe CSR indexing" `Quick test_unsafe_array_rule;
           Alcotest.test_case "negatives stay clean" `Quick test_negatives;
           Alcotest.test_case "record-float-field compare gap" `Quick test_float_field_compare_gap;
           Alcotest.test_case "mutex pairing" `Quick test_mutex_rule;

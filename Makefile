@@ -1,6 +1,6 @@
 TMP ?= /tmp/memsched-verify
 
-.PHONY: all build test lint lint-json bench bench-smoke bench-hotpath-smoke bench-exact bench-exact-smoke bench-serve serve-smoke fuzz-smoke verify clean
+.PHONY: all build test lint lint-json bench bench-smoke bench-hotpath-smoke bench-exact bench-exact-smoke bench-serve bench-online-smoke serve-smoke online-smoke fuzz-smoke verify clean
 
 all: build
 
@@ -88,6 +88,29 @@ serve-smoke: build
 	dune exec bin/memsched_cli.exe -- serve-show test/golden/serve_smoke.bin > /dev/null
 	@echo "serve-smoke OK"
 
+# Online-scenario bench (campaign/online): plan under jittered arrivals,
+# replay the committed schedule over the noise-seed x policy grid at
+# --jobs 1/2/8.  Every row must report a byte-identical CSV digest, and the
+# seed-order shuffle row pins the seed-list invariance of the grid.
+bench-online-smoke: build
+	dune exec bench/main.exe -- --quick --only-online
+	test -s results/BENCH_online.json
+	jq -e '.bench == "online" and (.entries | length > 0) and ([.entries[] | .identical] | all)' results/BENCH_online.json > /dev/null
+	@echo "bench-online-smoke OK"
+
+# End-to-end smoke of the online scenario layer: a fixed-seed DAG planned
+# under jittered arrivals and replayed under 6 noise seeds with both
+# rescheduling policies, at --jobs 1 and 2 — the degradation CSVs must be
+# byte-identical to each other and to the committed golden file.
+online-smoke: build
+	mkdir -p $(TMP)
+	dune exec bin/memsched_cli.exe -- generate daggen --size 25 --seed 2014 -o $(TMP)/online_dag.txt 2> /dev/null
+	dune exec bin/memsched_cli.exe -- online $(TMP)/online_dag.txt --arrival jittered --gap 1.5 --arrival-seed 5 --level 0.3 --seeds 6 --m-blue 90 --m-red 90 --jobs 1 -o $(TMP)/online_out1.csv 2> /dev/null
+	dune exec bin/memsched_cli.exe -- online $(TMP)/online_dag.txt --arrival jittered --gap 1.5 --arrival-seed 5 --level 0.3 --seeds 6 --m-blue 90 --m-red 90 --jobs 2 -o $(TMP)/online_out2.csv 2> /dev/null
+	cmp $(TMP)/online_out1.csv $(TMP)/online_out2.csv
+	cmp $(TMP)/online_out1.csv test/golden/online_smoke.csv
+	@echo "online-smoke OK"
+
 # Fixed-seed differential-fuzzing smoke run: 500 cases through the whole
 # oracle registry (lib/check), on the parallel runtime.  Any violation
 # exits non-zero and serialises the shrunk instance into test/corpus/.
@@ -97,7 +120,7 @@ fuzz-smoke: build
 # Tier-1 verification plus a smoke run of the parallel runtime: the CLI is
 # driven end-to-end with --jobs 2 (multistart over the domain pool, then a
 # figure regeneration), so the parallel path is exercised on every run.
-verify: build lint test bench-smoke bench-hotpath-smoke bench-exact-smoke serve-smoke fuzz-smoke
+verify: build lint test bench-smoke bench-hotpath-smoke bench-exact-smoke bench-online-smoke serve-smoke online-smoke fuzz-smoke
 	mkdir -p $(TMP)
 	dune exec bin/memsched_cli.exe -- generate daggen --size 30 --seed 2014 -o $(TMP)/dag.txt
 	dune exec bin/memsched_cli.exe -- schedule $(TMP)/dag.txt -H memheft --restarts 8 --jobs 2

@@ -3,13 +3,16 @@
    micro-benchmarks of the library's hot paths.
 
    Usage: main.exe [--quick | --paper] [--skip-micro] [--skip-figures]
-                   [--only-exact] [--only-serve] [--only-hotpath] [--jobs N]
+                   [--only-exact] [--only-serve] [--only-hotpath] [--only-online]
+                   [--jobs N]
    Default scale completes in a few minutes; --paper runs the full SS 6
    campaign (50x30, 100x1000, 13x13 with the complete alpha grid).
    --only-exact runs just the campaign/exact section (results/BENCH_exact.json).
    --only-serve runs just the campaign/serve section (results/BENCH_serve.json).
    --only-hotpath runs just the campaign/hotpath section, including the
    10^5-task LU row (results/BENCH_hotpath.json).
+   --only-online runs just the campaign/online section — plan under jittered
+   arrivals, replay under multiplicative noise (results/BENCH_online.json).
    --jobs N fans the campaign out over a N-domain Par pool (results are
    bit-identical for every N; default: recognised CPUs). *)
 
@@ -521,6 +524,86 @@ let run_micro () =
          [ name; cell ])
        rows)
 
+(* --------------------------------------------------- campaign/online ----- *)
+
+(* Online planning + perturbed replay throughput (lib/online): plan every
+   instance once under jittered arrivals, replay the committed schedule over
+   the noise-seed x policy grid at --jobs 1/2/8, and cross-check the
+   determinism contract on every row — the CSV digest must be byte-identical
+   for every jobs count, and invariant under shuffling/duplicating the
+   noise-seed list.  Emits results/BENCH_online.json. *)
+let run_online_bench scale out_dir =
+  Printf.printf "\n==== campaign/online -- plan, perturb, replay ====\n\n%!";
+  let quick = scale = `Quick in
+  let count = if quick then 4 else 8 in
+  let n_seeds = if quick then 4 else 16 in
+  let tile_n = if quick then 6 else 10 in
+  let instances =
+    List.mapi
+      (fun k dag -> (Printf.sprintf "small%02d" k, dag))
+      (Workloads.small_rand_set ~count ())
+    @ [ ("lu", Workloads.lu ~n:tile_n ()); ("cholesky", Workloads.cholesky ~n:tile_n ()) ]
+  in
+  let platform = Workloads.platform_random in
+  let cfg seeds =
+    { Scenario.default_config with
+      Scenario.arrival = Arrival.Jittered { gap = 1.0; seed = 5 };
+      noise_level = 0.3;
+      noise_seeds = seeds }
+  in
+  let seeds = List.init n_seeds (fun s -> s) in
+  let digest rows =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n" (List.map (fun r -> Csv.row_to_string (Scenario.csv_row (cfg seeds) r)) rows)))
+  in
+  let entries = ref [] in
+  let push e = entries := e :: !entries in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let (serial_rows, _), t_serial = time (fun () -> Scenario.run (cfg seeds) instances platform) in
+  let serial_digest = digest serial_rows in
+  List.iter
+    (fun jobs ->
+      let (rows, _), t =
+        if jobs = 1 then ((serial_rows, []), t_serial)
+        else
+          time (fun () ->
+              Par.with_pool ~jobs (fun pool -> Scenario.run ~pool (cfg seeds) instances platform))
+      in
+      let identical = String.equal (digest rows) serial_digest in
+      Printf.printf "online    --jobs %d  %7.3f s  %d rows  identical %b\n%!" jobs t
+        (List.length rows) identical;
+      push
+        [ ("section", Bench_json.S "jobs"); ("jobs", Bench_json.I jobs);
+          ("instances", Bench_json.I (List.length instances));
+          ("seeds", Bench_json.I n_seeds); ("rows", Bench_json.I (List.length rows));
+          ("wall_s", Bench_json.F t); ("identical", Bench_json.B identical) ])
+    [ 1; 2; 8 ];
+  (* Seed-list order/duplication must not matter: the grid sorts and
+     dedupes seeds up front. *)
+  let shuffled = List.rev seeds @ seeds in
+  let (shuffled_rows, _), t_shuffled =
+    time (fun () -> Scenario.run (cfg shuffled) instances platform)
+  in
+  let identical = String.equal (digest shuffled_rows) serial_digest in
+  Printf.printf "online    seed-order shuffle  %7.3f s  identical %b\n%!" t_shuffled identical;
+  push
+    [ ("section", Bench_json.S "seed_order"); ("jobs", Bench_json.I 1);
+      ("instances", Bench_json.I (List.length instances));
+      ("seeds", Bench_json.I n_seeds); ("rows", Bench_json.I (List.length shuffled_rows));
+      ("wall_s", Bench_json.F t_shuffled); ("identical", Bench_json.B identical) ];
+  Bench_json.write ~out_dir ~file:"BENCH_online.json" ~bench:"online"
+    ~scale:(match scale with `Quick -> "quick" | `Paper -> "paper" | `Default -> "default")
+    ~extra:
+      [ ("note",
+         Bench_json.S
+           "single-core container: the jobs sweep measures determinism overhead, not speedup") ]
+    (List.rev !entries)
+
 let () =
   let args = Array.to_list Sys.argv in
   let scale =
@@ -543,6 +626,7 @@ let () =
   if List.mem "--only-exact" args then run_exact_bench scale out_dir
   else if List.mem "--only-serve" args then run_serve_bench scale out_dir
   else if List.mem "--only-hotpath" args then run_hotpath_bench scale out_dir
+  else if List.mem "--only-online" args then run_online_bench scale out_dir
   else begin
     if not (List.mem "--skip-figures" args) then
       Par.with_pool ~jobs (fun pool -> run_figures scale pool out_dir);
@@ -550,6 +634,7 @@ let () =
     run_hotpath_bench scale out_dir;
     run_exact_bench scale out_dir;
     run_serve_bench scale out_dir;
+    run_online_bench scale out_dir;
     if not (List.mem "--skip-micro" args) then run_micro ()
   end;
   Printf.printf "\nAll sections complete; CSVs in %s/\n" out_dir

@@ -17,7 +17,9 @@
                  requests in (stdin or a unix socket), responses out,
                  sharded over the domain pool with an LRU result cache
      serve-req   build binary request frames for the daemon from DAG files
-     serve-show  decode a file of frames into human-readable text *)
+     serve-show  decode a file of frames into human-readable text
+     online      plan with online arrivals, replay the committed schedule
+                 under perturbed realized costs, report degradation CSV *)
 
 open Cmdliner
 
@@ -621,6 +623,113 @@ let serve_show_cmd =
     (Cmd.info "serve-show" ~doc:"Decode a file of daemon frames into human-readable text.")
     Term.(ret (const run $ file))
 
+(* ----------------------------------------------------------------- online *)
+
+let online_cmd =
+  let dag =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DAG" ~doc:"DAG file (text format).")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("memheft", Online.Heft_like); ("memminmin", Online.Minmin_like) ]) Online.Heft_like
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"Online heuristic: memheft or memminmin.")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt (enum [ ("batch", `Batch); ("layered", `Layered); ("jittered", `Jittered) ]) `Batch
+      & info [ "arrival" ] ~docv:"PROC"
+          ~doc:"Arrival process: batch (all at t=0), layered or jittered.")
+  in
+  let gap =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "gap" ] ~docv:"T" ~doc:"Release gap per DAG layer (layered/jittered).")
+  in
+  let arrival_seed =
+    Arg.(value & opt int 0 & info [ "arrival-seed" ] ~docv:"S" ~doc:"Jitter seed (jittered).")
+  in
+  let level =
+    Arg.(
+      value
+      & opt float 0.2
+      & info [ "level" ] ~docv:"L" ~doc:"Multiplicative noise level on realized costs.")
+  in
+  let seeds =
+    Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Replay under noise seeds 0..N-1.")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("norepair", [ Replay.No_repair ]); ("rerank", [ Replay.Rerank_repair ]);
+               ("both", [ Replay.No_repair; Replay.Rerank_repair ]) ])
+          [ Replay.No_repair; Replay.Rerank_repair ]
+      & info [ "policy" ] ~docv:"POL" ~doc:"Rescheduling policy: norepair, rerank or both.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"CSV output file (stdout by default).")
+  in
+  let run platform dag algo arrival gap arrival_seed level seeds policies jobs out =
+    if not (gap >= 0.) then `Error (false, "expected a non-negative --gap")
+    else if not (level >= 0.) then `Error (false, "expected a non-negative --level")
+    else if seeds < 1 then `Error (false, "expected at least one noise seed")
+    else begin
+      let g = read_dag dag in
+      let arrival =
+        match arrival with
+        | `Batch -> Arrival.Batch
+        | `Layered -> Arrival.Layered { gap }
+        | `Jittered -> Arrival.Jittered { gap; seed = arrival_seed }
+      in
+      let cfg =
+        { Scenario.default_config with
+          Scenario.algo;
+          arrival;
+          policies;
+          noise_level = level;
+          noise_seeds = List.init seeds (fun s -> s) }
+      in
+      let rows, summaries =
+        Par.with_pool ~jobs @@ fun pool ->
+        Scenario.run ~pool cfg [ (Filename.basename dag, g) ] platform
+      in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf (Csv.row_to_string Scenario.csv_header);
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun r ->
+          Buffer.add_string buf (Csv.row_to_string (Scenario.csv_row cfg r));
+          Buffer.add_char buf '\n')
+        rows;
+      output_string_to out (Buffer.contents buf);
+      List.iter
+        (fun s ->
+          Format.eprintf "%s %s: %d ok, %d failed, makespan ratio p50 %g p95 %g max %g@."
+            s.Scenario.s_instance
+            (Replay.policy_label s.Scenario.s_policy)
+            s.Scenario.s_ok s.Scenario.s_failed s.Scenario.s_mk_p50 s.Scenario.s_mk_p95
+            s.Scenario.s_mk_max)
+        summaries;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Plan with online arrivals, replay the committed schedule under perturbed realized \
+          costs, and report the degradation distribution as CSV.")
+    Term.(
+      ret
+        (const run $ platform_term $ dag $ algo $ arrival $ gap $ arrival_seed $ level $ seeds
+        $ policies $ jobs_term $ out))
+
 (* ------------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -632,9 +741,10 @@ let experiment_cmd =
              (enum
                 [ ("table1", `T1); ("figure8", `F8); ("figure9", `F9); ("figure10", `F10);
                   ("figure11", `F11); ("figure12", `F12); ("figure13", `F13); ("figure14", `F14);
-                  ("figure15", `F15); ("ilp", `Ilp); ("ablations", `Abl); ("all", `All) ]))
+                  ("figure15", `F15); ("ilp", `Ilp); ("ablations", `Abl); ("online", `Online);
+                  ("all", `All) ]))
           None
-      & info [] ~docv:"WHICH" ~doc:"table1, figure8..figure15, ilp, ablations or all.")
+      & info [] ~docv:"WHICH" ~doc:"table1, figure8..figure15, ilp, ablations, online or all.")
   in
   let paper = Arg.(value & flag & info [ "paper" ] ~doc:"Full paper scale (slower).") in
   let out_dir = Arg.(value & opt string "results" & info [ "out-dir" ] ~doc:"CSV output directory.") in
@@ -656,6 +766,9 @@ let experiment_cmd =
     | `F15 -> Figures.figure15 ~out_dir ~pool ()
     | `Ilp -> Figures.ilp_cross_check ~out_dir ~pool ()
     | `Abl -> Figures.ablations ~out_dir ~pool ()
+    | `Online ->
+      if paper then Figures.online_degradation ~out_dir ~pool ()
+      else Figures.online_degradation ~out_dir ~pool ~count:4 ~seeds:4 ()
     | `All ->
       if paper then Figures.all_paper ~out_dir ~pool () else Figures.all_quick ~out_dir ~pool ()
   in
@@ -672,4 +785,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; schedule_cmd; validate_cmd; exact_cmd; export_lp_cmd; check_cmd;
-            lint_cmd; serve_cmd; serve_req_cmd; serve_show_cmd; experiment_cmd ]))
+            lint_cmd; serve_cmd; serve_req_cmd; serve_show_cmd; online_cmd; experiment_cmd ]))

@@ -496,9 +496,126 @@ let o_lint =
   in
   { name = "lint"; doc = "the source tree stays clean under the lib/lint static-analysis rules"; check }
 
+(* ---------------------------------------------------- scenario oracles --- *)
+
+let online_algos = [ Online.Heft_like; Online.Minmin_like ]
+
+let online_arrivals seed =
+  [ Arrival.Batch; Arrival.Layered { gap = 1.5 }; Arrival.Jittered { gap = 1.5; seed } ]
+
+(* Replaying a plan under zero noise must reproduce it bit-for-bit: the
+   perturbation is the identity at level 0 by construction, so any
+   difference means the replay engine's estimates or lifts disagree with the
+   planner's own — exactly the drift this oracle exists to catch. *)
+let o_noise0_fixpoint =
+  let check _cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    let realized = Noise.perturb (Noise.spec ~seed:1 ~level:0. ()) g in
+    let errs = ref [] in
+    List.iter
+      (fun algo ->
+        List.iter
+          (fun arrival ->
+            let tag =
+              Printf.sprintf "%s/%s" (Online.algo_label algo) (Arrival.label arrival)
+            in
+            match Online.plan ~algo ~arrival g p with
+            | Error _ -> ()  (* infeasible under the caps: nothing to replay *)
+            | Ok plan -> (
+              match Replay.run ~policy:Replay.No_repair plan realized p with
+              | Error f ->
+                errs := Printf.sprintf "%s: zero-noise replay diverged: %s" tag f.Heuristics.reason :: !errs
+              | Ok o ->
+                if not (schedules_equal plan.Online.p_schedule o.Replay.o_schedule) then
+                  errs := Printf.sprintf "%s: zero-noise replay differs from the plan" tag :: !errs;
+                if o.Replay.o_repaired <> 0 then
+                  errs := Printf.sprintf "%s: zero-noise replay repaired %d tasks" tag o.Replay.o_repaired :: !errs))
+          (online_arrivals 11))
+      online_algos;
+    verdict_of_errors !errs
+  in
+  { name = "noise0-fixpoint";
+    doc = "a zero-noise replay reproduces the committed plan bit-for-bit";
+    check }
+
+(* An online planner sees less than the offline one and commits irrevocably,
+   so it can never beat the offline makespan lower bound; its planned
+   schedules must also pass the full validity oracle. *)
+let o_online_dominance =
+  let check cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    let lb = Lower_bound.makespan g p in
+    let tol = cfg.eps *. (1. +. Float.abs lb) in
+    let errs = ref [] in
+    List.iter
+      (fun algo ->
+        List.iter
+          (fun arrival ->
+            let tag =
+              Printf.sprintf "%s/%s" (Online.algo_label algo) (Arrival.label arrival)
+            in
+            match Online.plan ~algo ~arrival g p with
+            | Error _ -> ()
+            | Ok plan ->
+              if plan.Online.p_makespan +. tol < lb then
+                errs :=
+                  Printf.sprintf "%s: online makespan %.17g beats the offline lower bound %.17g"
+                    tag plan.Online.p_makespan lb
+                  :: !errs;
+              (match Validator.validate ~eps:cfg.eps g p plan.Online.p_schedule with
+              | Ok _ -> ()
+              | Error messages ->
+                errs :=
+                  Printf.sprintf "%s: invalid planned schedule: %s" tag
+                    (String.concat "; " messages)
+                  :: !errs))
+          (online_arrivals 23))
+      online_algos;
+    verdict_of_errors !errs
+  in
+  { name = "online-dominance";
+    doc = "online planners never beat the offline lower bound and their plans validate";
+    check }
+
+(* The plan → perturb → replay pipeline must be bit-identical for every
+   jobs count: the degradation campaigns fan out over (seed, policy) grids
+   and their CSV rows are the published artefact. *)
+let o_replay_determinism =
+  let check cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    if Dag.n_tasks g > cfg.jobs_task_limit then Skip "instance above the jobs-check size cap"
+    else begin
+      let sc =
+        {
+          Scenario.default_config with
+          Scenario.arrival = Arrival.Jittered { gap = 1.; seed = 7 };
+          noise_level = 0.3;
+          noise_seeds = [ 0; 1; 2 ];
+        }
+      in
+      let instances = [ (i.Fuzz_instance.label, g) ] in
+      let digest rows =
+        String.concat "\n" (List.map (fun r -> Csv.row_to_string (Scenario.csv_row sc r)) rows)
+      in
+      let serial = digest (fst (Scenario.run sc instances p)) in
+      let errs = ref [] in
+      List.iter
+        (fun jobs ->
+          let rows, _ = Par.with_pool ~jobs (fun pool -> Scenario.run ~pool sc instances p) in
+          if digest rows <> serial then
+            errs := Printf.sprintf "degradation rows differ between serial and jobs=%d" jobs :: !errs)
+        [ 1; 2; 8 ];
+      verdict_of_errors !errs
+    end
+  in
+  { name = "replay-determinism";
+    doc = "degradation campaign rows are bit-identical across jobs counts";
+    check }
+
 let all =
   [ o_validator; o_lower_bound; o_reference; o_exact; o_exact_agreement; o_infeasibility;
-    o_serialization; o_wire; o_jobs_invariance; o_lint ]
+    o_serialization; o_wire; o_jobs_invariance; o_noise0_fixpoint; o_online_dominance;
+    o_replay_determinism; o_lint ]
 
 let names = List.map (fun o -> o.name) all
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -26,6 +26,20 @@ val memheft :
 val memminmin : ?options:Sched_state.options -> Dag.t -> Platform.t -> result
 (** Memory-aware MinMin. *)
 
+val memheft_run :
+  ?options:Sched_state.options ->
+  ?rng:Rng.t ->
+  ?ranks:float array ->
+  Dag.t ->
+  Platform.t ->
+  Sched_state.t * result
+(** {!memheft} together with its final scheduling state — callers that need
+    the decision sequence read it back with {!Sched_state.commit_order}
+    (the replay engine turns it into an offline plan). *)
+
+val memminmin_run : ?options:Sched_state.options -> Dag.t -> Platform.t -> Sched_state.t * result
+(** {!memminmin} with its final state, as {!memheft_run}. *)
+
 val memheft_reference :
   ?options:Sched_state.options -> ?rng:Rng.t -> Dag.t -> Platform.t -> result
 (** Pre-optimisation MemHEFT, kept verbatim (full priority-list rescans,

@@ -74,6 +74,9 @@ type t = {
   mutable planned_red : float;
   mutable trailing : bool;
   mutable trail : undo list;
+  (* Committed task ids, most recent first; [commit_order] reverses it.  The
+     replay engine uses it to recover the exact decision sequence of a plan. *)
+  mutable commit_log : int list;
 }
 
 let create ?(options = default_options) g platform =
@@ -134,6 +137,7 @@ let create ?(options = default_options) g platform =
     planned_red = 0.;
     trailing = false;
     trail = [];
+    commit_log = [];
   }
 
 let copy t =
@@ -192,6 +196,7 @@ let graph t = t.g
 let platform t = t.platform
 let schedule t = t.sched
 let n_assigned t = t.assigned_count
+let commit_order t = List.rev t.commit_log
 let is_assigned t i = t.assigned.(i)
 let is_ready t i = (not t.assigned.(i)) && t.pending_parents.(i) = 0
 
@@ -456,6 +461,7 @@ let commit t e =
       t.pending_parents.(c) <- t.pending_parents.(c) - 1;
       if t.pending_parents.(c) = 0 then ready_add t c)
     (Dag.children g i);
+  t.commit_log <- i :: t.commit_log;
   match undo with Some u -> t.trail <- u :: t.trail | None -> ()
 
 let uncommit t =
@@ -485,6 +491,7 @@ let uncommit t =
         if t.pending_parents.(c) = 0 then ready_drop t c;
         t.pending_parents.(c) <- t.pending_parents.(c) + 1)
       (Dag.children t.g i);
+    (match t.commit_log with _ :: log -> t.commit_log <- log | [] -> ());
     ready_add t i
 
 (* Pre-optimisation reference machinery, kept verbatim for the A/B

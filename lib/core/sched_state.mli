@@ -60,6 +60,11 @@ val schedule : t -> Schedule.t
 (** The underlying schedule; complete once every task is assigned. *)
 
 val n_assigned : t -> int
+
+val commit_order : t -> int list
+(** Task ids in chronological commit order ([uncommit]ted decisions are
+    dropped).  A heuristic's decision sequence, ready for replay. *)
+
 val is_assigned : t -> int -> bool
 val is_ready : t -> int -> bool
 (** All parents assigned (the task itself not yet). *)

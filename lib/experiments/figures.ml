@@ -474,6 +474,38 @@ let extensions ?(out_dir = "results") ?pool ?(count = 30)
 
 (* ------------------------------------------------------------------ suites *)
 
+(* ------------------------------------------- online degradation campaign *)
+
+let online_instances ~count =
+  List.mapi
+    (fun k dag -> (Printf.sprintf "small%02d" k, dag))
+    (Workloads.small_rand_set ~count ())
+  @ [ ("lu8", Workloads.lu ~n:8 ()); ("cholesky8", Workloads.cholesky ~n:8 ()) ]
+
+let online_degradation ?(out_dir = "results") ?pool ?(count = 6) ?(level = 0.2) ?(seeds = 8) () =
+  section "Online degradation -- replayed schedules under perturbed costs";
+  let cfg =
+    { Scenario.default_config with
+      Scenario.arrival = Arrival.Jittered { gap = 1.0; seed = 5 };
+      noise_level = level;
+      noise_seeds = List.init seeds (fun s -> s) }
+  in
+  let rows, summaries =
+    Scenario.run ?pool cfg (online_instances ~count) Workloads.platform_random
+  in
+  Table.print
+    ~header:
+      [ "instance"; "policy"; "ok"; "failed"; "mk p50"; "mk p95"; "mk max"; "peak p95" ]
+    (List.map
+       (fun s ->
+         [ s.Scenario.s_instance; Replay.policy_label s.Scenario.s_policy;
+           string_of_int s.Scenario.s_ok; string_of_int s.Scenario.s_failed;
+           Table.cell_f s.Scenario.s_mk_p50; Table.cell_f s.Scenario.s_mk_p95;
+           Table.cell_f s.Scenario.s_mk_max; Table.cell_f s.Scenario.s_peak_p95 ])
+       summaries);
+  write_csv out_dir "online_degradation.csv" Scenario.csv_header
+    (List.map (Scenario.csv_row cfg) rows)
+
 let all_quick ?(out_dir = "results") ?pool () =
   table1 ~out_dir ?pool ();
   figure8 ~out_dir ();
@@ -487,6 +519,7 @@ let all_quick ?(out_dir = "results") ?pool () =
   ilp_cross_check ~out_dir ?pool ~node_limit:5_000 ();
   ablations ~out_dir ?pool ~count:10 ();
   extensions ~out_dir ?pool ~count:10 ();
+  online_degradation ~out_dir ?pool ~count:4 ~seeds:4 ();
   Plots.write_gnuplot ~out_dir ()
 
 let all_paper ?(out_dir = "results") ?pool () =
@@ -502,4 +535,5 @@ let all_paper ?(out_dir = "results") ?pool () =
   ilp_cross_check ~out_dir ?pool ();
   ablations ~out_dir ?pool ();
   extensions ~out_dir ?pool ~count:50 ();
+  online_degradation ~out_dir ?pool ();
   Plots.write_gnuplot ~out_dir ()

@@ -74,6 +74,14 @@ val extensions : ?out_dir:string -> ?pool:Par.t -> ?count:int -> ?alphas:float l
     variants of the other dynamic heuristics of Braun et al., the paper's
     reference [4]) against MemHEFT/MemMinMin. *)
 
+val online_degradation :
+  ?out_dir:string -> ?pool:Par.t -> ?count:int -> ?level:float -> ?seeds:int -> unit -> unit
+(** Beyond the paper: plan online (jittered arrivals) on SmallRandSet plus
+    LU/Cholesky, replay every plan under [seeds] noise realizations at
+    multiplicative [level], and report the p50/p95/max of the
+    realized-over-planned makespan and peak-memory ratios per rescheduling
+    policy.  Writes [online_degradation.csv]. *)
+
 val all_quick : ?out_dir:string -> ?pool:Par.t -> unit -> unit
 (** Every section at a scale that finishes in a few minutes. *)
 

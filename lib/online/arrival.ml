@@ -1,0 +1,40 @@
+(* Release-time processes for the online scenarios.
+
+   A process maps a DAG to one release (arrival) time per task.  All three
+   processes are precedence-consistent — a task is never released before
+   every ancestor — so irrevocable online scheduling can always make
+   progress.  [Layered] and [Jittered] derive releases from the CSR layer
+   index (longest path from a source, precomputed at finalize); the jitter
+   draws from per-task keyed streams, so a task's release is independent of
+   the order in which other releases are evaluated. *)
+
+type process =
+  | Batch
+  | Layered of { gap : float }
+  | Jittered of { gap : float; seed : int }
+
+let check_gap gap =
+  Fp.check_finite ~what:"Arrival gap" gap;
+  if gap < 0. then invalid_arg "Arrival: negative gap"
+
+let releases process g =
+  let n = Dag.n_tasks g in
+  match process with
+  | Batch -> Array.make n 0.
+  | Layered { gap } ->
+    check_gap gap;
+    let layer = Dag.Csr.layer_of g in
+    Array.init n (fun i -> gap *. float_of_int layer.(i))
+  | Jittered { gap; seed } ->
+    check_gap gap;
+    let layer = Dag.Csr.layer_of g in
+    (* u < 1 keeps every release strictly below the next layer's base, so
+       parents (strictly smaller layer) are always released first. *)
+    Array.init n (fun i ->
+        let u = Rng.float (Rng.keyed ~seed ~key:i) 1.0 in
+        gap *. (float_of_int layer.(i) +. u))
+
+let label = function
+  | Batch -> "batch"
+  | Layered _ -> "layered"
+  | Jittered _ -> "jittered"

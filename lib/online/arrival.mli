@@ -1,0 +1,22 @@
+(** Release-time (arrival) processes for online scheduling.
+
+    [Batch] releases everything at time 0 — the offline special case.
+    [Layered { gap }] releases layer [l] (longest path from a source) at
+    [gap * l].  [Jittered { gap; seed }] adds a per-task uniform jitter
+    within the layer window: release [gap * (l + u_i)] with [u_i] drawn from
+    the task's keyed stream, so draws are order-independent.
+
+    All three are precedence-consistent: every ancestor of a task is
+    released no later than the task itself. *)
+
+type process =
+  | Batch
+  | Layered of { gap : float }
+  | Jittered of { gap : float; seed : int }
+
+val releases : process -> Dag.t -> float array
+(** One release time per task.
+    @raise Invalid_argument on a negative or non-finite gap. *)
+
+val label : process -> string
+(** ["batch" | "layered" | "jittered"] — CSV/CLI tag. *)

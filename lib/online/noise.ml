@@ -1,0 +1,57 @@
+(* Seeded multiplicative perturbation of a DAG's costs.
+
+   Every task and every edge owns a private SplitMix64 stream derived as a
+   pure function of (seed, entity key), so the factor an entity receives is
+   independent of how many other entities exist and of any evaluation order —
+   reordering arrivals, tasks or edges never changes a draw.  A task's two
+   processing times share one factor (the task got slower, on both sides);
+   an edge's size and transfer time share one factor (the file got bigger). *)
+
+type spec = {
+  seed : int;
+  level : float;  (* relative half-width of the uniform factor *)
+  min_factor : float;  (* truncation floor keeping costs positive *)
+}
+
+let default_min_factor = 0.05
+
+let spec ?(min_factor = default_min_factor) ~seed ~level () =
+  Fp.check_finite ~what:"Noise.spec level" level;
+  Fp.check_finite ~what:"Noise.spec min_factor" min_factor;
+  if level < 0. then invalid_arg "Noise.spec: negative level";
+  if not (min_factor > 0.) then invalid_arg "Noise.spec: min_factor must be positive";
+  if min_factor > 1. then invalid_arg "Noise.spec: min_factor above 1 breaks the zero-noise fixpoint";
+  { seed; level; min_factor }
+
+(* Tasks take even keys, edges odd ones: the two families never collide in
+   the keyed stream space. *)
+let factor spec ~key =
+  let u = Rng.float (Rng.keyed ~seed:spec.seed ~key) 1.0 in
+  (* At level = 0 this is exactly [1. +. 0. = 1.0] whatever [u] is, and
+     [x *. 1.0] is bit-identical to [x]: the zero-noise replay reproduces
+     the planned schedule by construction, not by tolerance. *)
+  Float.max spec.min_factor (1. +. (spec.level *. ((2. *. u) -. 1.)))
+
+let task_factor spec i = factor spec ~key:(2 * i)
+let edge_factor spec eid = factor spec ~key:((2 * eid) + 1)
+
+(* Rebuilt through the ordinary builder so the perturbed graph goes through
+   the same finiteness/positivity checks as any generated instance. *)
+let perturb spec g =
+  let b = Dag.Builder.create () in
+  Array.iter
+    (fun (t : Dag.task) ->
+      let f = task_factor spec t.Dag.id in
+      let id =
+        Dag.Builder.add_task b ~name:t.Dag.name ~w_blue:(t.Dag.w_blue *. f)
+          ~w_red:(t.Dag.w_red *. f) ()
+      in
+      assert (id = t.Dag.id))
+    (Dag.tasks g);
+  Array.iter
+    (fun (e : Dag.edge) ->
+      let f = edge_factor spec e.Dag.eid in
+      Dag.Builder.add_edge b ~src:e.Dag.src ~dst:e.Dag.dst ~size:(e.Dag.size *. f)
+        ~comm:(e.Dag.comm *. f))
+    (Dag.edges g);
+  Dag.Builder.finalize b

@@ -1,0 +1,35 @@
+(** Seeded multiplicative cost perturbation (the uncertainty model of the
+    scenario layer).
+
+    Each task and each edge draws one uniform factor
+    [max min_factor (1 + level * U[-1,1))] from a private SplitMix64 stream
+    keyed by [(seed, entity)] — a pure function of the pair, so draws are
+    independent of entity count and of any evaluation order.  A task's
+    factor scales both [w_blue] and [w_red]; an edge's factor scales both
+    [size] and [comm].
+
+    At [level = 0.] every factor is exactly [1.0] and [x *. 1.0] is
+    bit-identical to [x]: perturbation is then the identity bit-for-bit,
+    which the zero-noise replay oracle relies on. *)
+
+type spec = {
+  seed : int;
+  level : float;
+  min_factor : float;
+}
+
+val default_min_factor : float
+(** [0.05]. *)
+
+val spec : ?min_factor:float -> seed:int -> level:float -> unit -> spec
+(** @raise Invalid_argument on a negative or non-finite level, or a
+    [min_factor] outside [(0, 1]] (a floor above 1 would break the
+    zero-noise fixpoint). *)
+
+val task_factor : spec -> int -> float
+val edge_factor : spec -> int -> float
+
+val perturb : spec -> Dag.t -> Dag.t
+(** The realized graph: same topology, ids and names; perturbed costs.
+    Rebuilt through {!Dag.Builder}, so the result passes the usual
+    finiteness and positivity guards. *)

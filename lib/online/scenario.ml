@@ -1,0 +1,196 @@
+(* Degradation campaigns: plan once per instance, replay under a grid of
+   noise seeds and rescheduling policies, summarise the distribution of the
+   realized-over-planned ratios.
+
+   Determinism contract: every grid point is a pure function of
+   (instance, config, seed); the fan-out goes through [Par.parallel_map]
+   (order-preserving) and the aggregation is a serial fold over the fixed
+   grid order; noise seeds are sorted and deduplicated up front.  The rows
+   and summaries are therefore bit-identical for every [--jobs] value and
+   independent of the order the seeds were supplied in. *)
+
+type config = {
+  algo : Online.algo;
+  arrival : Arrival.process;
+  policies : Replay.policy list;
+  noise_level : float;
+  noise_min_factor : float;
+  noise_seeds : int list;
+}
+
+let default_config =
+  {
+    algo = Online.Heft_like;
+    arrival = Arrival.Batch;
+    policies = [ Replay.No_repair; Replay.Rerank_repair ];
+    noise_level = 0.2;
+    noise_min_factor = Noise.default_min_factor;
+    noise_seeds = [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  }
+
+type row = {
+  r_instance : string;
+  r_policy : Replay.policy;
+  r_seed : int;
+  r_planned_makespan : float;
+  r_realized_makespan : float;  (* nan when the replay failed *)
+  r_makespan_ratio : float;  (* realized / planned; nan when failed *)
+  r_planned_peak : float;  (* max of the two planned memory peaks *)
+  r_realized_peak : float;
+  r_peak_ratio : float;
+  r_replayed : int;
+  r_repaired : int;
+  r_status : string;  (* "ok" or a failure reason *)
+}
+
+type summary = {
+  s_instance : string;
+  s_policy : Replay.policy;
+  s_ok : int;
+  s_failed : int;
+  s_mk_p50 : float;
+  s_mk_p95 : float;
+  s_mk_max : float;
+  s_peak_p50 : float;
+  s_peak_p95 : float;
+  s_peak_max : float;
+}
+
+let ratio ~planned ~realized = if planned > 0. then realized /. planned else 1.
+
+let sorted_seeds seeds = List.sort_uniq compare seeds
+
+let failed_row ~instance ~policy ~seed ~planned_makespan ~planned_peak reason =
+  {
+    r_instance = instance;
+    r_policy = policy;
+    r_seed = seed;
+    r_planned_makespan = planned_makespan;
+    r_realized_makespan = nan;
+    r_makespan_ratio = nan;
+    r_planned_peak = planned_peak;
+    r_realized_peak = nan;
+    r_peak_ratio = nan;
+    r_replayed = 0;
+    r_repaired = 0;
+    r_status = reason;
+  }
+
+let replay_row cfg ~platform ~instance ~dag ~plan ~policy ~seed =
+  let planned_makespan = plan.Online.p_makespan in
+  let planned_peak = Float.max plan.Online.p_peak_blue plan.Online.p_peak_red in
+  let spec = Noise.spec ~min_factor:cfg.noise_min_factor ~seed ~level:cfg.noise_level () in
+  let realized = Noise.perturb spec dag in
+  match Replay.run ~policy plan realized platform with
+  | Error f ->
+    failed_row ~instance ~policy ~seed ~planned_makespan ~planned_peak f.Heuristics.reason
+  | Ok o ->
+    {
+      r_instance = instance;
+      r_policy = policy;
+      r_seed = seed;
+      r_planned_makespan = planned_makespan;
+      r_realized_makespan = o.Replay.o_makespan;
+      r_makespan_ratio = ratio ~planned:planned_makespan ~realized:o.Replay.o_makespan;
+      r_planned_peak = planned_peak;
+      r_realized_peak = Float.max o.Replay.o_peak_blue o.Replay.o_peak_red;
+      r_peak_ratio =
+        ratio ~planned:planned_peak
+          ~realized:(Float.max o.Replay.o_peak_blue o.Replay.o_peak_red);
+      r_replayed = o.Replay.o_replayed;
+      r_repaired = o.Replay.o_repaired;
+      r_status = "ok";
+    }
+
+let summarise rows =
+  let by_key = Hashtbl.create 16 in
+  let keys = ref [] in
+  List.iter
+    (fun r ->
+      let key = (r.r_instance, r.r_policy) in
+      if not (Hashtbl.mem by_key key) then begin
+        keys := key :: !keys;
+        Hashtbl.add by_key key (ref [])
+      end;
+      let cell = Hashtbl.find by_key key in
+      cell := r :: !cell)
+    rows;
+  List.rev_map
+    (fun ((instance, policy) as key) ->
+      let group = List.rev !(Hashtbl.find by_key key) in
+      let ok = List.filter (fun r -> String.equal r.r_status "ok") group in
+      let mks = List.map (fun r -> r.r_makespan_ratio) ok in
+      let peaks = List.map (fun r -> r.r_peak_ratio) ok in
+      let q p = function [] -> nan | xs -> Stats.quantile p xs in
+      let maxi = function [] -> nan | xs -> Stats.maximum xs in
+      {
+        s_instance = instance;
+        s_policy = policy;
+        s_ok = List.length ok;
+        s_failed = List.length group - List.length ok;
+        s_mk_p50 = q 0.5 mks;
+        s_mk_p95 = q 0.95 mks;
+        s_mk_max = maxi mks;
+        s_peak_p50 = q 0.5 peaks;
+        s_peak_p95 = q 0.95 peaks;
+        s_peak_max = maxi peaks;
+      })
+    !keys
+
+let run ?pool cfg instances platform =
+  let seeds = sorted_seeds cfg.noise_seeds in
+  (* Plans are cheap relative to the seed grid and must be shared across all
+     of an instance's grid points, so they are computed serially up front. *)
+  let planned =
+    List.map
+      (fun (label, dag) ->
+        (label, dag, Online.plan ~algo:cfg.algo ~arrival:cfg.arrival dag platform))
+      instances
+  in
+  let grid =
+    List.concat_map
+      (fun (label, dag, plan) ->
+        List.concat_map
+          (fun policy -> List.map (fun seed -> (label, dag, plan, policy, seed)) seeds)
+          cfg.policies)
+      planned
+  in
+  let eval (label, dag, plan, policy, seed) =
+    match plan with
+    | Error f ->
+      failed_row ~instance:label ~policy ~seed ~planned_makespan:nan ~planned_peak:nan
+        ("plan failed: " ^ f.Heuristics.reason)
+    | Ok plan -> replay_row cfg ~platform ~instance:label ~dag ~plan ~policy ~seed
+  in
+  let rows =
+    match pool with
+    | None -> List.map eval grid
+    | Some pool -> Par.parallel_map pool ~f:eval grid
+  in
+  (rows, summarise rows)
+
+(* CSV shape shared by the CLI, the figures driver and the bench digests. *)
+let csv_header =
+  [
+    "instance"; "algo"; "arrival"; "policy"; "seed"; "planned_makespan"; "realized_makespan";
+    "makespan_ratio"; "planned_peak"; "realized_peak"; "peak_ratio"; "replayed"; "repaired";
+    "status";
+  ]
+
+let csv_row cfg r =
+  [
+    r.r_instance;
+    Online.algo_label cfg.algo;
+    Arrival.label cfg.arrival;
+    Replay.policy_label r.r_policy;
+    string_of_int r.r_seed;
+    Csv.float_cell r.r_planned_makespan;
+    Csv.float_cell r.r_realized_makespan;
+    Csv.float_cell r.r_makespan_ratio;
+    Csv.float_cell r.r_planned_peak;
+    Csv.float_cell r.r_realized_peak;
+    Csv.float_cell r.r_peak_ratio;
+    string_of_int r.r_replayed;
+    string_of_int r.r_repaired;
+    r.r_status;
+  ]

@@ -1,0 +1,63 @@
+(** Degradation campaigns over (instance, noise seed, policy) grids.
+
+    Each instance is planned once; the plan is replayed under every noise
+    seed and rescheduling policy of the grid; the summaries give the
+    p50/p95/max of the realized-over-planned makespan and peak-memory
+    ratios per (instance, policy).
+
+    Determinism: every grid point is a pure function of its coordinates,
+    the fan-out preserves order, the aggregation is serial over the fixed
+    grid order, and seeds are sorted and deduplicated up front — rows and
+    summaries are bit-identical for every [--jobs] value and independent of
+    the seed-list order. *)
+
+type config = {
+  algo : Online.algo;
+  arrival : Arrival.process;
+  policies : Replay.policy list;
+  noise_level : float;
+  noise_min_factor : float;
+  noise_seeds : int list;
+}
+
+val default_config : config
+(** MemHEFT, batch arrivals, both policies, level [0.2], seeds [0..7]. *)
+
+type row = {
+  r_instance : string;
+  r_policy : Replay.policy;
+  r_seed : int;
+  r_planned_makespan : float;
+  r_realized_makespan : float;  (** [nan] when the replay failed *)
+  r_makespan_ratio : float;  (** realized / planned; [nan] when failed *)
+  r_planned_peak : float;  (** max of the two planned memory peaks *)
+  r_realized_peak : float;
+  r_peak_ratio : float;
+  r_replayed : int;
+  r_repaired : int;
+  r_status : string;  (** ["ok"] or a failure reason *)
+}
+
+type summary = {
+  s_instance : string;
+  s_policy : Replay.policy;
+  s_ok : int;
+  s_failed : int;
+  s_mk_p50 : float;
+  s_mk_p95 : float;
+  s_mk_max : float;
+  s_peak_p50 : float;
+  s_peak_p95 : float;
+  s_peak_max : float;
+}
+
+val run :
+  ?pool:Par.t -> config -> (string * Dag.t) list -> Platform.t -> row list * summary list
+(** Rows in grid order (instances, then policies, then sorted seeds);
+    summaries in first-appearance order of (instance, policy). *)
+
+val csv_header : string list
+
+val csv_row : config -> row -> string list
+(** One CSV record per row — the shape shared by the CLI, the figures
+    driver and the bench digests. *)

@@ -1,0 +1,100 @@
+(* Deterministic event min-heap for the discrete-event reconstructions.
+
+   Entries are ordered by (time, kind); ties on both pop in REVERSE insertion
+   order.  That tie rule is not arbitrary: the historical [Events.events_of]
+   accumulated events by consing onto a list (reversing generation order) and
+   then ran the stable [List.sort] by (time, kind), so simultaneous events of
+   the same kind were emitted latest-generated-first.  Reproducing that order
+   keeps every float accumulation in [Events.memory_trace] — and with it
+   every golden digest — bit-identical after the refactor onto this heap. *)
+
+type 'a entry = {
+  time : float;
+  kind : int;
+  seq : int;  (* insertion counter; larger = inserted later *)
+  payload : 'a;
+}
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; len = 0; next_seq = 0 }
+let length q = q.len
+let is_empty q = q.len = 0
+
+(* Strict "a pops before b".  Times compare with [Float.compare] (total
+   order); NaN times are rejected at [add].  Equal (time, kind) prefer the
+   larger seq — the reverse-insertion tie rule documented above. *)
+let before a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c < 0
+  else if a.kind <> b.kind then a.kind < b.kind
+  else a.seq > b.seq
+
+let get q i = match q.heap.(i) with Some e -> e | None -> assert false
+
+let grow q =
+  let heap = Array.make (2 * Array.length q.heap) None in
+  Array.blit q.heap 0 heap 0 q.len;
+  q.heap <- heap
+
+let add q ~time ~kind payload =
+  if Float.is_nan time then invalid_arg "Event_queue.add: NaN time";
+  if q.len = Array.length q.heap then grow q;
+  let e = { time; kind; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  let i = ref q.len in
+  q.len <- q.len + 1;
+  q.heap.(!i) <- Some e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before e (get q parent) then begin
+      q.heap.(!i) <- q.heap.(parent);
+      q.heap.(parent) <- Some e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = get q 0 in
+    q.len <- q.len - 1;
+    let last = get q q.len in
+    q.heap.(q.len) <- None;
+    if q.len > 0 then begin
+      q.heap.(0) <- Some last;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.len && before (get q l) (get q !smallest) then smallest := l;
+        if r < q.len && before (get q r) (get q !smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.heap.(!i) in
+          q.heap.(!i) <- q.heap.(!smallest);
+          q.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.kind, top.payload)
+  end
+
+let drain q =
+  let acc = ref [] in
+  let rec go () =
+    match pop q with
+    | None -> List.rev !acc
+    | Some e ->
+      acc := e :: !acc;
+      go ()
+  in
+  go ()

@@ -1,0 +1,29 @@
+(** Deterministic event min-heap for discrete-event reconstruction.
+
+    Entries pop in non-decreasing [(time, kind)] order; entries equal on
+    both pop in {e reverse insertion order}.  The tie rule reproduces the
+    order of the historical reversed-accumulator + stable-sort pipeline in
+    {!Events}, so the float accumulations downstream (memory traces, peaks)
+    are bit-identical to the pre-heap implementation — asserted by the
+    heap-vs-sorted-reference tests in [test_sim].
+
+    Times are compared with [Float.compare] (a total order); NaN times are
+    rejected at {!add}.  No randomness, no wall clock, no global state. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> kind:int -> 'a -> unit
+(** O(log n).  [kind] orders simultaneous events ([0] before [1], ...: the
+    memory trace applies frees before allocations).
+    @raise Invalid_argument on a NaN time. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum entry; [None] when empty. *)
+
+val drain : 'a t -> (float * int * 'a) list
+(** Pop everything: the full event list in deterministic order. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

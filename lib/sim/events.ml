@@ -7,9 +7,15 @@ type trace = {
 (* kind 0 = free (applied first at equal times), kind 1 = alloc *)
 type event = { time : float; kind : int; mem : Platform.memory; delta : float }
 
+(* The events are generated into an {!Event_queue} and drained in
+   (time, kind) order.  The queue's reverse-insertion tie rule reproduces the
+   order of the reversed-accumulator + stable-sort pipeline this replaces,
+   so the float accumulations in [memory_trace] are bit-identical. *)
 let events_of g platform s =
-  let acc = ref [] in
-  let push time kind mem delta = if not (Float.equal delta 0.) then acc := { time; kind; mem; delta } :: !acc in
+  let q = Event_queue.create () in
+  let push time kind mem delta =
+    if not (Float.equal delta 0.) then Event_queue.add q ~time ~kind (mem, delta)
+  in
   for i = 0 to Dag.n_tasks g - 1 do
     let mem = Schedule.memory_of platform s i in
     push s.Schedule.starts.(i) 1 mem (Dag.out_size g i);
@@ -26,7 +32,7 @@ let events_of g platform s =
         | None -> invalid_arg "Events.memory_trace: cut edge without transfer"
       end)
     (Dag.edges g);
-  List.sort (fun a b -> compare (a.time, a.kind) (b.time, b.kind)) !acc
+  List.map (fun (time, kind, (mem, delta)) -> { time; kind; mem; delta }) (Event_queue.drain q)
 
 let memory_trace g platform s =
   let evs = events_of g platform s in

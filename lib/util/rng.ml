@@ -10,6 +10,16 @@ let mix64 z =
 let create seed = { state = mix64 (Int64.of_int seed) }
 let copy g = { state = g.state }
 
+(* Pure function of (seed, key): the key walks the golden-gamma sequence from
+   the seed's mixed origin, and the result is mixed again so that adjacent
+   keys land on unrelated streams.  No shared mutable state is involved, so
+   the stream a given key receives cannot depend on how many (or in what
+   order) other keys were derived — the property the perturbation noise and
+   jittered arrivals rely on. *)
+let keyed ~seed ~key =
+  let origin = mix64 (Int64.of_int seed) in
+  { state = mix64 (Int64.add origin (Int64.mul golden_gamma (Int64.of_int key))) }
+
 let bits64 g =
   g.state <- Int64.add g.state golden_gamma;
   mix64 g.state

@@ -15,6 +15,13 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy of the current state. *)
 
+val keyed : seed:int -> key:int -> t
+(** [keyed ~seed ~key] builds the generator of sub-stream [key] of [seed] as
+    a pure function of the pair: unlike {!split}, no generator state is
+    consumed, so the stream assigned to a key is independent of how many
+    other keys were derived and in which order.  Distinct keys yield
+    statistically independent streams (golden-gamma stride + mix). *)
+
 val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent from the continuation of [g]. *)

@@ -369,6 +369,55 @@ let test_sched_stats_pp () =
   let st = Sched_stats.compute dex p (s1 ()) in
   check_bool "prints" true (String.length (Format.asprintf "%a" Sched_stats.pp st) > 0)
 
+(* ---------------------------------------------------------- event queue --- *)
+
+(* The historical pipeline the heap must reproduce: cons-reversed
+   accumulation followed by a stable sort on (time, kind). *)
+let eq_reference inserts =
+  List.stable_sort
+    (fun (t1, k1, _) (t2, k2, _) ->
+      let c = Float.compare t1 t2 in
+      if c <> 0 then c else compare (k1 : int) k2)
+    (List.rev inserts)
+
+let eq_show (t, k, p) = Printf.sprintf "%h/%d/%d" t k p
+
+let test_event_queue_basic () =
+  let q = Event_queue.create () in
+  check_bool "empty" true (Event_queue.is_empty q);
+  check_bool "pop of empty" true (Event_queue.pop q = None);
+  Event_queue.add q ~time:1.5 ~kind:1 7;
+  check_int "length" 1 (Event_queue.length q);
+  (match Event_queue.pop q with
+  | Some (t, k, p) ->
+    check_float "time" 1.5 t;
+    check_int "kind" 1 k;
+    check_int "payload" 7 p
+  | None -> Alcotest.fail "expected the single entry");
+  check_bool "drained" true (Event_queue.is_empty q)
+
+let test_event_queue_nan_rejected () =
+  Alcotest.check_raises "NaN time" (Invalid_argument "Event_queue.add: NaN time") (fun () ->
+      Event_queue.add (Event_queue.create ()) ~time:(0. /. 0.) ~kind:0 ())
+
+let test_event_queue_tie_order () =
+  let q = Event_queue.create () in
+  List.iter (fun p -> Event_queue.add q ~time:2. ~kind:0 p) [ 0; 1; 2 ];
+  Event_queue.add q ~time:2. ~kind:1 3;
+  Event_queue.add q ~time:1. ~kind:1 4;
+  let order = List.map (fun (_, _, p) -> p) (Event_queue.drain q) in
+  (* time 1 first; then the (2, 0) ties in reverse insertion order; kind 1 last. *)
+  Alcotest.(check (list int)) "deterministic tie order" [ 4; 2; 1; 0; 3 ] order
+
+let test_event_queue_vs_reference =
+  qtest ~count:500 "heap order equals reversed-accumulator + stable sort"
+    QCheck.(list (pair (int_range 0 5) (int_range 0 1)))
+    (fun raw ->
+      let inserts = List.mapi (fun idx (t, k) -> (float_of_int t /. 2., k, idx)) raw in
+      let q = Event_queue.create () in
+      List.iter (fun (time, kind, p) -> Event_queue.add q ~time ~kind p) inserts;
+      List.map eq_show (Event_queue.drain q) = List.map eq_show (eq_reference inserts))
+
 (* --------------------------------------------------- heuristic schedules
    are also exercised against the oracle in test_heuristics; here we only
    pin the paper example. *)
@@ -413,6 +462,11 @@ let () =
       ( "stats",
         [ Alcotest.test_case "paper example" `Quick test_sched_stats;
           Alcotest.test_case "pp" `Quick test_sched_stats_pp ] );
+      ( "event-queue",
+        [ Alcotest.test_case "basic" `Quick test_event_queue_basic;
+          Alcotest.test_case "NaN rejected" `Quick test_event_queue_nan_rejected;
+          Alcotest.test_case "tie order" `Quick test_event_queue_tie_order;
+          test_event_queue_vs_reference ] );
       ( "gantt",
         [ Alcotest.test_case "render" `Quick test_gantt_render;
           Alcotest.test_case "memory profile" `Quick test_gantt_memory_profile ] ) ]

@@ -4,7 +4,7 @@
 
    Usage: main.exe [--quick | --paper] [--skip-micro] [--skip-figures]
                    [--only-exact] [--only-serve] [--only-hotpath] [--only-online]
-                   [--jobs N]
+                   [--only-lint] [--jobs N]
    Default scale completes in a few minutes; --paper runs the full SS 6
    campaign (50x30, 100x1000, 13x13 with the complete alpha grid).
    --only-exact runs just the campaign/exact section (results/BENCH_exact.json).
@@ -13,26 +13,39 @@
    10^5-task LU row (results/BENCH_hotpath.json).
    --only-online runs just the campaign/online section — plan under jittered
    arrivals, replay under multiplicative noise (results/BENCH_online.json).
+   --only-lint runs just the campaign/lint section — typed static analysis
+   over the repo's own cmts, cold vs cached (results/BENCH_lint.json).
    --jobs N fans the campaign out over a N-domain Par pool (results are
    bit-identical for every N; default: recognised CPUs). *)
 
+(* Every wall-clock sample in this harness goes through [now]: the numbers
+   are reported, never fed back into scheduling decisions, so the
+   nondeterminism is confined to this one pragma'd line. *)
+(* lint: allow determinism -- the timing harness measures wall-clock by definition *)
+let now () = Unix.gettimeofday ()
+
 let run_figures scale pool out_dir =
+  let report s =
+    print_string s;
+    flush stdout
+  in
   match scale with
-  | `Quick -> Figures.all_quick ~out_dir ~pool ()
-  | `Paper -> Figures.all_paper ~out_dir ~pool ()
+  | `Quick -> Figures.all_quick ~out_dir ~report ~pool ()
+  | `Paper -> Figures.all_paper ~out_dir ~report ~pool ()
   | `Default ->
-    Figures.table1 ~out_dir ();
-    Figures.figure8 ~out_dir ();
-    Figures.figure9 ~out_dir ();
-    Figures.figure10 ~out_dir ~pool ~count:50 ~exact_nodes:10_000 ~capped_count:15 ~tiny_count:20 ();
-    Figures.figure11 ~out_dir ~pool ();
-    Figures.figure12 ~out_dir ~pool ~count:30 ~size:1000 ();
-    Figures.figure13 ~out_dir ~pool ();
-    Figures.figure14 ~out_dir ~pool ~n:13 ();
-    Figures.figure15 ~out_dir ~pool ~n:13 ();
-    Figures.ilp_cross_check ~out_dir ~pool ~node_limit:20_000 ();
-    Figures.ablations ~out_dir ~pool ~count:20 ();
-    Figures.extensions ~out_dir ~pool ~count:20 ();
+    Figures.table1 ~out_dir ~report ();
+    Figures.figure8 ~out_dir ~report ();
+    Figures.figure9 ~out_dir ~report ();
+    Figures.figure10 ~out_dir ~report ~pool ~count:50 ~exact_nodes:10_000 ~capped_count:15
+      ~tiny_count:20 ();
+    Figures.figure11 ~out_dir ~report ~pool ();
+    Figures.figure12 ~out_dir ~report ~pool ~count:30 ~size:1000 ();
+    Figures.figure13 ~out_dir ~report ~pool ();
+    Figures.figure14 ~out_dir ~report ~pool ~n:13 ();
+    Figures.figure15 ~out_dir ~report ~pool ~n:13 ();
+    Figures.ilp_cross_check ~out_dir ~report ~pool ~node_limit:20_000 ();
+    Figures.ablations ~out_dir ~report ~pool ~count:20 ();
+    Figures.extensions ~out_dir ~report ~pool ~count:20 ();
     Plots.write_gnuplot ~out_dir ()
 
 (* ------------------------------------------------- campaign/sweep-par ---- *)
@@ -47,9 +60,9 @@ let run_sweep_par_bench jobs =
   let baselines = Sweep.baselines platform (Workloads.large_rand_set ~count:12 ~size:300 ()) in
   let alphas = Figures.default_alphas in
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = now () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, now () -. t0)
   in
   let sweep ?pool () =
     List.map
@@ -62,6 +75,7 @@ let run_sweep_par_bench jobs =
       Printf.printf "serial:   %8.3f s\n--jobs %d: %7.3f s  (speedup %.2fx)\n" t_serial jobs t_par
         (t_serial /. t_par);
       (* [compare]: mean ratios are nan where no instance succeeds. *)
+      (* lint: allow poly-compare -- jobs-parity check wants bit-identity *)
       Printf.printf "aggregates identical across jobs counts: %b\n" (compare serial par = 0);
       Format.printf "pool counters: %a@." Par.pp_counters (Par.counters pool))
 
@@ -91,11 +105,11 @@ let run_hotpath_bench scale out_dir =
   let time reps f =
     ignore (f ());
     (* warm-up *)
-    let t0 = Unix.gettimeofday () in
+    let t0 = now () in
     for _ = 1 to reps do
       ignore (f ())
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int reps
+    (now () -. t0) /. float_of_int reps
   in
   let entries = ref [] in
   List.iter
@@ -131,15 +145,15 @@ let run_hotpath_bench scale out_dir =
   let g = Lu.generate ~pipeline_broadcasts:false ~n:big_n () in
   let n = Dag.n_tasks g in
   let platform = Workloads.platform_mirage in
-  let t0 = Unix.gettimeofday () in
+  let t0 = now () in
   let _, (peak_blue, peak_red) = Heuristics.heft_measured g platform in
-  let t_peak = Unix.gettimeofday () -. t0 in
+  let t_peak = now () -. t0 in
   let p = Platform.with_bounds platform ~m_blue:peak_blue ~m_red:peak_red in
-  let t0 = Unix.gettimeofday () in
+  let t0 = now () in
   (match Heuristics.memheft g p with
   | Ok _ -> ()
   | Error _ -> failwith "hotpath: MemHEFT infeasible at HEFT's own peaks (§6.2.1 violation)");
-  let t_opt = Unix.gettimeofday () -. t0 in
+  let t_opt = now () -. t0 in
   Printf.printf "%-9s %-9s n=%-6d opt %7.0f ms  (HEFT peak pass %.0f ms; reference omitted)\n%!"
     "MemHEFT" "lu" n (1e3 *. t_opt) (1e3 *. t_peak);
   let big_entry =
@@ -177,9 +191,9 @@ let run_exact_bench scale out_dir =
   Printf.printf "\n==== campaign/exact -- commit/undo B&B vs per-node-copy reference ====\n\n%!";
   let quick = scale = `Quick in
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = now () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, now () -. t0)
   in
   (* Four DAG families at a memory bound that keeps the search busy. *)
   let instances =
@@ -373,7 +387,7 @@ let run_serve_bench scale out_dir =
           Unix.close out_w;
           c)
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = now () in
     let times = ref [] and all = Buffer.create 4096 in
     let rec read_frames () =
       match read_exact out_r 4 with
@@ -383,13 +397,13 @@ let run_serve_bench scale out_dir =
         match read_exact out_r declared with
         | None -> ()
         | Some payload ->
-          times := (Unix.gettimeofday () -. t0) :: !times;
+          times := (now () -. t0) :: !times;
           Buffer.add_string all prefix;
           Buffer.add_string all payload;
           read_frames ())
     in
     read_frames ();
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = now () -. t0 in
     let counters = Domain.join server in
     Domain.join writer;
     Unix.close in_r;
@@ -510,7 +524,13 @@ let run_micro () =
       in
       rows := (name, ns) :: !rows)
     results;
-  let rows = List.sort compare !rows in
+  let rows =
+    List.sort
+      (fun (a, x) (b, y) ->
+        let c = String.compare a b in
+        if c <> 0 then c else Float.compare x y)
+      !rows
+  in
   Table.print ~header:[ "benchmark"; "time/run" ]
     (List.map
        (fun (name, ns) ->
@@ -560,9 +580,9 @@ let run_online_bench scale out_dir =
   let entries = ref [] in
   let push e = entries := e :: !entries in
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = now () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, now () -. t0)
   in
   let (serial_rows, _), t_serial = time (fun () -> Scenario.run (cfg seeds) instances platform) in
   let serial_digest = digest serial_rows in
@@ -604,6 +624,67 @@ let run_online_bench scale out_dir =
            "single-core container: the jobs sweep measures determinism overhead, not speedup") ]
     (List.rev !entries)
 
+(* ----------------------------------------------------- campaign/lint ---- *)
+
+(* Typed-lint throughput (lib/lint): cold vs warm wall-time of the
+   interprocedural pass over the repo's own .cmt artifacts — the warm pass
+   must serve every module from the content-addressed summary cache
+   (extracted = 0) — plus the findings count and the --jobs 1/2/8
+   byte-identity cross-check on the JSON report.  Requires the @check
+   build; emits results/BENCH_lint.json. *)
+let run_lint_bench scale out_dir =
+  Printf.printf "\n==== campaign/lint -- typed pass, cold vs cached ====\n\n%!";
+  let root = Sys.getcwd () in
+  let cache_file = Filename.temp_file "memsched_lint_bench" ".cache" in
+  let run jobs =
+    match Lint_engine.run_typed ~jobs ~cache_file ~root () with
+    | Ok (findings, _, stats) -> (Lint_engine.render_json findings, List.length findings, stats)
+    | Error msg -> failwith ("campaign/lint: " ^ msg)
+  in
+  let time f =
+    let t0 = now () in
+    let r = f () in
+    (r, now () -. t0)
+  in
+  (* temp_file creates an empty file; drop it so the first pass is truly
+     cold (an empty cache, not a malformed one). *)
+  Sys.remove cache_file;
+  let (cold_json, cold_count, cold_stats), t_cold = time (fun () -> run 2) in
+  let (warm_json, _, warm_stats), t_warm = time (fun () -> run 2) in
+  let entries = ref [] in
+  let push phase jobs json t (stats : Lint_engine.typed_stats) =
+    let identical = String.equal json cold_json in
+    Printf.printf
+      "lint      --jobs %d  %-5s %7.3f s  %d modules  %d cached  %d extracted  %d findings  \
+       identical %b\n%!"
+      jobs phase t stats.Lint_engine.tp_modules stats.Lint_engine.tp_from_cache
+      stats.Lint_engine.tp_extracted cold_count identical;
+    entries :=
+      [ ("phase", Bench_json.S phase); ("jobs", Bench_json.I jobs); ("wall_s", Bench_json.F t);
+        ("modules", Bench_json.I stats.Lint_engine.tp_modules);
+        ("from_cache", Bench_json.I stats.Lint_engine.tp_from_cache);
+        ("extracted", Bench_json.I stats.Lint_engine.tp_extracted);
+        ("stale", Bench_json.I stats.Lint_engine.tp_stale);
+        ("findings", Bench_json.I cold_count); ("identical", Bench_json.B identical) ]
+      :: !entries
+  in
+  push "cold" 2 cold_json t_cold cold_stats;
+  push "warm" 2 warm_json t_warm warm_stats;
+  List.iter
+    (fun jobs ->
+      let (json, _, stats), t = time (fun () -> run jobs) in
+      push "warm" jobs json t stats)
+    [ 1; 8 ];
+  Sys.remove cache_file;
+  Bench_json.write ~out_dir ~file:"BENCH_lint.json" ~bench:"lint"
+    ~scale:(match scale with `Quick -> "quick" | `Paper -> "paper" | `Default -> "default")
+    ~extra:
+      [ ("note",
+         Bench_json.S
+           "typed pass over the repo's own cmts; warm rows must be fully cache-served and \
+            byte-identical to the cold report for every jobs count") ]
+    (List.rev !entries)
+
 let () =
   let args = Array.to_list Sys.argv in
   let scale =
@@ -627,6 +708,7 @@ let () =
   else if List.mem "--only-serve" args then run_serve_bench scale out_dir
   else if List.mem "--only-hotpath" args then run_hotpath_bench scale out_dir
   else if List.mem "--only-online" args then run_online_bench scale out_dir
+  else if List.mem "--only-lint" args then run_lint_bench scale out_dir
   else begin
     if not (List.mem "--skip-figures" args) then
       Par.with_pool ~jobs (fun pool -> run_figures scale pool out_dir);
@@ -635,6 +717,7 @@ let () =
     run_exact_bench scale out_dir;
     run_serve_bench scale out_dir;
     run_online_bench scale out_dir;
+    run_lint_bench scale out_dir;
     if not (List.mem "--skip-micro" args) then run_micro ()
   end;
   Printf.printf "\nAll sections complete; CSVs in %s/\n" out_dir

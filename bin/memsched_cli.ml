@@ -351,39 +351,113 @@ let lint_cmd =
       & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
   in
-  let run root rule_ids format jobs =
-    let rules =
-      match rule_ids with
-      | [] -> Ok Lint_rules.all
-      | ids ->
-        List.fold_left
-          (fun acc id ->
-            match (acc, Lint_rules.find id) with
-            | Error _, _ -> acc
-            | Ok rs, Some r -> Ok (rs @ [ r ])
-            | Ok _, None ->
-              Error
-                (Printf.sprintf "unknown rule %S (expected one of: %s)" id
-                   (String.concat ", " Lint_rules.names)))
-          (Ok []) ids
-    in
-    match rules with
-    | Error msg -> `Error (false, msg)
-    | Ok rules -> (
-      match Lint_engine.run ~rules ~jobs ~root () with
+  let typed =
+    Arg.(
+      value & flag
+      & info [ "typed" ]
+          ~doc:
+            (Printf.sprintf
+               "Also run the typed interprocedural pass over the .cmt artifacts (rules: %s); \
+                build them first with `dune build @check`."
+               (String.concat ", " Lint_typed_rules.names)))
+  in
+  let effects_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "effects-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-function inferred-effect summary (effect kinds plus witness chains) \
+             as JSON to $(docv).  Implies $(b,--typed).")
+  in
+  let debt =
+    Arg.(
+      value & flag
+      & info [ "debt" ]
+          ~doc:
+            "Print the suppression-debt report (inline pragma and allowlist census by rule) \
+             instead of linting; always exits 0.")
+  in
+  let all_rule_names = List.sort String.compare (Lint_rules.names @ Lint_typed_rules.names) in
+  let run root rule_ids format typed effects_json debt jobs =
+    if debt then (
+      match Lint_engine.debt ~root () with
       | Error msg -> `Error (false, msg)
-      | Ok findings ->
+      | Ok d ->
         (match format with
-        | `Text -> print_string (Lint_engine.render_text findings)
-        | `Json -> print_string (Lint_engine.render_json findings));
-        if findings = [] then `Ok () else Stdlib.exit 1)
+        | `Text -> print_string (Lint_engine.render_debt_text d)
+        | `Json -> print_string (Lint_engine.render_debt_json d));
+        `Ok ())
+    else
+      match
+        List.find_opt (fun id -> not (List.mem id all_rule_names)) rule_ids
+      with
+      | Some id ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown rule %S (expected one of: %s)" id
+              (String.concat ", " all_rule_names) )
+      | None -> (
+        let syntactic_sel = List.filter_map Lint_rules.find rule_ids in
+        let typed_sel = List.filter (fun id -> List.mem id Lint_typed_rules.names) rule_ids in
+        let rules = if rule_ids = [] then Lint_rules.all else syntactic_sel in
+        (* an explicitly selected typed rule or an effects dump turns the
+           typed pass on even without --typed *)
+        let typed = typed || effects_json <> None || typed_sel <> [] in
+        let no_syntactic = match syntactic_sel with [] -> true | _ :: _ -> false in
+        let syntactic =
+          if rule_ids <> [] && no_syntactic then Ok []
+          else Lint_engine.run ~rules ~jobs ~root ()
+        in
+        match syntactic with
+        | Error msg -> `Error (false, msg)
+        | Ok syntactic_findings -> (
+          let typed_result =
+            if not typed then Ok ([], None)
+            else
+              match Lint_engine.run_typed ~jobs ~root () with
+              | Error msg -> Error msg
+              | Ok (findings, pg, stats) ->
+                Printf.eprintf "lint: typed pass over %d modules (%d cached, %d extracted%s)\n%!"
+                  stats.Lint_engine.tp_modules stats.Lint_engine.tp_from_cache
+                  stats.Lint_engine.tp_extracted
+                  (if stats.Lint_engine.tp_stale > 0 then
+                     Printf.sprintf ", %d stale skipped" stats.Lint_engine.tp_stale
+                   else "");
+                let findings =
+                  if typed_sel = [] then findings
+                  else
+                    List.filter
+                      (fun (f : Lint_finding.t) -> List.mem f.Lint_finding.rule typed_sel)
+                      findings
+                in
+                Ok (findings, Some pg)
+          in
+          match typed_result with
+          | Error msg -> `Error (false, msg)
+          | Ok (typed_findings, pg) ->
+            (match (effects_json, pg) with
+            | Some path, Some pg ->
+              let oc = open_out path in
+              output_string oc (Lint_typed_rules.effects_json pg);
+              close_out oc
+            | _ -> ());
+            let findings =
+              List.sort_uniq Lint_finding.compare (syntactic_findings @ typed_findings)
+            in
+            (match format with
+            | `Text -> print_string (Lint_engine.render_text findings)
+            | `Json -> print_string (Lint_engine.render_json findings));
+            if findings = [] then `Ok () else Stdlib.exit 1))
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Static analysis (compiler-libs): enforce the determinism, float-discipline, \
-          domain-safety, io-purity and order-stability invariants.  Exit code 1 on findings.")
-    Term.(ret (const run $ root $ rules $ format $ jobs_term))
+          domain-safety, io-purity and order-stability invariants, plus (with $(b,--typed)) the \
+          typed interprocedural domain-race / poly-compare / effect-purity rules over the .cmt \
+          call graph.  Exit code 1 on findings.")
+    Term.(ret (const run $ root $ rules $ format $ typed $ effects_json $ debt $ jobs_term))
 
 (* ------------------------------------------------------------------ serve *)
 
@@ -749,28 +823,35 @@ let experiment_cmd =
   let paper = Arg.(value & flag & info [ "paper" ] ~doc:"Full paper scale (slower).") in
   let out_dir = Arg.(value & opt string "results" & info [ "out-dir" ] ~doc:"CSV output directory.") in
   let run which paper out_dir jobs =
+    (* The drivers are silent by default; the CLI is where narration is
+       wanted, so wire a printing reporter. *)
+    let report s =
+      print_string s;
+      flush stdout
+    in
     Par.with_pool ~jobs @@ fun pool ->
     match which with
-    | `T1 -> Figures.table1 ~out_dir ~pool ()
-    | `F8 -> Figures.figure8 ~out_dir ()
-    | `F9 -> Figures.figure9 ~out_dir ()
+    | `T1 -> Figures.table1 ~out_dir ~report ~pool ()
+    | `F8 -> Figures.figure8 ~out_dir ~report ()
+    | `F9 -> Figures.figure9 ~out_dir ~report ()
     | `F10 ->
-      if paper then Figures.figure10 ~out_dir ~pool ()
-      else Figures.figure10 ~out_dir ~pool ~count:15 ()
-    | `F11 -> Figures.figure11 ~out_dir ~pool ()
+      if paper then Figures.figure10 ~out_dir ~report ~pool ()
+      else Figures.figure10 ~out_dir ~report ~pool ~count:15 ()
+    | `F11 -> Figures.figure11 ~out_dir ~report ~pool ()
     | `F12 ->
-      if paper then Figures.figure12 ~out_dir ~pool ()
-      else Figures.figure12 ~out_dir ~pool ~count:10 ~size:300 ()
-    | `F13 -> Figures.figure13 ~out_dir ~pool ()
-    | `F14 -> Figures.figure14 ~out_dir ~pool ()
-    | `F15 -> Figures.figure15 ~out_dir ~pool ()
-    | `Ilp -> Figures.ilp_cross_check ~out_dir ~pool ()
-    | `Abl -> Figures.ablations ~out_dir ~pool ()
+      if paper then Figures.figure12 ~out_dir ~report ~pool ()
+      else Figures.figure12 ~out_dir ~report ~pool ~count:10 ~size:300 ()
+    | `F13 -> Figures.figure13 ~out_dir ~report ~pool ()
+    | `F14 -> Figures.figure14 ~out_dir ~report ~pool ()
+    | `F15 -> Figures.figure15 ~out_dir ~report ~pool ()
+    | `Ilp -> Figures.ilp_cross_check ~out_dir ~report ~pool ()
+    | `Abl -> Figures.ablations ~out_dir ~report ~pool ()
     | `Online ->
-      if paper then Figures.online_degradation ~out_dir ~pool ()
-      else Figures.online_degradation ~out_dir ~pool ~count:4 ~seeds:4 ()
+      if paper then Figures.online_degradation ~out_dir ~report ~pool ()
+      else Figures.online_degradation ~out_dir ~report ~pool ~count:4 ~seeds:4 ()
     | `All ->
-      if paper then Figures.all_paper ~out_dir ~pool () else Figures.all_quick ~out_dir ~pool ()
+      if paper then Figures.all_paper ~out_dir ~report ~pool ()
+      else Figures.all_quick ~out_dir ~report ~pool ()
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper.")

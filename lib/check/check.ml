@@ -21,7 +21,7 @@ type report = {
   failures : failure list;
 }
 
-let ok r = r.failures = []
+let ok r = match r.failures with [] -> true | _ :: _ -> false
 
 let run ?pool ?(config = Fuzz_oracle.default_config) ?(oracles = Fuzz_oracle.all)
     ?(shrink = true) ~cases ~seed () =

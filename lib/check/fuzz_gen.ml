@@ -151,7 +151,7 @@ let platform_regime rng g =
   let procs = Platform.unbounded ~p_blue ~p_red in
   let peak () =
     let _, (pb, pr) = Heuristics.heft_measured g procs in
-    max pb pr
+    Float.max pb pr
   in
   let bounded tag m = (tag, Platform.with_bounds procs ~m_blue:m ~m_red:m) in
   let tag, platform =

@@ -28,10 +28,20 @@ let check_platform p name = if Heuristics.is_memory_aware name then p else unbou
 
 let verdict_of_errors = function [] -> Pass | errs -> Fail (List.rev errs)
 
+(* Bit-identical float equality, spelled with [Float.compare] so the exact
+   (NaN-tolerant, tolerance-free) semantics is explicit: these are the
+   determinism oracles, where an eps would *weaken* the check. *)
+let float_array_equal a b =
+  Array.length a = Array.length b && Array.for_all2 (fun x y -> Float.compare x y = 0) a b
+
+let float_opt_array_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (Option.equal (fun x y -> Float.compare x y = 0)) a b
+
 let schedules_equal (a : Schedule.t) (b : Schedule.t) =
-  compare a.Schedule.starts b.Schedule.starts = 0
+  float_array_equal a.Schedule.starts b.Schedule.starts
   && compare a.Schedule.procs b.Schedule.procs = 0
-  && compare a.Schedule.comm_starts b.Schedule.comm_starts = 0
+  && float_opt_array_equal a.Schedule.comm_starts b.Schedule.comm_starts
 
 (* ---------------------------------------------------------------- oracles --- *)
 
@@ -255,10 +265,10 @@ let o_infeasibility =
          instance sitting inside the tolerance band is legitimately
          schedulable.  Found by the fuzzer itself (corpus entry
          infeasibility-seed42-7e7cd8ee). *)
-      let cap = max (Platform.capacity p Platform.Blue) (Platform.capacity p Platform.Red) in
+      let cap = Float.max (Platform.capacity p Platform.Blue) (Platform.capacity p Platform.Red) in
       let provably = cap +. cfg.eps < Lower_bound.min_memory g in
       let r = Exact.solve ~node_limit:cfg.exact_node_limit g p in
-      if provably && r.Exact.schedule <> None then
+      if provably && Option.is_some r.Exact.schedule then
         errs := "exact: found a schedule on a provably infeasible instance" :: !errs;
       if provably || r.Exact.status = Exact.Proven_infeasible then
         List.iter
@@ -286,7 +296,9 @@ let o_serialization =
     let g = i.Fuzz_instance.dag in
     (try
        let g' = Dag.of_string (Dag.to_string g) in
+       (* lint: allow poly-compare -- round-trip oracle wants bit-identical structure *)
        if compare (Dag.tasks g) (Dag.tasks g') <> 0 then errs := "dag round-trip: tasks differ" :: !errs;
+       (* lint: allow poly-compare -- round-trip oracle wants bit-identical structure *)
        if compare (Dag.edges g) (Dag.edges g') <> 0 then errs := "dag round-trip: edges differ" :: !errs
      with Invalid_argument m -> errs := ("dag round-trip: " ^ m) :: !errs);
     (try
@@ -421,7 +433,9 @@ let o_jobs_invariance =
       let same =
         m1.Multistart.n_feasible = m2.Multistart.n_feasible
         && m1.Multistart.n_runs = m2.Multistart.n_runs
-        && compare m1.Multistart.makespans m2.Multistart.makespans = 0
+        && List.equal
+             (fun a b -> Float.compare a b = 0)
+             m1.Multistart.makespans m2.Multistart.makespans
         &&
         match (m1.Multistart.best, m2.Multistart.best) with
         | Ok a, Ok b -> schedules_equal a b

@@ -89,7 +89,7 @@ let make ~options ~g ~free_blue ~free_red ~aft ~mem_code ~avail ~busy ~procs_blu
    task duration [w]. *)
 let resource_est c mu ~lb ~w =
   match c.options.proc_policy with
-  | Earliest_available -> max lb (min_avail_of c mu)
+  | Earliest_available -> Float.max lb (min_avail_of c mu)
   | Insertion ->
     let earliest_on p =
       (* Scan the sorted busy intervals for the first gap of length [w]
@@ -97,11 +97,11 @@ let resource_est c mu ~lb ~w =
       let rec scan start = function
         | [] -> start
         | (b0, b1) :: rest ->
-          if start +. w <= b0 +. eps then start else scan (max start b1) rest
+          if start +. w <= b0 +. eps then start else scan (Float.max start b1) rest
       in
       scan lb c.busy.(p)
     in
-    List.fold_left (fun acc p -> min acc (earliest_on p)) infinity (procs_of_mem c mu)
+    List.fold_left (fun acc p -> Float.min acc (earliest_on p)) infinity (procs_of_mem c mu)
 
 (* In-place stable insertion sort of [cross.(0..k-1)] by decreasing transfer
    time.  Shifting only while strictly smaller keeps equal-comm edges in
@@ -158,7 +158,7 @@ let memory_lb c mu ~cross ~k ~cross_in ~c_batch ~min_cross_aft ~task_level =
             lb := Float.max !lb (Fp.lb_plus t_k c.e_comm.(e)));
           incr idx
         done;
-        if !ok then Some (max t_task !lb, c_batch) else None
+        if !ok then Some (Float.max t_task !lb, c_batch) else None
       | Eager -> (
         (* Transfers fire at producer completion: the destination must be able
            to hold every incoming file from the earliest producer finish on. *)
@@ -172,7 +172,7 @@ let finish c i mu ~cross ~k ~cross_in ~c_batch ~min_cross_aft ~prec =
   match memory_lb c mu ~cross ~k ~cross_in ~c_batch ~min_cross_aft ~task_level with
   | None -> None
   | Some (mem_lb, c_batch) ->
-    let lb = max mem_lb prec in
+    let lb = Float.max mem_lb prec in
     let w = match mu with Platform.Blue -> c.w_blue.(i) | Platform.Red -> c.w_red.(i) in
     let est = resource_est c mu ~lb ~w in
     Some { task = i; memory = mu; est; eft = est +. w; comm_batch = c_batch }

@@ -7,17 +7,17 @@ let work_area g platform =
   done;
   !total /. float_of_int (Platform.n_procs platform)
 
-let makespan g platform = max (critical_path g) (work_area g platform)
+let makespan g platform = Float.max (critical_path g) (work_area g platform)
 
 let min_memory g =
   let worst = ref 0. in
   for i = 0 to Dag.n_tasks g - 1 do
-    worst := max !worst (Dag.mem_req g i)
+    worst := Float.max !worst (Dag.mem_req g i)
   done;
   !worst
 
 let provably_infeasible g platform =
   let cap =
-    max (Platform.capacity platform Platform.Blue) (Platform.capacity platform Platform.Red)
+    Float.max (Platform.capacity platform Platform.Blue) (Platform.capacity platform Platform.Red)
   in
   cap < min_memory g

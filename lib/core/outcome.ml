@@ -44,7 +44,7 @@ let run ?options ?rng ?ranks heuristic g platform =
       failure = Some f.Heuristics.reason;
     }
 
-let peak_max o = max o.peak_blue o.peak_red
+let peak_max o = Float.max o.peak_blue o.peak_red
 
 let pp ppf o =
   if o.feasible then

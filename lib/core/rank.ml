@@ -16,10 +16,10 @@ let priority_list ?rng ?ranks g =
   (* Sort by decreasing rank; ties by jitter then id for determinism. *)
   Array.sort
     (fun a b ->
-      let c = compare ranks.(b) ranks.(a) in
+      let c = Float.compare ranks.(b) ranks.(a) in
       if c <> 0 then c
       else begin
-        let c = compare jitter.(a) jitter.(b) in
+        let c = Float.compare jitter.(a) jitter.(b) in
         if c <> 0 then c else compare a b
       end)
     order;

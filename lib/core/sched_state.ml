@@ -361,7 +361,7 @@ let insert_interval t p ~start ~finish =
     (* Refresh the cached per-memory minima with the same fold the
        pre-optimisation resource_EST ran on every estimate, so the cached
        value is bit-identical to what that fold would return now. *)
-    let min_avail procs = List.fold_left (fun acc q -> min acc t.avail.(q)) infinity procs in
+    let min_avail procs = List.fold_left (fun acc q -> Float.min acc t.avail.(q)) infinity procs in
     t.est_ctx.Est.min_avail_blue <- min_avail t.procs_blue;
     t.est_ctx.Est.min_avail_red <- min_avail t.procs_red
   end
@@ -512,19 +512,19 @@ module Reference = struct
     match t.options.proc_policy with
     | Earliest_available ->
       let procs = Platform.procs_of t.platform mu in
-      let min_avail = List.fold_left (fun acc p -> min acc t.avail.(p)) infinity procs in
-      max lb min_avail
+      let min_avail = List.fold_left (fun acc p -> Float.min acc t.avail.(p)) infinity procs in
+      Float.max lb min_avail
     | Insertion ->
       let earliest_on p =
         let rec scan start = function
           | [] -> start
           | (b0, b1) :: rest ->
-            if start +. w <= b0 +. eps then start else scan (max start b1) rest
+            if start +. w <= b0 +. eps then start else scan (Float.max start b1) rest
         in
         scan lb t.busy.(p)
       in
       List.fold_left
-        (fun acc p -> min acc (earliest_on p))
+        (fun acc p -> Float.min acc (earliest_on p))
         infinity
         (Platform.procs_of t.platform mu)
 
@@ -537,7 +537,7 @@ module Reference = struct
   let cross_summary t i mu =
     List.fold_left
       (fun (size, cmax, min_aft) (e : Dag.edge) ->
-        (size +. e.Dag.size, max cmax e.Dag.comm, min min_aft t.aft.(e.Dag.src)))
+        (size +. e.Dag.size, Float.max cmax e.Dag.comm, Float.min min_aft t.aft.(e.Dag.src)))
       (0., 0., infinity) (cross_edges t i mu)
 
   let precedence_est t i mu =
@@ -550,7 +550,7 @@ module Reference = struct
           | Some _ -> t.aft.(j) +. e.Dag.comm
           | None -> invalid_arg "Sched_state: parent not assigned"
         in
-        max acc arrival)
+        Float.max acc arrival)
       0. (Dag.pred t.g i)
 
   let memory_lb t i mu =
@@ -570,7 +570,7 @@ module Reference = struct
         | Jit_per_edge ->
           let sorted =
             List.sort
-              (fun (a : Dag.edge) (b : Dag.edge) -> compare b.Dag.comm a.Dag.comm)
+              (fun (a : Dag.edge) (b : Dag.edge) -> Float.compare b.Dag.comm a.Dag.comm)
               (cross_edges t i mu)
           in
           let rec prefixes acc lb = function
@@ -581,7 +581,7 @@ module Reference = struct
               | None -> None
               | Some t_k -> prefixes acc (Float.max lb (Fp.lb_plus t_k e.Dag.comm)) rest)
           in
-          Option.map (fun lb -> (max t_task lb, c_batch)) (prefixes 0. 0. sorted)
+          Option.map (fun lb -> (Float.max t_task lb, c_batch)) (prefixes 0. 0. sorted)
         | Eager -> (
           match Staircase.earliest_suffix_ge_scan free ~level:cross_in ~from:0. with
           | Some t_comm when t_comm <= min_cross_aft +. eps -> Some (t_task, c_batch)
@@ -594,7 +594,7 @@ module Reference = struct
       match memory_lb t i mu with
       | None -> None
       | Some (mem_lb, c_batch) ->
-        let lb = max mem_lb (precedence_est t i mu) in
+        let lb = Float.max mem_lb (precedence_est t i mu) in
         let w = Platform.w t.g i mu in
         let est = resource_est t mu ~lb ~w in
         Some { task = i; memory = mu; est; eft = est +. w; comm_batch = c_batch }

@@ -264,14 +264,14 @@ let find_edge g ~src ~dst =
 let sources g =
   let acc = ref [] in
   for i = n_tasks g - 1 downto 0 do
-    if g.pred.(i) = [] then acc := i :: !acc
+    match g.pred.(i) with [] -> acc := i :: !acc | _ :: _ -> ()
   done;
   !acc
 
 let sinks g =
   let acc = ref [] in
   for i = n_tasks g - 1 downto 0 do
-    if g.succ.(i) = [] then acc := i :: !acc
+    match g.succ.(i) with [] -> acc := i :: !acc | _ :: _ -> ()
   done;
   !acc
 
@@ -318,7 +318,7 @@ end
 
 let w_min g i =
   let t = g.tasks.(i) in
-  min t.w_blue t.w_red
+  Float.min t.w_blue t.w_red
 
 let topological_order g = Array.copy g.topo
 
@@ -348,7 +348,7 @@ let longest_path g ~node_weight ~edge_weight =
         in
         dist.(i) <- from_parents +. node_weight i)
       g.topo;
-    Array.fold_left max neg_infinity dist
+    Array.fold_left Float.max neg_infinity dist
   end
 
 let critical_path_min g = longest_path g ~node_weight:(w_min g) ~edge_weight:(fun _ -> 0.)

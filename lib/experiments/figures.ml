@@ -1,6 +1,11 @@
 let default_alphas = List.init 20 (fun k -> 0.05 *. float_of_int (k + 1))
 
-let section title = Printf.printf "\n==== %s ====\n\n%!" title
+(* All narration goes through a caller-supplied reporter; the library itself
+   never touches stdout.  [bin/] passes a printing reporter, tests keep the
+   quiet default. *)
+let quiet (_ : string) = ()
+
+let section report title = Printf.ksprintf report "\n==== %s ====\n\n" title
 
 (* Campaign drivers take an optional shared Par.t; every fan-out below keeps
    results in input order, so CSVs are byte-identical for every jobs count. *)
@@ -16,8 +21,8 @@ let write_file out_dir file contents =
 
 (* ---------------------------------------------------------------- Table 1 *)
 
-let table1 ?(out_dir = "results") ?pool () =
-  section "Table 1 -- kernel running times on a 192x192 tile (ms)";
+let table1 ?(out_dir = "results") ?(report = quiet) ?pool () =
+  section report "Table 1 -- kernel running times on a 192x192 tile (ms)";
   let rows =
     List.filter_map
       (fun k ->
@@ -25,9 +30,9 @@ let table1 ?(out_dir = "results") ?pool () =
         else Some [ Kernels.name k; Table.cell_f (Kernels.cpu_ms k); Table.cell_f (Kernels.gpu_ms k) ])
       Kernels.all
   in
-  Table.print ~header:[ "kernel"; "CPU (Table 1)"; "GPU (derived)" ] rows;
-  Printf.printf "\ntile transfer: %g ms, tile size: %g memory unit\n" Kernels.tile_transfer_ms
-    Kernels.tile_size;
+  report (Table.render ~header:[ "kernel"; "CPU (Table 1)"; "GPU (derived)" ] rows);
+  Printf.ksprintf report "\ntile transfer: %g ms, tile size: %g memory unit\n"
+    Kernels.tile_transfer_ms Kernels.tile_size;
   (* Exact-baseline certification: makespan, best bound and optimality gap of
      the branch-and-bound on reference instances.  The last entry runs under
      a deliberately tiny node budget so the reported gap is nonzero. *)
@@ -60,8 +65,8 @@ let table1 ?(out_dir = "results") ?pool () =
         [ name; makespan_cell; bound_cell; gap_cell ])
       exact_instances
   in
-  Printf.printf "\n";
-  Table.print ~header:[ "exact instance"; "makespan"; "best bound"; "gap" ] exact_rows;
+  report "\n";
+  report (Table.render ~header:[ "exact instance"; "makespan"; "best bound"; "gap" ] exact_rows);
   write_csv out_dir "table1.csv"
     [ "entry"; "cpu_ms"; "gpu_ms"; "exact_makespan"; "exact_best_bound"; "exact_gap" ]
     (List.filter_map
@@ -79,27 +84,31 @@ let table1 ?(out_dir = "results") ?pool () =
 
 (* ----------------------------------------------------------- Figures 8, 9 *)
 
-let sample_dag_report ~label ~dot_file out_dir dag =
-  section label;
-  Format.printf "%a@." Dag.pp_stats dag;
+let sample_dag_report ~report ~label ~dot_file out_dir dag =
+  section report label;
+  report (Format.asprintf "%a@." Dag.pp_stats dag);
   write_file out_dir dot_file (Dag.to_dot dag);
-  Printf.printf "DOT written to %s\n" (Filename.concat out_dir dot_file)
+  Printf.ksprintf report "DOT written to %s\n" (Filename.concat out_dir dot_file)
 
-let figure8 ?(out_dir = "results") () =
+let figure8 ?(out_dir = "results") ?(report = quiet) () =
   match Workloads.small_rand_set ~count:1 () with
-  | [ dag ] -> sample_dag_report ~label:"Figure 8 -- a SmallRandSet DAG" ~dot_file:"figure8.dot" out_dir dag
+  | [ dag ] ->
+    sample_dag_report ~report ~label:"Figure 8 -- a SmallRandSet DAG" ~dot_file:"figure8.dot"
+      out_dir dag
   | _ -> assert false
 
-let figure9 ?(out_dir = "results") ?(size = 1000) () =
+let figure9 ?(out_dir = "results") ?(report = quiet) ?(size = 1000) () =
   match Workloads.large_rand_set ~count:1 ~size () with
-  | [ dag ] -> sample_dag_report ~label:"Figure 9 -- a LargeRandSet DAG" ~dot_file:"figure9.dot" out_dir dag
+  | [ dag ] ->
+    sample_dag_report ~report ~label:"Figure 9 -- a LargeRandSet DAG" ~dot_file:"figure9.dot"
+      out_dir dag
   | _ -> assert false
 
 (* ------------------------------------------------- normalised sweep report *)
 
-let print_normalized ~label ~csv out_dir alphas series =
+let print_normalized ~report ~label ~csv out_dir alphas series =
   (* series: (name, aggregates) list with aggregates aligned on alphas *)
-  section label;
+  section report label;
   let header =
     "alpha"
     :: List.concat_map (fun (name, _) -> [ name ^ " ratio"; name ^ " ok" ]) series
@@ -115,7 +124,7 @@ let print_normalized ~label ~csv out_dir alphas series =
              series)
       alphas
   in
-  Table.print ~header rows;
+  report (Table.render ~header rows);
   write_csv out_dir csv
     ("alpha"
     :: List.concat_map (fun (name, _) -> [ name ^ "_ratio"; name ^ "_success" ]) series)
@@ -131,7 +140,7 @@ let print_normalized ~label ~csv out_dir alphas series =
 
 (* --------------------------------------------------------------- Figure 10 *)
 
-let figure10 ?(out_dir = "results") ?pool ?(count = 50) ?(alphas = default_alphas)
+let figure10 ?(out_dir = "results") ?(report = quiet) ?pool ?(count = 50) ?(alphas = default_alphas)
     ?(exact_nodes = 10_000) ?(capped_count = 15) ?(tiny_count = 20) ?(tiny_exact_nodes = 200_000)
     () =
   let platform = Workloads.platform_random in
@@ -142,7 +151,8 @@ let figure10 ?(out_dir = "results") ?pool ?(count = 50) ?(alphas = default_alpha
         (Heuristics.name_to_string h, Sweep.normalized_sweep ?pool platform ~alphas h baselines))
       [ Heuristics.MemHEFT; Heuristics.MemMinMin ]
   in
-  print_normalized ~label:(Printf.sprintf "Figure 10 -- SmallRandSet (%d DAGs, 30 tasks)" count)
+  print_normalized ~report
+    ~label:(Printf.sprintf "Figure 10 -- SmallRandSet (%d DAGs, 30 tasks)" count)
     ~csv:"figure10.csv" out_dir alphas series;
   (* Optimal series: certified on the 10-task companion set; node-capped
      best-effort on the 30-task set. *)
@@ -164,15 +174,16 @@ let figure10 ?(out_dir = "results") ?pool ?(count = 50) ?(alphas = default_alpha
   let capped_exact =
     Sweep.exact_sweep ?pool ~node_limit:exact_nodes platform ~alphas:exact_alphas capped_baselines
   in
-  section
+  section report
     (Printf.sprintf
        "Figure 10 (Optimal series) -- certified on %d 10-task DAGs; node-capped on the 30-task set"
        tiny_count);
-  Table.print
-    ~header:
-      [ "alpha"; "Opt ratio (10t)"; "Opt ok (10t)"; "MemHEFT ratio (10t)"; "MemMinMin ratio (10t)";
-        "Opt<= (30t, capped)"; "certified (30t)" ]
-    (List.mapi
+  report
+    (Table.render
+       ~header:
+         [ "alpha"; "Opt ratio (10t)"; "Opt ok (10t)"; "MemHEFT ratio (10t)";
+           "MemMinMin ratio (10t)"; "Opt<= (30t, capped)"; "certified (30t)" ]
+       (List.mapi
        (fun k alpha ->
          let te = List.nth tiny_exact k in
          let ce = List.nth capped_exact k in
@@ -185,7 +196,7 @@ let figure10 ?(out_dir = "results") ?pool ?(count = 50) ?(alphas = default_alpha
            Table.cell_f m10.Sweep.mean_ratio;
            Table.cell_f ce.Sweep.e_best_ratio;
            Printf.sprintf "%d/%d" ce.Sweep.e_certified (List.length capped_baselines) ])
-       exact_alphas);
+          exact_alphas));
   write_csv out_dir "figure10_optimal.csv"
     [ "alpha"; "opt10_ratio"; "opt10_success"; "memheft10_ratio"; "memminmin10_ratio";
       "opt30_ratio"; "opt30_certified" ]
@@ -206,16 +217,17 @@ let figure10 ?(out_dir = "results") ?pool ?(count = 50) ?(alphas = default_alpha
 
 (* -------------------------------------------- absolute detail (Figs 11/13) *)
 
-let absolute_detail ~label ~csv ?pool ?(exact_nodes = None) out_dir platform dag ~points =
-  section label;
+let absolute_detail ~report ~label ~csv ?pool ?(exact_nodes = None) out_dir platform dag ~points =
+  section report label;
   let b = Sweep.baseline platform dag in
-  let max_mem = ceil (max b.Sweep.heft_peak b.Sweep.minmin_peak) in
+  let max_mem = ceil (Float.max b.Sweep.heft_peak b.Sweep.minmin_peak) in
   let step = Float.max 1. (ceil (max_mem /. float_of_int points)) in
   let bounds =
     let rec build m acc = if m > max_mem +. step /. 2. then List.rev acc else build (m +. step) (m :: acc) in
     build step []
   in
-  Printf.printf "HEFT makespan=%g (peak %g), MinMin makespan=%g (peak %g), lower bound=%g\n\n"
+  Printf.ksprintf report
+    "HEFT makespan=%g (peak %g), MinMin makespan=%g (peak %g), lower bound=%g\n\n"
     b.Sweep.heft_makespan b.Sweep.heft_peak b.Sweep.minmin_makespan b.Sweep.minmin_peak
     b.Sweep.lower_bound;
   let cell m = if m.Sweep.feasible then Table.cell_f m.Sweep.makespan else "-" in
@@ -252,19 +264,19 @@ let absolute_detail ~label ~csv ?pool ?(exact_nodes = None) out_dir platform dag
             Table.cell_f b.Sweep.lower_bound ])
       bounds
   in
-  Table.print ~header rows;
+  report (Table.render ~header rows);
   write_csv out_dir csv (List.map (String.map (fun c -> if c = ' ' then '_' else c)) header) rows
 
-let figure11 ?(out_dir = "results") ?pool ?(dag_index = 0) ?(points = 24) () =
+let figure11 ?(out_dir = "results") ?(report = quiet) ?pool ?(dag_index = 0) ?(points = 24) () =
   let dags = Workloads.small_rand_set ~count:(dag_index + 1) () in
   let dag = List.nth dags dag_index in
-  absolute_detail
+  absolute_detail ~report
     ~label:"Figure 11 -- makespan vs memory for one SmallRandSet DAG"
     ~csv:"figure11.csv" ?pool ~exact_nodes:(Some 100_000) out_dir Workloads.platform_random dag
     ~points
 
-let figure12 ?(out_dir = "results") ?pool ?(count = 100) ?(size = 1000) ?(alphas = default_alphas)
-    () =
+let figure12 ?(out_dir = "results") ?(report = quiet) ?pool ?(count = 100) ?(size = 1000)
+    ?(alphas = default_alphas) () =
   let platform = Workloads.platform_random in
   let baselines = Sweep.baselines ?pool platform (Workloads.large_rand_set ~count ~size ()) in
   let series =
@@ -273,14 +285,14 @@ let figure12 ?(out_dir = "results") ?pool ?(count = 100) ?(size = 1000) ?(alphas
         (Heuristics.name_to_string h, Sweep.normalized_sweep ?pool platform ~alphas h baselines))
       [ Heuristics.MemHEFT; Heuristics.MemMinMin ]
   in
-  print_normalized
+  print_normalized ~report
     ~label:(Printf.sprintf "Figure 12 -- LargeRandSet (%d DAGs, %d tasks)" count size)
     ~csv:"figure12.csv" out_dir alphas series
 
-let figure13 ?(out_dir = "results") ?pool ?(size = 1000) ?(points = 24) () =
+let figure13 ?(out_dir = "results") ?(report = quiet) ?pool ?(size = 1000) ?(points = 24) () =
   match Workloads.large_rand_set ~count:1 ~size () with
   | [ dag ] ->
-    absolute_detail
+    absolute_detail ~report
       ~label:"Figure 13 -- makespan vs memory for one LargeRandSet DAG"
       ~csv:"figure13.csv" ?pool out_dir Workloads.platform_random dag ~points
   | _ -> assert false
@@ -305,26 +317,28 @@ let min_feasible_memory platform dag heuristic ~hi =
     Some (float_of_int !hi)
   end
 
-let linear_algebra_figure ~label ~csv ?pool out_dir dag ~points =
-  section label;
+let linear_algebra_figure ~report ~label ~csv ?pool out_dir dag ~points =
+  section report label;
   let platform = Workloads.platform_mirage in
   let b = Sweep.baseline platform dag in
-  Printf.printf "HEFT makespan=%g ms (peak %g tiles), MinMin makespan=%g ms (peak %g tiles)\n"
+  Printf.ksprintf report
+    "HEFT makespan=%g ms (peak %g tiles), MinMin makespan=%g ms (peak %g tiles)\n"
     b.Sweep.heft_makespan b.Sweep.heft_peak b.Sweep.minmin_makespan b.Sweep.minmin_peak;
   let thresholds =
     List.map
       (fun h ->
-        let t = min_feasible_memory platform dag h ~hi:(ceil (max b.Sweep.heft_peak b.Sweep.minmin_peak)) in
+        let t = min_feasible_memory platform dag h ~hi:(ceil (Float.max b.Sweep.heft_peak b.Sweep.minmin_peak)) in
         (h, t))
       [ Heuristics.MemHEFT; Heuristics.MemMinMin ]
   in
   List.iter
     (fun (h, t) ->
-      Printf.printf "minimum feasible memory for %s: %s tiles\n" (Heuristics.name_to_string h)
+      Printf.ksprintf report "minimum feasible memory for %s: %s tiles\n"
+        (Heuristics.name_to_string h)
         (match t with Some t -> Printf.sprintf "%g" t | None -> "-"))
     thresholds;
-  print_newline ();
-  let max_mem = ceil (max b.Sweep.heft_peak b.Sweep.minmin_peak) in
+  report "\n";
+  let max_mem = ceil (Float.max b.Sweep.heft_peak b.Sweep.minmin_peak) in
   let step = Float.max 1. (ceil (max_mem /. float_of_int points)) in
   let bounds =
     let rec build m acc = if m > max_mem +. step /. 2. then List.rev acc else build (m +. step) (m :: acc) in
@@ -340,23 +354,23 @@ let linear_algebra_figure ~label ~csv ?pool out_dir dag ~points =
           Table.cell_f b.Sweep.minmin_makespan ])
       bounds
   in
-  Table.print ~header:[ "memory (tiles)"; "MemHEFT"; "MemMinMin"; "HEFT"; "MinMin" ] rows;
+  report (Table.render ~header:[ "memory (tiles)"; "MemHEFT"; "MemMinMin"; "HEFT"; "MinMin" ] rows);
   write_csv out_dir csv [ "memory_tiles"; "memheft"; "memminmin"; "heft"; "minmin" ] rows
 
-let figure14 ?(out_dir = "results") ?pool ?(n = 13) ?(points = 24) () =
-  linear_algebra_figure
+let figure14 ?(out_dir = "results") ?(report = quiet) ?pool ?(n = 13) ?(points = 24) () =
+  linear_algebra_figure ~report
     ~label:(Printf.sprintf "Figure 14 -- LU factorisation of a %dx%d tiled matrix" n n)
     ~csv:"figure14.csv" ?pool out_dir (Workloads.lu ~n ()) ~points
 
-let figure15 ?(out_dir = "results") ?pool ?(n = 13) ?(points = 24) () =
-  linear_algebra_figure
+let figure15 ?(out_dir = "results") ?(report = quiet) ?pool ?(n = 13) ?(points = 24) () =
+  linear_algebra_figure ~report
     ~label:(Printf.sprintf "Figure 15 -- Cholesky factorisation of a %dx%d tiled matrix" n n)
     ~csv:"figure15.csv" ?pool out_dir (Workloads.cholesky ~n ()) ~points
 
 (* ---------------------------------------------------------- ILP validation *)
 
-let ilp_cross_check ?(out_dir = "results") ?pool ?(node_limit = 50_000) () =
-  section "ILP cross-check -- built-in MIP vs exact branch-and-bound (SS 4)";
+let ilp_cross_check ?(out_dir = "results") ?(report = quiet) ?pool ?(node_limit = 50_000) () =
+  section report "ILP cross-check -- built-in MIP vs exact branch-and-bound (SS 4)";
   let cases =
     [ ("chain2", Toy.chain ~n:2 ~w:2. ~f:1. ~c:1., Platform.make ~p_blue:1 ~p_red:1 ~m_blue:3. ~m_red:3.);
       ("chain3", Toy.chain ~n:3 ~w:2. ~f:1. ~c:1., Platform.make ~p_blue:1 ~p_red:1 ~m_blue:4. ~m_red:4.);
@@ -403,17 +417,19 @@ let ilp_cross_check ?(out_dir = "results") ?pool ?(node_limit = 50_000) () =
           exact_cell ])
       cases
   in
-  Table.print ~header:[ "instance"; "vars"; "constrs"; "MIP opt"; "nodes"; "schedule valid"; "exact opt" ]
-    rows;
+  report
+    (Table.render
+       ~header:[ "instance"; "vars"; "constrs"; "MIP opt"; "nodes"; "schedule valid"; "exact opt" ]
+       rows);
   write_csv out_dir "ilp_cross_check.csv"
     [ "instance"; "vars"; "constrs"; "mip"; "nodes"; "valid"; "exact" ]
     rows
 
 (* -------------------------------------------------------------- ablations *)
 
-let ablations ?(out_dir = "results") ?pool ?(count = 30) ?(alphas = [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ])
-    () =
-  section "Ablations -- design choices of the heuristics (SmallRandSet)";
+let ablations ?(out_dir = "results") ?(report = quiet) ?pool ?(count = 30)
+    ?(alphas = [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
+  section report "Ablations -- design choices of the heuristics (SmallRandSet)";
   let platform = Workloads.platform_random in
   let baselines = Sweep.baselines ?pool platform (Workloads.small_rand_set ~count ()) in
   let variants =
@@ -427,7 +443,7 @@ let ablations ?(out_dir = "results") ?pool ?(count = 30) ?(alphas = [ 0.5; 0.6; 
   in
   List.iter
     (fun h ->
-      Printf.printf "\n-- %s --\n" (Heuristics.name_to_string h);
+      Printf.ksprintf report "\n-- %s --\n" (Heuristics.name_to_string h);
       let header =
         "alpha" :: List.concat_map (fun (name, _) -> [ name ^ " ratio"; name ^ " ok" ]) variants
       in
@@ -447,7 +463,7 @@ let ablations ?(out_dir = "results") ?pool ?(count = 30) ?(alphas = [ 0.5; 0.6; 
                  aggs)
           alphas
       in
-      Table.print ~header rows;
+      report (Table.render ~header rows);
       write_csv out_dir
         (Printf.sprintf "ablation_%s.csv" (String.lowercase_ascii (Heuristics.name_to_string h)))
         (List.map (String.map (fun c -> if c = ' ' then '_' else c)) header)
@@ -456,9 +472,9 @@ let ablations ?(out_dir = "results") ?pool ?(count = 30) ?(alphas = [ 0.5; 0.6; 
 
 (* ---------------------------------------------------------- extensions --- *)
 
-let extensions ?(out_dir = "results") ?pool ?(count = 30)
+let extensions ?(out_dir = "results") ?(report = quiet) ?pool ?(count = 30)
     ?(alphas = [ 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
-  section "Extensions -- MaxMin / Sufferage family vs the paper's heuristics (SmallRandSet)";
+  section report "Extensions -- MaxMin / Sufferage family vs the paper's heuristics (SmallRandSet)";
   let platform = Workloads.platform_random in
   let baselines = Sweep.baselines ?pool platform (Workloads.small_rand_set ~count ()) in
   let heuristics =
@@ -470,7 +486,7 @@ let extensions ?(out_dir = "results") ?pool ?(count = 30)
         (Heuristics.name_to_string h, Sweep.normalized_sweep ?pool platform ~alphas h baselines))
       heuristics
   in
-  print_normalized ~label:"memory-aware family" ~csv:"extensions.csv" out_dir alphas series
+  print_normalized ~report ~label:"memory-aware family" ~csv:"extensions.csv" out_dir alphas series
 
 (* ------------------------------------------------------------------ suites *)
 
@@ -482,8 +498,9 @@ let online_instances ~count =
     (Workloads.small_rand_set ~count ())
   @ [ ("lu8", Workloads.lu ~n:8 ()); ("cholesky8", Workloads.cholesky ~n:8 ()) ]
 
-let online_degradation ?(out_dir = "results") ?pool ?(count = 6) ?(level = 0.2) ?(seeds = 8) () =
-  section "Online degradation -- replayed schedules under perturbed costs";
+let online_degradation ?(out_dir = "results") ?(report = quiet) ?pool ?(count = 6) ?(level = 0.2)
+    ?(seeds = 8) () =
+  section report "Online degradation -- replayed schedules under perturbed costs";
   let cfg =
     { Scenario.default_config with
       Scenario.arrival = Arrival.Jittered { gap = 1.0; seed = 5 };
@@ -493,47 +510,48 @@ let online_degradation ?(out_dir = "results") ?pool ?(count = 6) ?(level = 0.2) 
   let rows, summaries =
     Scenario.run ?pool cfg (online_instances ~count) Workloads.platform_random
   in
-  Table.print
-    ~header:
-      [ "instance"; "policy"; "ok"; "failed"; "mk p50"; "mk p95"; "mk max"; "peak p95" ]
-    (List.map
-       (fun s ->
-         [ s.Scenario.s_instance; Replay.policy_label s.Scenario.s_policy;
-           string_of_int s.Scenario.s_ok; string_of_int s.Scenario.s_failed;
-           Table.cell_f s.Scenario.s_mk_p50; Table.cell_f s.Scenario.s_mk_p95;
-           Table.cell_f s.Scenario.s_mk_max; Table.cell_f s.Scenario.s_peak_p95 ])
-       summaries);
+  report
+    (Table.render
+       ~header:
+         [ "instance"; "policy"; "ok"; "failed"; "mk p50"; "mk p95"; "mk max"; "peak p95" ]
+       (List.map
+          (fun s ->
+            [ s.Scenario.s_instance; Replay.policy_label s.Scenario.s_policy;
+              string_of_int s.Scenario.s_ok; string_of_int s.Scenario.s_failed;
+              Table.cell_f s.Scenario.s_mk_p50; Table.cell_f s.Scenario.s_mk_p95;
+              Table.cell_f s.Scenario.s_mk_max; Table.cell_f s.Scenario.s_peak_p95 ])
+          summaries));
   write_csv out_dir "online_degradation.csv" Scenario.csv_header
     (List.map (Scenario.csv_row cfg) rows)
 
-let all_quick ?(out_dir = "results") ?pool () =
-  table1 ~out_dir ?pool ();
-  figure8 ~out_dir ();
-  figure9 ~out_dir ~size:300 ();
-  figure10 ~out_dir ?pool ~count:15 ~exact_nodes:5_000 ~capped_count:5 ~tiny_count:10 ();
-  figure11 ~out_dir ?pool ();
-  figure12 ~out_dir ?pool ~count:10 ~size:300 ();
-  figure13 ~out_dir ?pool ~size:300 ();
-  figure14 ~out_dir ?pool ~n:8 ();
-  figure15 ~out_dir ?pool ~n:8 ();
-  ilp_cross_check ~out_dir ?pool ~node_limit:5_000 ();
-  ablations ~out_dir ?pool ~count:10 ();
-  extensions ~out_dir ?pool ~count:10 ();
-  online_degradation ~out_dir ?pool ~count:4 ~seeds:4 ();
+let all_quick ?(out_dir = "results") ?(report = quiet) ?pool () =
+  table1 ~out_dir ~report ?pool ();
+  figure8 ~out_dir ~report ();
+  figure9 ~out_dir ~report ~size:300 ();
+  figure10 ~out_dir ~report ?pool ~count:15 ~exact_nodes:5_000 ~capped_count:5 ~tiny_count:10 ();
+  figure11 ~out_dir ~report ?pool ();
+  figure12 ~out_dir ~report ?pool ~count:10 ~size:300 ();
+  figure13 ~out_dir ~report ?pool ~size:300 ();
+  figure14 ~out_dir ~report ?pool ~n:8 ();
+  figure15 ~out_dir ~report ?pool ~n:8 ();
+  ilp_cross_check ~out_dir ~report ?pool ~node_limit:5_000 ();
+  ablations ~out_dir ~report ?pool ~count:10 ();
+  extensions ~out_dir ~report ?pool ~count:10 ();
+  online_degradation ~out_dir ~report ?pool ~count:4 ~seeds:4 ();
   Plots.write_gnuplot ~out_dir ()
 
-let all_paper ?(out_dir = "results") ?pool () =
-  table1 ~out_dir ?pool ();
-  figure8 ~out_dir ();
-  figure9 ~out_dir ();
-  figure10 ~out_dir ?pool ();
-  figure11 ~out_dir ?pool ();
-  figure12 ~out_dir ?pool ();
-  figure13 ~out_dir ?pool ();
-  figure14 ~out_dir ?pool ();
-  figure15 ~out_dir ?pool ();
-  ilp_cross_check ~out_dir ?pool ();
-  ablations ~out_dir ?pool ();
-  extensions ~out_dir ?pool ~count:50 ();
-  online_degradation ~out_dir ?pool ();
+let all_paper ?(out_dir = "results") ?(report = quiet) ?pool () =
+  table1 ~out_dir ~report ?pool ();
+  figure8 ~out_dir ~report ();
+  figure9 ~out_dir ~report ();
+  figure10 ~out_dir ~report ?pool ();
+  figure11 ~out_dir ~report ?pool ();
+  figure12 ~out_dir ~report ?pool ();
+  figure13 ~out_dir ~report ?pool ();
+  figure14 ~out_dir ~report ?pool ();
+  figure15 ~out_dir ~report ?pool ();
+  ilp_cross_check ~out_dir ~report ?pool ();
+  ablations ~out_dir ~report ?pool ();
+  extensions ~out_dir ~report ?pool ~count:50 ();
+  online_degradation ~out_dir ~report ?pool ();
   Plots.write_gnuplot ~out_dir ()

@@ -21,9 +21,9 @@ let baseline platform dag =
     dag;
     ranks;
     heft_makespan = (Validator.validate_exn dag unbounded heft_schedule).Validator.makespan;
-    heft_peak = max heft_blue heft_red;
+    heft_peak = Float.max heft_blue heft_red;
     minmin_makespan = (Validator.validate_exn dag unbounded minmin_schedule).Validator.makespan;
-    minmin_peak = max minmin_blue minmin_red;
+    minmin_peak = Float.max minmin_blue minmin_red;
     lower_bound = Lower_bound.makespan dag platform;
   }
 

@@ -18,7 +18,10 @@ let linearize ?(max_fanout = 1) g =
         match out with
         | [] -> true
         | e0 :: rest ->
-          List.for_all (fun (e : Dag.edge) -> e.Dag.size = e0.Dag.size && e.Dag.comm = e0.Dag.comm) rest
+          List.for_all
+            (fun (e : Dag.edge) ->
+              Float.equal e.Dag.size e0.Dag.size && Float.equal e.Dag.comm e0.Dag.comm)
+            rest
       in
       if not sizes_eq then
         invalid_arg

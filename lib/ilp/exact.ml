@@ -340,13 +340,14 @@ let solve ?pool ?(frontier = 32) ?(dominance = true) ?(node_limit = 2_000_000)
       end
     done;
     let subtrees = List.of_seq (Queue.to_seq roots) in
+    let have_subtrees = match subtrees with [] -> false | _ :: _ -> true in
     if !capped || !total_nodes >= node_limit then begin
       (* Budget exhausted during expansion: the remaining roots are abandoned
          open parts of the tree. *)
-      if subtrees <> [] then capped := true;
+      if have_subtrees then capped := true;
       List.iter (fun (_, pmax) -> if pmax < !open_lb then open_lb := pmax) subtrees
     end
-    else if subtrees <> [] then begin
+    else if have_subtrees then begin
       let budget_per = max 1 ((node_limit - !total_nodes) / List.length subtrees) in
       (* Freeze the incumbent at split time: workers never share improvements
          (cross-worker sharing would make pruning depend on completion order,

@@ -411,6 +411,7 @@ let extract_schedule t x =
   Array.iter
     (fun (e : Dag.edge) ->
       let bi = Float.round x.(t.v_b.(e.Dag.src)) and bj = Float.round x.(t.v_b.(e.Dag.dst)) in
-      if bi <> bj then s.Schedule.comm_starts.(e.Dag.eid) <- Some x.(t.v_tau.(e.Dag.eid)))
+      if Float.compare bi bj <> 0 then
+        s.Schedule.comm_starts.(e.Dag.eid) <- Some x.(t.v_tau.(e.Dag.eid)))
     (Dag.edges t.g);
   s

@@ -1,0 +1,334 @@
+(* Cross-module program assembly over the per-module summaries produced by
+   lint_cmt: a qualified-name function table, type-declaration fixpoints
+   (float-carrying, mutable-carrying), the transitive effect lattice, and
+   mutable-state reachability with witness chains.  Everything here is
+   deterministic given the (sorted) summary list — maps are string-keyed
+   and every worklist iterates in key order. *)
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+type program = {
+  pg_summaries : Lint_cmt.summary list;
+  pg_fns : (Lint_cmt.fn_summary * string) Smap.t;  (** fn_name → (summary, source file) *)
+  pg_types : Lint_cmt.type_summary Smap.t;
+  pg_globals : (Lint_cmt.global_summary * string) Smap.t;
+  pg_allows : (int * string) list Smap.t;  (** source file → inline pragmas *)
+}
+
+let allows_at pg ~file ~line ~rule =
+  match Smap.find_opt file pg.pg_allows with
+  | None -> false
+  | Some allows -> List.exists (fun (l, r) -> r = rule && (l = line || l + 1 = line)) allows
+
+(* Two top-level definitions may share a qualified name (shadowing, or a
+   module-name collision across libraries).  Merge them into one node with
+   the union of behaviours; [fn_locks] stays true only if every version
+   locks, so protection is never assumed where one version lacks it. *)
+let merge_fn (a : Lint_cmt.fn_summary) (b : Lint_cmt.fn_summary) =
+  { a with
+    Lint_cmt.fn_calls = List.sort_uniq String.compare (a.Lint_cmt.fn_calls @ b.Lint_cmt.fn_calls);
+    fn_uses = a.Lint_cmt.fn_uses @ b.Lint_cmt.fn_uses;
+    fn_effects = a.Lint_cmt.fn_effects @ b.Lint_cmt.fn_effects;
+    fn_locks = a.Lint_cmt.fn_locks && b.Lint_cmt.fn_locks }
+
+let build ~allows_of (summaries : Lint_cmt.summary list) =
+  let allows =
+    List.fold_left
+      (fun m (s : Lint_cmt.summary) ->
+        if Smap.mem s.Lint_cmt.sm_source m then m
+        else Smap.add s.Lint_cmt.sm_source (allows_of s.Lint_cmt.sm_source) m)
+      Smap.empty summaries
+  in
+  let fns =
+    List.fold_left
+      (fun m (s : Lint_cmt.summary) ->
+        List.fold_left
+          (fun m (f : Lint_cmt.fn_summary) ->
+            let entry =
+              match Smap.find_opt f.Lint_cmt.fn_name m with
+              | Some (prev, file) -> (merge_fn prev f, file)
+              | None -> (f, s.Lint_cmt.sm_source)
+            in
+            Smap.add f.Lint_cmt.fn_name entry m)
+          m s.Lint_cmt.sm_fns)
+      Smap.empty summaries
+  in
+  let types =
+    List.fold_left
+      (fun m (s : Lint_cmt.summary) ->
+        List.fold_left
+          (fun m (t : Lint_cmt.type_summary) ->
+            if Smap.mem t.Lint_cmt.td_name m then m else Smap.add t.Lint_cmt.td_name t m)
+          m s.Lint_cmt.sm_types)
+      Smap.empty summaries
+  in
+  let globals =
+    List.fold_left
+      (fun m (s : Lint_cmt.summary) ->
+        List.fold_left
+          (fun m (g : Lint_cmt.global_summary) ->
+            if Smap.mem g.Lint_cmt.gl_name m then m
+            else Smap.add g.Lint_cmt.gl_name (g, s.Lint_cmt.sm_source) m)
+          m s.Lint_cmt.sm_globals)
+      Smap.empty summaries
+  in
+  { pg_summaries = summaries; pg_fns = fns; pg_types = types; pg_globals = globals;
+    pg_allows = allows }
+
+(* --------------------------------------------- float / arrow instantiation --- *)
+
+(* Does a type skeleton carry a float or an arrow anywhere structural
+   comparison would reach?  Looks through declared type components (the
+   cross-module part: [compare (a : Mod.pt) b] where [Mod.pt] has a float
+   field) and through constructor arguments (['a list] at [float]).
+   Float wins over Arrow in the answer — the float message is the more
+   actionable one for this codebase. *)
+type poly_hit = Hit_float | Hit_arrow | Clean
+
+let float_or_arrow pg ty =
+  let join a b =
+    match (a, b) with
+    | Hit_float, _ | _, Hit_float -> Hit_float
+    | Hit_arrow, _ | _, Hit_arrow -> Hit_arrow
+    | Clean, Clean -> Clean
+  in
+  let rec go seen (ty : Lint_cmt.ty) =
+    match ty with
+    | Lint_cmt.Float -> Hit_float
+    | Lint_cmt.Arrow -> Hit_arrow
+    | Lint_cmt.Var | Lint_cmt.Opaque -> Clean
+    | Lint_cmt.Tuple ts -> List.fold_left (fun acc t -> join acc (go seen t)) Clean ts
+    | Lint_cmt.Constr (head, args) ->
+      let from_args = List.fold_left (fun acc t -> join acc (go seen t)) Clean args in
+      let from_decl =
+        if Sset.mem head seen then Clean
+        else
+          match Smap.find_opt head pg.pg_types with
+          | None -> Clean
+          | Some td ->
+            let seen = Sset.add head seen in
+            List.fold_left (fun acc t -> join acc (go seen t)) Clean td.Lint_cmt.td_components
+      in
+      join from_args from_decl
+  in
+  go Sset.empty ty
+
+(* ------------------------------------------------------ mutable carriers --- *)
+
+let mutable_ctors =
+  [ "ref"; "array"; "bytes"; "floatarray"; "Hashtbl.t"; "Queue.t"; "Stack.t"; "Buffer.t";
+    "Weak.t"; "Dynarray.t" ]
+
+(* Synchronised containers end the search: state behind them is protected
+   by construction, which is exactly what domain-race wants authors to
+   reach for. *)
+let protected_ctors =
+  [ "Atomic.t"; "Mutex.t"; "Condition.t"; "Semaphore.Counting.t"; "Semaphore.Binary.t";
+    "Domain.DLS.key"; "Lazy.t" ]
+
+(* [Some desc] when the skeleton contains an unprotected mutable cell;
+   [desc] names the offending constructor for the report. *)
+let mutable_carrier pg ty =
+  let rec go seen (ty : Lint_cmt.ty) =
+    match ty with
+    | Lint_cmt.Float | Lint_cmt.Arrow | Lint_cmt.Var | Lint_cmt.Opaque -> None
+    | Lint_cmt.Tuple ts -> List.find_map (go seen) ts
+    | Lint_cmt.Constr (head, args) ->
+      if List.mem head protected_ctors then None
+      else if List.mem head mutable_ctors then Some head
+      else
+        let from_decl =
+          if Sset.mem head seen then None
+          else
+            match Smap.find_opt head pg.pg_types with
+            | None -> None
+            | Some td ->
+              if td.Lint_cmt.td_mutable then Some (head ^ " with mutable fields")
+              else
+                let seen = Sset.add head seen in
+                List.find_map (go seen) td.Lint_cmt.td_components
+        in
+        (match from_decl with Some d -> Some d | None -> List.find_map (go seen) args)
+  in
+  go Sset.empty ty
+
+(* ---------------------------------------------------------- effect lattice --- *)
+
+module Kset = Set.Make (struct
+  type t = Lint_cmt.effect_kind
+
+  let compare = Stdlib.compare
+end)
+
+(* Effect boundaries: the pool runtime deliberately touches Domain/Mutex
+   internals, and the seeded RNG wraps Random-free SplitMix64 but owns the
+   determinism story; neither should condemn its callers. *)
+let effect_boundary file =
+  String.starts_with ~prefix:"lib/par/" file || file = "lib/util/rng.ml"
+
+(* Sanctioned writers: CSV/table emission is the program's output channel. *)
+let io_sanctioned file = file = "lib/util/csv.ml" || file = "lib/util/table.ml"
+
+type effects = {
+  ef_kinds : Kset.t Smap.t;  (** fn → inferred effect kinds *)
+  ef_direct : Lint_cmt.base_effect list Smap.t;  (** fn → sanction-filtered direct effects *)
+}
+
+let direct_effects pg =
+  Smap.fold
+    (fun name ((f : Lint_cmt.fn_summary), file) m ->
+      let keep (e : Lint_cmt.base_effect) =
+        (not (effect_boundary file))
+        && not (io_sanctioned file && e.Lint_cmt.e_kind = Lint_cmt.Io)
+        && (not (allows_at pg ~file ~line:e.Lint_cmt.e_line ~rule:"effect-purity"))
+        && not
+             (allows_at pg ~file ~line:e.Lint_cmt.e_line
+                ~rule:(Lint_cmt.effect_shadow_rule e.Lint_cmt.e_kind))
+      in
+      Smap.add name (List.filter keep f.Lint_cmt.fn_effects) m)
+    pg.pg_fns Smap.empty
+
+let effects pg =
+  let direct = direct_effects pg in
+  let kinds_of_direct es =
+    List.fold_left (fun s (e : Lint_cmt.base_effect) -> Kset.add e.Lint_cmt.e_kind s) Kset.empty es
+  in
+  let state = ref (Smap.map kinds_of_direct direct) in
+  let boundary name =
+    match Smap.find_opt name pg.pg_fns with
+    | Some (_, file) -> effect_boundary file
+    | None -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    state :=
+      Smap.mapi
+        (fun name kinds ->
+          if boundary name then Kset.empty
+          else
+            match Smap.find_opt name pg.pg_fns with
+            | None -> kinds
+            | Some (f, _) ->
+              let kinds' =
+                List.fold_left
+                  (fun acc callee ->
+                    match Smap.find_opt callee !state with
+                    | Some ks -> Kset.union acc ks
+                    | None -> acc)
+                  kinds f.Lint_cmt.fn_calls
+              in
+              if not (Kset.equal kinds kinds') then changed := true;
+              kinds')
+        !state
+  done;
+  { ef_kinds = !state; ef_direct = direct }
+
+let fn_kinds ef name =
+  match Smap.find_opt name ef.ef_kinds with Some ks -> ks | None -> Kset.empty
+
+(* Witness chain for (fn, kind): the functions walked from [fn] down to a
+   direct culprit, deterministically preferring a direct effect, then the
+   alphabetically-first effectful callee. *)
+let effect_chain pg ef name kind =
+  let rec walk seen name acc =
+    if Sset.mem name seen then (List.rev acc, None)
+    else
+      let seen = Sset.add name seen in
+      let direct =
+        match Smap.find_opt name ef.ef_direct with
+        | Some es ->
+          List.fold_left
+            (fun best (e : Lint_cmt.base_effect) ->
+              if e.Lint_cmt.e_kind <> kind then best
+              else
+                match best with
+                | Some (b : Lint_cmt.base_effect) when b.Lint_cmt.e_line <= e.Lint_cmt.e_line -> best
+                | _ -> Some e)
+            None es
+        | None -> None
+      in
+      match direct with
+      | Some e -> (List.rev (name :: acc), Some e)
+      | None -> (
+        let next =
+          match Smap.find_opt name pg.pg_fns with
+          | None -> None
+          | Some (f, _) ->
+            List.find_opt
+              (fun callee -> (not (Sset.mem callee seen)) && Kset.mem kind (fn_kinds ef callee))
+              f.Lint_cmt.fn_calls
+        in
+        match next with
+        | Some callee -> walk seen callee (name :: acc)
+        | None -> (List.rev (name :: acc), None))
+  in
+  walk Sset.empty name []
+
+(* ------------------------------------------------------ race reachability --- *)
+
+(* The module-level mutable state the race detector watches: globals whose
+   type skeleton carries an unprotected mutable cell, minus those whose
+   definition line carries a [domain-race] pragma (a sanctioned, audited
+   table).  Value: (constructor description, defining file). *)
+let mutable_globals pg =
+  Smap.fold
+    (fun name ((g : Lint_cmt.global_summary), file) m ->
+      match mutable_carrier pg g.Lint_cmt.gl_ty with
+      | Some desc when not (allows_at pg ~file ~line:g.Lint_cmt.gl_line ~rule:"domain-race") ->
+        Smap.add name (desc, file) m
+      | _ -> m)
+    pg.pg_globals Smap.empty
+
+type race_hit = {
+  rh_global : string;  (** qualified global name *)
+  rh_desc : string;  (** mutable constructor description *)
+  rh_via : string list;  (** call chain from the closure; [] = touched directly *)
+}
+
+(* BFS from a task closure's frame (its global refs and lock status) through
+   the call graph, collecting unprotected touches of mutable globals.  A
+   function that takes a Mutex is treated as protected wholesale — neither
+   its touches nor its callees' are reported (the lock scope is not tracked
+   finer than per-function).  BFS order plus sorted expansion makes the
+   shortest witness chain deterministic. *)
+let reach_mutables pg ~muts ~start_file ~start_uses ~start_calls ~start_locked =
+  let hits = ref Smap.empty in
+  let record global via =
+    if not (Smap.mem global !hits) then
+      match Smap.find_opt global muts with
+      | Some (desc, _) ->
+        hits := Smap.add global { rh_global = global; rh_desc = desc; rh_via = via } !hits
+      | None -> ()
+  in
+  let collect ~via ~file (uses : Lint_cmt.use list) =
+    List.iter
+      (fun (u : Lint_cmt.use) ->
+        if
+          Smap.mem u.Lint_cmt.u_name muts
+          && not (allows_at pg ~file ~line:u.Lint_cmt.u_line ~rule:"domain-race")
+        then record u.Lint_cmt.u_name via)
+      uses
+  in
+  if not start_locked then collect ~via:[] ~file:start_file start_uses;
+  let visited = ref Sset.empty in
+  let queue = Queue.create () in
+  List.iter (fun c -> Queue.add (c, []) queue) (List.sort String.compare start_calls);
+  while not (Queue.is_empty queue) do
+    let name, path = Queue.pop queue in
+    if not (Sset.mem name !visited) then begin
+      visited := Sset.add name !visited;
+      match Smap.find_opt name pg.pg_fns with
+      | None -> ()
+      | Some (f, file) ->
+        if not f.Lint_cmt.fn_locks then begin
+          let path = path @ [ name ] in
+          collect ~via:path ~file f.Lint_cmt.fn_uses;
+          List.iter
+            (fun callee -> if not (Sset.mem callee !visited) then Queue.add (callee, path) queue)
+            f.Lint_cmt.fn_calls
+        end
+    end
+  done;
+  Smap.fold (fun _ hit acc -> hit :: acc) !hits [] |> List.rev

@@ -1,0 +1,85 @@
+(** Cross-module program assembly over {!Lint_cmt} summaries: function
+    table, type-declaration fixpoints, transitive effect lattice, and
+    mutable-state reachability with witness chains.  Deterministic given
+    the (sorted) summary list. *)
+
+module Smap : Map.S with type key = string
+
+type program = {
+  pg_summaries : Lint_cmt.summary list;
+  pg_fns : (Lint_cmt.fn_summary * string) Smap.t;  (** fn → (summary, source file) *)
+  pg_types : Lint_cmt.type_summary Smap.t;
+  pg_globals : (Lint_cmt.global_summary * string) Smap.t;
+  pg_allows : (int * string) list Smap.t;  (** source file → inline pragmas *)
+}
+
+val build : allows_of:(string -> (int * string) list) -> Lint_cmt.summary list -> program
+(** Assemble the program; [allows_of] maps a repo-relative source path to
+    its inline suppression pragmas (see {!Lint_source.scan_allows}). *)
+
+val allows_at : program -> file:string -> line:int -> rule:string -> bool
+(** Whether an inline pragma sanctions [rule] at [file:line] (pragma on the
+    same line or the line above, matching the syntactic pass). *)
+
+(** {1 Type instantiation queries} *)
+
+type poly_hit = Hit_float | Hit_arrow | Clean
+
+val float_or_arrow : program -> Lint_cmt.ty -> poly_hit
+(** Does structural comparison of this type reach a float or an arrow?
+    Looks through declared components cross-module; Float wins over Arrow. *)
+
+val mutable_carrier : program -> Lint_cmt.ty -> string option
+(** [Some desc] when the type carries an unprotected mutable cell (ref,
+    array, Hashtbl.t, mutable record field, ...); [Atomic.t]/[Mutex.t] and
+    friends are protection boundaries and end the search. *)
+
+(** {1 Effect lattice} *)
+
+module Kset : Set.S with type elt = Lint_cmt.effect_kind
+
+type effects = {
+  ef_kinds : Kset.t Smap.t;
+  ef_direct : Lint_cmt.base_effect list Smap.t;
+}
+
+val effects : program -> effects
+(** Fixpoint of [eff f = direct f ∪ ⋃ eff (callees f)].  Direct effects in
+    effect-boundary modules ([lib/par/*], [lib/util/rng.ml]) contribute
+    nothing; console IO in sanctioned writers ([lib/util/csv.ml],
+    [lib/util/table.ml]) is dropped; pragma-sanctioned lines do not seed
+    the lattice. *)
+
+val fn_kinds : effects -> string -> Kset.t
+
+val effect_chain :
+  program -> effects -> string -> Lint_cmt.effect_kind -> string list * Lint_cmt.base_effect option
+(** Deterministic witness: the call chain from a function down to a direct
+    culprit of the given kind (direct effects preferred, then the
+    alphabetically-first effectful callee). *)
+
+(** {1 Race reachability} *)
+
+val mutable_globals : program -> (string * string) Smap.t
+(** Module-level globals whose type carries an unprotected mutable cell,
+    minus definitions sanctioned by a [domain-race] pragma.  Value is
+    (constructor description, defining file). *)
+
+type race_hit = {
+  rh_global : string;
+  rh_desc : string;
+  rh_via : string list;  (** call chain from the closure; [] = direct touch *)
+}
+
+val reach_mutables :
+  program ->
+  muts:(string * string) Smap.t ->
+  start_file:string ->
+  start_uses:Lint_cmt.use list ->
+  start_calls:string list ->
+  start_locked:bool ->
+  race_hit list
+(** BFS from a task closure's frame through the call graph, collecting
+    unprotected touches of [muts].  Mutex-taking functions are treated as
+    protected wholesale.  One hit per global, shortest chain first,
+    deterministic. *)

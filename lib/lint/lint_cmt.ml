@@ -1,0 +1,558 @@
+(* Typed-pass front-end: load the .cmt Typedtree artifacts dune produces
+   under _build/default and boil each module down to a serializable
+   [summary] — call edges, global-value uses, type declarations, top-level
+   globals with their type skeletons, pool call sites, polymorphic-compare
+   instantiation sites and base effects.  Everything downstream
+   (lint_callgraph, lint_typed_rules) works on summaries only, so they can
+   be cached content-addressed (digest of the .cmt → summary) and the warm
+   path never reopens an unchanged artifact. *)
+
+(* ------------------------------------------------------- type skeletons --- *)
+
+(* A marshal-friendly skeleton of a [Types.type_expr]: just enough shape to
+   answer "does this type carry a float / an arrow / a mutable cell?" once
+   the cross-module declaration table is assembled.  [Arrow] is opaque on
+   purpose: what a function may return is not shared state, and comparing
+   functions is flagged from the arrow itself. *)
+type ty =
+  | Float
+  | Arrow
+  | Var  (** still polymorphic at this use site: nothing to check *)
+  | Opaque  (** abstract / object / package / depth-capped *)
+  | Constr of string * ty list  (** qualified head ("Mod.t", "list", ...) *)
+  | Tuple of ty list
+
+type use = { u_name : string; u_line : int; u_col : int }
+
+type effect_kind = Nondet | Unordered | Io
+
+type base_effect = { e_kind : effect_kind; e_culprit : string; e_line : int; e_col : int }
+
+type fn_summary = {
+  fn_name : string;  (** qualified "Mod.f" *)
+  fn_line : int;
+  fn_col : int;
+  fn_calls : string list;  (** sorted global value refs (callees, globals) *)
+  fn_uses : use list;  (** same refs with positions, for race reports *)
+  fn_effects : base_effect list;
+  fn_locks : bool;  (** body mentions Mutex.lock/Mutex.protect *)
+}
+
+type par_site = {
+  p_entry : string;  (** "Par.parallel_map" / "Par.submit" / ... *)
+  p_host : string;  (** enclosing top-level definition *)
+  p_line : int;
+  p_col : int;
+  p_calls : string list;  (** global refs inside the task argument *)
+  p_uses : use list;
+  p_locks : bool;
+  p_host_fallback : bool;
+      (** the task argument was a bare local ident (e.g. a let-bound
+          closure): its body is part of the host, so race analysis falls
+          back to the host function's summary *)
+}
+
+type type_summary = {
+  td_name : string;  (** qualified "Mod.t" *)
+  td_components : ty list;
+  td_mutable : bool;  (** has a [mutable] record field *)
+}
+
+type global_summary = { gl_name : string; gl_line : int; gl_col : int; gl_ty : ty }
+
+type poly_site = { ps_op : string; ps_ty : ty; ps_line : int; ps_col : int }
+
+type summary = {
+  sm_module : string;  (** normalized module name ("Fp", "Test_lint") *)
+  sm_source : string;  (** repo-relative source path *)
+  sm_source_digest : string;  (** hex MD5 of the source the cmt was built from *)
+  sm_types : type_summary list;
+  sm_globals : global_summary list;
+  sm_fns : fn_summary list;
+  sm_par_sites : par_site list;
+  sm_poly : poly_site list;
+}
+
+(* ------------------------------------------------------- classification --- *)
+
+let effect_kind_name = function
+  | Nondet -> "nondet"
+  | Unordered -> "unordered-iter"
+  | Io -> "console-io"
+
+(* The syntactic rule each effect kind shadows: a pragma sanctioning the
+   syntactic rule on a line also keeps that line out of the effect lattice
+   (an audited exemption must not condemn every transitive caller). *)
+let effect_shadow_rule = function
+  | Nondet -> "determinism"
+  | Unordered -> "order-stability"
+  | Io -> "console-io-none"
+
+let nondet_names = [ "Sys.time"; "Unix.gettimeofday"; "Unix.time"; "Domain.self" ]
+
+let unordered_names =
+  [ "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values" ]
+
+let io_names =
+  [ "print_string"; "print_endline"; "print_newline"; "print_char"; "print_int"; "print_float";
+    "print_bytes"; "prerr_string"; "prerr_endline"; "prerr_newline"; "prerr_char"; "prerr_int";
+    "prerr_float"; "prerr_bytes"; "stdout"; "stderr"; "Printf.printf"; "Printf.eprintf";
+    "Format.printf"; "Format.eprintf"; "Format.print_string"; "Format.print_newline";
+    "Format.print_flush"; "Format.std_formatter"; "Format.err_formatter" ]
+
+let classify_effect name =
+  if String.length name >= 7 && String.sub name 0 7 = "Random." then Some Nondet
+  else if List.mem name nondet_names then Some Nondet
+  else if List.mem name unordered_names then Some Unordered
+  else if List.mem name io_names then Some Io
+  else None
+
+(* Pool entry points whose function argument runs on worker domains. *)
+let par_entries = [ "Par.parallel_map"; "Par.parallel_iter"; "Par.map_seeded"; "Par.submit" ]
+
+(* Polymorphic structural operations: flagged when instantiated at a type
+   carrying floats (ulp/nan hazards) or arrows (runtime failure). *)
+let poly_ops =
+  [ "="; "<>"; "compare"; "min"; "max"; "Hashtbl.hash"; "List.mem"; "List.assoc";
+    "List.mem_assoc" ]
+
+(* Predefined type constructors: never module-qualified. *)
+let predef_types =
+  [ "int"; "char"; "string"; "bytes"; "float"; "bool"; "unit"; "exn"; "array"; "list";
+    "option"; "result"; "nativeint"; "int32"; "int64"; "lazy_t"; "floatarray";
+    "extension_constructor" ]
+
+(* ---------------------------------------------------------- name helpers --- *)
+
+let strip_prefix p s =
+  if String.starts_with ~prefix:p s then String.sub s (String.length p) (String.length s - String.length p)
+  else s
+
+let normalize_name s = strip_prefix "Dune__exe." (strip_prefix "Dune__exe__" (strip_prefix "Stdlib." s))
+
+let normalize_module s = strip_prefix "Dune__exe__" s
+
+(* ------------------------------------------------------------ extraction --- *)
+
+module Ident_map = Map.Make (struct
+  type t = Ident.t
+
+  let compare = Ident.compare
+end)
+
+type extract_state = {
+  modname : string;
+  mutable toplevel : string Ident_map.t;  (** top-level value idents → qualified names *)
+  mutable local_types : string Ident_map.t;  (** local type-decl idents → qualified names *)
+  mutable types : type_summary list;
+  mutable globals : global_summary list;
+  mutable fns : fn_summary list;
+  mutable pars : par_site list;
+  mutable poly : poly_site list;
+}
+
+let pos_of (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol + 1)
+
+let rec skeleton st depth (t : Types.type_expr) =
+  if depth > 10 then Opaque
+  else
+    match Types.get_desc t with
+    | Types.Tvar _ | Types.Tunivar _ -> Var
+    | Types.Tarrow _ -> Arrow
+    | Types.Ttuple ts -> Tuple (List.map (skeleton st (depth + 1)) ts)
+    | Types.Tpoly (t, _) -> skeleton st depth t
+    | Types.Tconstr (p, args, _) ->
+      let head =
+        match p with
+        | Path.Pident id -> (
+          match Ident_map.find_opt id st.local_types with
+          | Some q -> q
+          | None ->
+            let n = Ident.name id in
+            if List.mem n predef_types then n else st.modname ^ "." ^ n)
+        | _ -> normalize_name (Path.name p)
+      in
+      if head = "float" then Float else Constr (head, List.map (skeleton st (depth + 1)) args)
+    | _ -> Opaque
+
+(* One accumulator per scanned body (a function, or a task closure). *)
+type body_acc = {
+  mutable b_uses : use list;
+  mutable b_effects : base_effect list;
+  mutable b_locks : bool;
+}
+
+let new_acc () = { b_uses = []; b_effects = []; b_locks = false }
+
+let global_ref st (p : Path.t) =
+  match p with
+  | Path.Pident id -> Ident_map.find_opt id st.toplevel
+  | _ ->
+    let n = normalize_name (Path.name p) in
+    if String.contains n '.' then Some n else Some n
+
+(* Scan one expression subtree, feeding [acc]; par-site detection calls back
+   through [on_par] so nested pool calls inside a task body still surface. *)
+let scan_body st ~host acc expr =
+  let rec iter_expr acc (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> (
+      let line, col = pos_of e.Typedtree.exp_loc in
+      (match global_ref st p with
+      | Some name ->
+        acc.b_uses <- { u_name = name; u_line = line; u_col = col } :: acc.b_uses;
+        (match classify_effect name with
+        | Some k ->
+          acc.b_effects <- { e_kind = k; e_culprit = name; e_line = line; e_col = col } :: acc.b_effects
+        | None -> ());
+        if name = "Mutex.lock" || name = "Mutex.protect" then acc.b_locks <- true
+      | None -> ());
+      let name = match global_ref st p with Some n -> n | None -> "" in
+      if List.mem name poly_ops then begin
+        (* The ident's [exp_type] is the *instantiation* at this use site:
+           peel the first arrow and keep the operand type's skeleton. *)
+        match Types.get_desc e.Typedtree.exp_type with
+        | Types.Tarrow (_, arg, _, _) ->
+          st.poly <- { ps_op = name; ps_ty = skeleton st 0 arg; ps_line = line; ps_col = col } :: st.poly
+        | _ -> ()
+      end)
+    | Typedtree.Texp_apply (f, args) -> (
+      let rec head (e : Typedtree.expression) =
+        match e.Typedtree.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) -> global_ref st p
+        | Typedtree.Texp_apply (f, _) -> head f
+        | _ -> None
+      in
+      match head f with
+      | Some entry when List.mem entry par_entries ->
+        let task =
+          if entry = "Par.submit" then
+            (* submit pool thunk: the task is the last positional argument *)
+            List.fold_left
+              (fun found (lbl, a) ->
+                match (lbl, a) with Asttypes.Nolabel, Some a -> Some a | _ -> found)
+              None args
+          else
+            List.find_map
+              (fun (lbl, a) ->
+                match (lbl, a) with Asttypes.Labelled "f", Some a -> a |> Option.some | _ -> None)
+              args
+        in
+        (match task with
+        | None -> ()
+        | Some task ->
+          let sub = new_acc () in
+          let sub_it = make_iter sub in
+          sub_it.Tast_iterator.expr sub_it task;
+          let bare_local =
+            match task.Typedtree.exp_desc with
+            | Typedtree.Texp_ident (Path.Pident id, _, _) ->
+              Ident_map.find_opt id st.toplevel = None
+            | _ -> false
+          in
+          let line, col = pos_of f.Typedtree.exp_loc in
+          let calls =
+            List.sort_uniq String.compare (List.map (fun u -> u.u_name) sub.b_uses)
+          in
+          st.pars <-
+            { p_entry = entry; p_host = host; p_line = line; p_col = col; p_calls = calls;
+              p_uses = List.rev sub.b_uses; p_locks = sub.b_locks; p_host_fallback = bare_local }
+            :: st.pars)
+      | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.Tast_iterator.expr it e
+  and make_iter acc = { Tast_iterator.default_iterator with Tast_iterator.expr = iter_expr acc } in
+  let it = make_iter acc in
+  it.Tast_iterator.expr it expr
+
+(* ----------------------------------------------- structure-level walking --- *)
+
+let label_components st (lds : Types.label_declaration list) =
+  ( List.map (fun (ld : Types.label_declaration) -> skeleton st 0 ld.Types.ld_type) lds,
+    List.exists
+      (fun (ld : Types.label_declaration) -> ld.Types.ld_mutable = Asttypes.Mutable)
+      lds )
+
+let type_components st (decl : Types.type_declaration) =
+  let manifest =
+    match decl.Types.type_manifest with Some t -> [ skeleton st 0 t ] | None -> []
+  in
+  match decl.Types.type_kind with
+  | Types.Type_record (lds, _) ->
+    let tys, mut = label_components st lds in
+    (manifest @ tys, mut)
+  | Types.Type_variant (cds, _) ->
+    let comp =
+      List.concat_map
+        (fun (cd : Types.constructor_declaration) ->
+          match cd.Types.cd_args with
+          | Types.Cstr_tuple ts -> List.map (skeleton st 0) ts
+          | Types.Cstr_record lds -> fst (label_components st lds))
+        cds
+    in
+    (manifest @ comp, false)
+  | Types.Type_abstract | Types.Type_open -> (manifest, false)
+
+let rec pattern_globals st modname acc (pat : Typedtree.pattern) =
+  match pat.Typedtree.pat_desc with
+  | Typedtree.Tpat_var (id, name) ->
+    let q = modname ^ "." ^ Ident.name id in
+    st.toplevel <- Ident_map.add id q st.toplevel;
+    let line, col = pos_of name.Location.loc in
+    { gl_name = q; gl_line = line; gl_col = col; gl_ty = skeleton st 0 pat.Typedtree.pat_type }
+    :: acc
+  | Typedtree.Tpat_alias (p, id, name) ->
+    let q = modname ^ "." ^ Ident.name id in
+    st.toplevel <- Ident_map.add id q st.toplevel;
+    let line, col = pos_of name.Location.loc in
+    pattern_globals st modname
+      ({ gl_name = q; gl_line = line; gl_col = col; gl_ty = skeleton st 0 pat.Typedtree.pat_type }
+      :: acc)
+      p
+  | Typedtree.Tpat_tuple ps -> List.fold_left (pattern_globals st modname) acc ps
+  | _ -> acc
+
+let rec walk_structure st modname (str : Typedtree.structure) =
+  (* Two passes: register every top-level ident (and type decl) first so
+     forward references inside [let rec] chains and downward references in
+     later bindings resolve; then scan bodies. *)
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.Typedtree.str_desc with
+      | Typedtree.Tstr_type (_, tds) ->
+        List.iter
+          (fun (td : Typedtree.type_declaration) ->
+            let q = modname ^ "." ^ Ident.name td.Typedtree.typ_id in
+            st.local_types <- Ident_map.add td.Typedtree.typ_id q st.local_types)
+          tds
+      | _ -> ())
+    str.Typedtree.str_items;
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.Typedtree.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            st.globals <- pattern_globals st modname st.globals vb.Typedtree.vb_pat)
+          vbs
+      | Typedtree.Tstr_type (_, tds) ->
+        List.iter
+          (fun (td : Typedtree.type_declaration) ->
+            let q = modname ^ "." ^ Ident.name td.Typedtree.typ_id in
+            let comps, mut = type_components st td.Typedtree.typ_type in
+            st.types <- { td_name = q; td_components = comps; td_mutable = mut } :: st.types)
+          tds
+      | _ -> ())
+    str.Typedtree.str_items;
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.Typedtree.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            let host =
+              match pattern_globals st modname [] vb.Typedtree.vb_pat with
+              | { gl_name; _ } :: _ -> gl_name
+              | [] -> modname ^ ".<init>"
+            in
+            let acc = new_acc () in
+            scan_body st ~host acc vb.Typedtree.vb_expr;
+            let line, col = pos_of vb.Typedtree.vb_loc in
+            st.fns <-
+              { fn_name = host; fn_line = line; fn_col = col;
+                fn_calls = List.sort_uniq String.compare (List.map (fun u -> u.u_name) acc.b_uses);
+                fn_uses = List.rev acc.b_uses;
+                fn_effects = List.rev acc.b_effects;
+                fn_locks = acc.b_locks }
+              :: st.fns)
+          vbs
+      | Typedtree.Tstr_module mb -> (
+        match (mb.Typedtree.mb_id, mb.Typedtree.mb_expr) with
+        | Some id, expr -> (
+          let rec unwrap (m : Typedtree.module_expr) =
+            match m.Typedtree.mod_desc with
+            | Typedtree.Tmod_structure s -> Some s
+            | Typedtree.Tmod_constraint (m, _, _, _) -> unwrap m
+            | _ -> None
+          in
+          match unwrap expr with
+          | Some s -> walk_structure st (modname ^ "." ^ Ident.name id) s
+          | None -> ())
+        | None, _ -> ())
+      | _ -> ())
+    str.Typedtree.str_items
+
+(* -------------------------------------------------------------- loading --- *)
+
+(* compiler-libs keeps no mutable state across [read_cmt] (it is a magic
+   check plus input_value into fresh memory), but we serialise it behind a
+   mutex anyway, matching the [Parse] precedent in lint_source: the walking
+   and skeletonising dominate, and they run fully parallel. *)
+let read_mutex = Mutex.create ()
+
+let read_cmt path = Mutex.protect read_mutex (fun () -> Cmt_format.read_cmt path)
+
+let summarize ~source ~source_digest (info : Cmt_format.cmt_infos) =
+  match info.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation str ->
+    let st =
+      { modname = normalize_module info.Cmt_format.cmt_modname;
+        toplevel = Ident_map.empty; local_types = Ident_map.empty; types = []; globals = [];
+        fns = []; pars = []; poly = [] }
+    in
+    walk_structure st st.modname str;
+    Some
+      { sm_module = st.modname; sm_source = source; sm_source_digest = source_digest;
+        sm_types = List.rev st.types; sm_globals = List.rev st.globals;
+        sm_fns = List.rev st.fns; sm_par_sites = List.rev st.pars; sm_poly = List.rev st.poly }
+  | _ -> None
+
+(* ------------------------------------------------------------- discovery --- *)
+
+let roots = [ "bench"; "bin"; "lib"; "test" ]
+
+let discover ~root =
+  let build = Filename.concat root "_build/default" in
+  let rec walk dir acc =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then acc
+    else
+      Array.fold_left
+        (fun acc name ->
+          let full = Filename.concat dir name in
+          if Sys.is_directory full then walk full acc
+          else if Filename.check_suffix name ".cmt" then full :: acc
+          else acc)
+        acc (Sys.readdir dir)
+  in
+  List.fold_left (fun acc r -> walk (Filename.concat build r) acc) [] roots
+  |> List.sort String.compare
+
+(* Map a cmt back to its repo-relative source, or None for generated /
+   out-of-tree modules (dune's Dune__exe aliases, .ml-gen shims, ...). *)
+let source_of_cmt ~root (info : Cmt_format.cmt_infos) =
+  match info.Cmt_format.cmt_sourcefile with
+  | None -> None
+  | Some src ->
+    if Filename.is_relative src
+       && List.exists (fun r -> String.starts_with ~prefix:(r ^ "/") src) roots
+       && Filename.check_suffix src ".ml"
+       && Sys.file_exists (Filename.concat root src)
+    then Some src
+    else None
+
+(* ----------------------------------------------------------------- cache --- *)
+
+(* Content-addressed summary cache: hex digest of the .cmt file → summary.
+   The summary is a pure function of the cmt bytes, so the cache needs no
+   invalidation beyond the key itself; entries for vanished digests are
+   dropped on save to keep the file bounded. *)
+
+let cache_magic = "memsched-lint-cache-v1"
+
+type cache = (string, summary option) Hashtbl.t
+
+let load_cache path : cache =
+  if not (Sys.file_exists path) then Hashtbl.create 16
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let magic = really_input_string ic (String.length cache_magic) in
+          if magic <> cache_magic then None else Some (Marshal.from_channel ic : cache))
+    with
+    | Some c -> c
+    | None -> Hashtbl.create 16
+    | exception _ -> Hashtbl.create 16
+
+let save_cache path (c : cache) =
+  try
+    let dir = Filename.dirname path in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc cache_magic;
+        Marshal.to_channel oc c []);
+    Sys.rename tmp path
+  with Sys_error _ -> ()
+
+(* ------------------------------------------------------------ entry point --- *)
+
+type load_stats = {
+  ls_modules : int;  (** summaries that entered the analysis *)
+  ls_from_cache : int;  (** served by digest lookup, cmt never reopened *)
+  ls_extracted : int;  (** cmt parsed and summarised this run *)
+  ls_stale : int;  (** skipped: cmt older than the current source *)
+}
+
+let file_digest path = Digest.to_hex (Digest.file path)
+
+(* Load every module summary for [root], using [cache] (updated in place).
+   [map_f] is the fan-out hook: the engine passes a pool-backed parallel
+   map; identity is the serial path.  Returns summaries sorted by source
+   path, so everything downstream is deterministic. *)
+let load_summaries ~root ~(cache : cache) ~map_f () =
+  let cmts = discover ~root in
+  let per_cmt path =
+    let digest = file_digest path in
+    match Hashtbl.find_opt cache digest with
+    | Some s -> (digest, s, true)
+    | None ->
+      let info = read_cmt path in
+      let summary =
+        match source_of_cmt ~root info with
+        | None -> None
+        | Some source ->
+          let source_digest =
+            match info.Cmt_format.cmt_source_digest with
+            | Some d -> Digest.to_hex d
+            | None -> ""
+          in
+          summarize ~source ~source_digest info
+      in
+      (digest, summary, false)
+  in
+  let results = map_f per_cmt cmts in
+  Hashtbl.reset cache;
+  List.iter (fun (digest, s, _) -> Hashtbl.replace cache digest s) results;
+  (* Dedupe by source (two cmts of one .ml keep the lexicographically first
+     artifact) and drop stale summaries: a cmt built from an older edit of
+     the source must not assert anything about the current tree. *)
+  let stale = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let summaries =
+    List.filter_map
+      (fun (_, s, _) ->
+        match s with
+        | None -> None
+        | Some s ->
+          if Hashtbl.mem seen s.sm_source then None
+          else begin
+            Hashtbl.replace seen s.sm_source ();
+            let current =
+              try file_digest (Filename.concat root s.sm_source) with Sys_error _ -> ""
+            in
+            if s.sm_source_digest <> "" && current <> s.sm_source_digest then begin
+              incr stale;
+              None
+            end
+            else Some s
+          end)
+      results
+  in
+  let summaries =
+    List.sort (fun a b -> String.compare a.sm_source b.sm_source) summaries
+  in
+  let from_cache = List.length (List.filter (fun (_, _, hit) -> hit) results) in
+  let stats =
+    { ls_modules = List.length summaries; ls_from_cache = from_cache;
+      ls_extracted = List.length results - from_cache; ls_stale = !stale }
+  in
+  (summaries, stats)

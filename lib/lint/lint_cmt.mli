@@ -1,0 +1,103 @@
+(** Typed-pass front-end: turn the [.cmt] Typedtree artifacts under
+    [_build/default] into serializable per-module summaries that the
+    call-graph and typed rules consume.  Summaries are pure functions of
+    the cmt bytes, which makes them content-addressed-cacheable. *)
+
+(** Marshal-friendly skeleton of a [Types.type_expr]: enough shape to
+    answer float-carrying / arrow-carrying / mutable-carrying questions
+    once the cross-module declaration table exists. *)
+type ty =
+  | Float
+  | Arrow
+  | Var
+  | Opaque
+  | Constr of string * ty list
+  | Tuple of ty list
+
+type use = { u_name : string; u_line : int; u_col : int }
+
+type effect_kind = Nondet | Unordered | Io
+
+type base_effect = { e_kind : effect_kind; e_culprit : string; e_line : int; e_col : int }
+
+type fn_summary = {
+  fn_name : string;
+  fn_line : int;
+  fn_col : int;
+  fn_calls : string list;
+  fn_uses : use list;
+  fn_effects : base_effect list;
+  fn_locks : bool;
+}
+
+type par_site = {
+  p_entry : string;
+  p_host : string;
+  p_line : int;
+  p_col : int;
+  p_calls : string list;
+  p_uses : use list;
+  p_locks : bool;
+  p_host_fallback : bool;
+}
+
+type type_summary = { td_name : string; td_components : ty list; td_mutable : bool }
+
+type global_summary = { gl_name : string; gl_line : int; gl_col : int; gl_ty : ty }
+
+type poly_site = { ps_op : string; ps_ty : ty; ps_line : int; ps_col : int }
+
+type summary = {
+  sm_module : string;
+  sm_source : string;
+  sm_source_digest : string;
+  sm_types : type_summary list;
+  sm_globals : global_summary list;
+  sm_fns : fn_summary list;
+  sm_par_sites : par_site list;
+  sm_poly : poly_site list;
+}
+
+val effect_kind_name : effect_kind -> string
+(** "nondet" / "unordered-iter" / "console-io". *)
+
+val effect_shadow_rule : effect_kind -> string
+(** The syntactic rule id whose inline pragma also sanctions this effect
+    kind at a given line ("determinism", "order-stability", or a
+    never-matching id for Io, which has no syntactic twin at line level). *)
+
+val par_entries : string list
+(** Qualified pool entry points whose task argument runs on worker domains. *)
+
+val discover : root:string -> string list
+(** All [.cmt] files under [root/_build/default/{bench,bin,lib,test}],
+    sorted. *)
+
+type cache
+
+val load_cache : string -> cache
+(** Load the marshalled digest→summary cache; missing or corrupt files
+    yield an empty cache. *)
+
+val save_cache : string -> cache -> unit
+(** Atomically persist the cache (tmp + rename); IO errors are ignored. *)
+
+type load_stats = {
+  ls_modules : int;
+  ls_from_cache : int;
+  ls_extracted : int;
+  ls_stale : int;
+}
+
+val load_summaries :
+  root:string ->
+  cache:cache ->
+  map_f:((string -> string * summary option * bool) -> string list -> (string * summary option * bool) list) ->
+  unit ->
+  summary list * load_stats
+(** Load every module summary for [root]. [cache] is consulted by cmt
+    digest and rewritten in place to exactly the current digest set.
+    [map_f] is the fan-out hook (the engine passes a pool-backed parallel
+    map; [fun f xs -> List.map f xs] is the serial path). Summaries come
+    back sorted by source path with stale ones (cmt older than the
+    current source) dropped and counted. *)

@@ -50,6 +50,145 @@ let run ?rules ?(jobs = 1) ~root () =
     let per_file = Par.with_pool ~jobs (fun pool -> Par.parallel_map pool ~f:lint_file files) in
     Ok (List.concat per_file |> Lint_allowlist.filter allow |> List.sort_uniq Lint_finding.compare)
 
+(* ------------------------------------------------------------ typed pass --- *)
+
+type typed_stats = {
+  tp_modules : int;
+  tp_from_cache : int;
+  tp_extracted : int;
+  tp_stale : int;
+}
+
+let default_cache_file ~root = Filename.concat root "_build/.lint_cache"
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ -> None
+
+let run_typed ?(jobs = 1) ?cache_file ~root () =
+  match Lint_allowlist.load (Filename.concat root "lint.allowlist") with
+  | Error msg -> Error ("lint.allowlist: " ^ msg)
+  | Ok allow ->
+    let cache_path = match cache_file with Some p -> p | None -> default_cache_file ~root in
+    let cache = Lint_cmt.load_cache cache_path in
+    let map_f f xs = Par.with_pool ~jobs (fun pool -> Par.parallel_map pool ~f xs) in
+    let summaries, ls = Lint_cmt.load_summaries ~root ~cache ~map_f () in
+    Lint_cmt.save_cache cache_path cache;
+    if summaries = [] then
+      Error "typed pass: no usable .cmt artifacts under _build/default (run `dune build @check`)"
+    else
+      let allows_of rel =
+        match read_file (Filename.concat root rel) with
+        | Some text -> Lint_source.scan_allows text
+        | None -> []
+      in
+      let pg = Lint_callgraph.build ~allows_of summaries in
+      let findings =
+        Lint_typed_rules.check pg
+        |> List.filter (fun (f : Lint_finding.t) ->
+             not
+               (Lint_callgraph.allows_at pg ~file:f.Lint_finding.file ~line:f.Lint_finding.line
+                  ~rule:f.Lint_finding.rule))
+        |> Lint_allowlist.filter allow
+        |> List.sort_uniq Lint_finding.compare
+      in
+      let stats =
+        { tp_modules = ls.Lint_cmt.ls_modules; tp_from_cache = ls.Lint_cmt.ls_from_cache;
+          tp_extracted = ls.Lint_cmt.ls_extracted; tp_stale = ls.Lint_cmt.ls_stale }
+      in
+      Ok (findings, pg, stats)
+
+(* ------------------------------------------------------------ debt report --- *)
+
+type debt = {
+  db_pragmas : (string * int * string) list;  (** (file, line, rule), sorted *)
+  db_allowlist : Lint_allowlist.entry list;
+}
+
+let debt ~root () =
+  match Lint_allowlist.load (Filename.concat root "lint.allowlist") with
+  | Error msg -> Error ("lint.allowlist: " ^ msg)
+  | Ok entries ->
+    let pragmas =
+      List.concat_map
+        (fun rel ->
+          match read_file (Filename.concat root rel) with
+          | None -> []
+          | Some text -> List.map (fun (line, rule) -> (rel, line, rule)) (Lint_source.scan_allows text))
+        (discover ~root)
+      |> List.sort compare
+    in
+    Ok { db_pragmas = pragmas; db_allowlist = entries }
+
+let debt_by_rule d =
+  let bump rule m =
+    let prev = match List.assoc_opt rule m with Some n -> n | None -> 0 in
+    (rule, prev + 1) :: List.remove_assoc rule m
+  in
+  let m = List.fold_left (fun m (_, _, rule) -> bump rule m) [] d.db_pragmas in
+  let m =
+    List.fold_left (fun m (e : Lint_allowlist.entry) -> bump e.Lint_allowlist.rule m) m d.db_allowlist
+  in
+  List.sort compare m
+
+let render_debt_text d =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "suppression debt\n";
+  Buffer.add_string b
+    (Printf.sprintf "  inline pragmas: %d\n  allowlist entries: %d\n" (List.length d.db_pragmas)
+       (List.length d.db_allowlist));
+  if debt_by_rule d <> [] then begin
+    Buffer.add_string b "  by rule:\n";
+    List.iter
+      (fun (rule, n) -> Buffer.add_string b (Printf.sprintf "    %-16s %d\n" rule n))
+      (debt_by_rule d)
+  end;
+  List.iter
+    (fun (file, line, rule) -> Buffer.add_string b (Printf.sprintf "  pragma %s:%d [%s]\n" file line rule))
+    d.db_pragmas;
+  List.iter
+    (fun (e : Lint_allowlist.entry) ->
+      Buffer.add_string b
+        (Printf.sprintf "  allowlist %s [%s]\n" e.Lint_allowlist.file e.Lint_allowlist.rule))
+    d.db_allowlist;
+  Buffer.contents b
+
+let render_debt_json d =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"pragmas\":[";
+  List.iteri
+    (fun i (file, line, rule) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n  {\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\"}"
+           (Lint_finding.json_escape file) line (Lint_finding.json_escape rule)))
+    d.db_pragmas;
+  if d.db_pragmas <> [] then Buffer.add_char b '\n';
+  Buffer.add_string b "],\"allowlist\":[";
+  List.iteri
+    (fun i (e : Lint_allowlist.entry) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n  {\"file\":\"%s\",\"rule\":\"%s\"}"
+           (Lint_finding.json_escape e.Lint_allowlist.file)
+           (Lint_finding.json_escape e.Lint_allowlist.rule)))
+    d.db_allowlist;
+  if d.db_allowlist <> [] then Buffer.add_char b '\n';
+  Buffer.add_string b "],\"by_rule\":{";
+  List.iteri
+    (fun i (rule, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (Lint_finding.json_escape rule) n))
+    (debt_by_rule d);
+  Buffer.add_string b
+    (Printf.sprintf "},\"pragma_count\":%d,\"allowlist_count\":%d}\n" (List.length d.db_pragmas)
+       (List.length d.db_allowlist));
+  Buffer.contents b
+
 let render_text findings =
   let b = Buffer.create 1024 in
   List.iter

@@ -28,6 +28,44 @@ val run :
     [Error] only for a malformed allowlist; findings (including parse
     failures) are data, not errors. *)
 
+(** {1 Typed interprocedural pass} *)
+
+type typed_stats = {
+  tp_modules : int;  (** module summaries that entered the analysis *)
+  tp_from_cache : int;  (** served by cmt-digest lookup, never reopened *)
+  tp_extracted : int;  (** cmts parsed and summarised this run *)
+  tp_stale : int;  (** skipped: cmt older than the current source *)
+}
+
+val default_cache_file : root:string -> string
+(** [root/_build/.lint_cache] — the content-addressed summary cache. *)
+
+val run_typed :
+  ?jobs:int ->
+  ?cache_file:string ->
+  root:string ->
+  unit ->
+  (Lint_finding.t list * Lint_callgraph.program * typed_stats, string) result
+(** Run the typed rules (domain-race, poly-compare, effect-purity) over the
+    [.cmt] artifacts under [root/_build/default].  Same determinism
+    contract as {!run}: findings are pragma- and allowlist-filtered and
+    sorted, byte-identical for every [jobs] count.  The returned program
+    feeds {!Lint_typed_rules.effects_json}.  [Error] for a malformed
+    allowlist or when no usable cmt exists (build [@check] first). *)
+
+(** {1 Suppression-debt report} *)
+
+type debt = {
+  db_pragmas : (string * int * string) list;  (** (file, line, rule), sorted *)
+  db_allowlist : Lint_allowlist.entry list;
+}
+
+val debt : root:string -> unit -> (debt, string) result
+(** Census of every inline pragma and allowlist entry under [root]. *)
+
+val render_debt_text : debt -> string
+val render_debt_json : debt -> string
+
 val render_text : Lint_finding.t list -> string
 (** One line per finding plus a trailing summary line. *)
 

@@ -1,0 +1,246 @@
+(* The three semantic rule families that run on the typed call graph:
+
+   - domain-race: module-level mutable state reachable from closures handed
+     to the lib/par pool without Atomic/Mutex protection;
+   - poly-compare: polymorphic =/compare/Hashtbl.hash/List.mem instantiated
+     at types carrying floats or arrows;
+   - effect-purity: transitive nondeterminism / unordered-iteration /
+     console-IO effects surfacing at scheduling-core entry points.
+
+   Pure summary → finding producers; the engine owns pragma/allowlist
+   filtering and sorting. *)
+
+module Smap = Lint_callgraph.Smap
+
+let names = [ "domain-race"; "effect-purity"; "poly-compare" ]
+
+let docs =
+  [ ("domain-race",
+     "mutable module state reachable from lib/par task closures without Atomic/Mutex protection");
+    ("effect-purity",
+     "scheduling-core functions transitively reaching nondeterminism, unordered iteration or console IO");
+    ("poly-compare",
+     "polymorphic =/compare/hash/mem instantiated at types containing float or functions") ]
+
+(* ------------------------------------------------------------- rendering --- *)
+
+let rec ty_to_string (ty : Lint_cmt.ty) =
+  match ty with
+  | Lint_cmt.Float -> "float"
+  | Lint_cmt.Arrow -> "_ -> _"
+  | Lint_cmt.Var | Lint_cmt.Opaque -> "_"
+  | Lint_cmt.Tuple ts -> "(" ^ String.concat " * " (List.map ty_arg_string ts) ^ ")"
+  | Lint_cmt.Constr (n, []) -> n
+  | Lint_cmt.Constr (n, [ a ]) -> ty_arg_string a ^ " " ^ n
+  | Lint_cmt.Constr (n, args) ->
+    "(" ^ String.concat ", " (List.map ty_to_string args) ^ ") " ^ n
+
+and ty_arg_string ty =
+  match ty with
+  | Lint_cmt.Arrow | Lint_cmt.Tuple _ -> "(" ^ ty_to_string ty ^ ")"
+  | _ -> ty_to_string ty
+
+(* ------------------------------------------------------------ domain-race --- *)
+
+let check_races pg =
+  let muts = Lint_callgraph.mutable_globals pg in
+  List.concat_map
+    (fun (s : Lint_cmt.summary) ->
+      List.concat_map
+        (fun (p : Lint_cmt.par_site) ->
+          let start_uses, start_calls, start_locked =
+            if p.Lint_cmt.p_host_fallback then
+              (* the task was a let-bound local closure: its body is part of
+                 the host function's summary *)
+              match Smap.find_opt p.Lint_cmt.p_host pg.Lint_callgraph.pg_fns with
+              | Some ((f : Lint_cmt.fn_summary), _) ->
+                (f.Lint_cmt.fn_uses, f.Lint_cmt.fn_calls, f.Lint_cmt.fn_locks)
+              | None -> (p.Lint_cmt.p_uses, p.Lint_cmt.p_calls, p.Lint_cmt.p_locks)
+            else (p.Lint_cmt.p_uses, p.Lint_cmt.p_calls, p.Lint_cmt.p_locks)
+          in
+          let hits =
+            Lint_callgraph.reach_mutables pg ~muts ~start_file:s.Lint_cmt.sm_source ~start_uses
+              ~start_calls ~start_locked
+          in
+          List.map
+            (fun (h : Lint_callgraph.race_hit) ->
+              let via =
+                match h.Lint_callgraph.rh_via with
+                | [] -> ""
+                | chain -> " via " ^ String.concat " -> " chain
+              in
+              Lint_finding.v ~rule:"domain-race" ~file:s.Lint_cmt.sm_source
+                ~line:p.Lint_cmt.p_line ~col:p.Lint_cmt.p_col
+                ~hint:
+                  "protect it with Atomic/Mutex, pass state through the task argument, or add (* \
+                   lint: allow domain-race -- reason *)"
+                (Printf.sprintf
+                   "closure passed to %s reaches module-level mutable state %s (%s)%s without \
+                    Atomic/Mutex protection"
+                   p.Lint_cmt.p_entry h.Lint_callgraph.rh_global h.Lint_callgraph.rh_desc via))
+            hits)
+        s.Lint_cmt.sm_par_sites)
+    pg.Lint_callgraph.pg_summaries
+
+(* ----------------------------------------------------------- poly-compare --- *)
+
+(* lib/util/fp.ml is the sanctioned float-comparison module: its whole
+   point is to centralise the raw comparisons everyone else must avoid. *)
+let poly_exempt file = file = "lib/util/fp.ml"
+
+(* The float arm is skipped under test/: the suite's structural-equality
+   asserts are bit-identity checks by design (jobs parity, golden replay),
+   and a tolerance there would *weaken* them.  The arrow arm still applies
+   everywhere — comparing closures raises at runtime in tests too. *)
+let float_exempt file = String.starts_with ~prefix:"test/" file
+
+let check_poly pg =
+  List.concat_map
+    (fun (s : Lint_cmt.summary) ->
+      if poly_exempt s.Lint_cmt.sm_source then []
+      else
+        List.filter_map
+          (fun (p : Lint_cmt.poly_site) ->
+            match Lint_callgraph.float_or_arrow pg p.Lint_cmt.ps_ty with
+            | Lint_callgraph.Clean -> None
+            | Lint_callgraph.Hit_float when float_exempt s.Lint_cmt.sm_source -> None
+            | Lint_callgraph.Hit_float ->
+              Some
+                (Lint_finding.v ~rule:"poly-compare" ~file:s.Lint_cmt.sm_source
+                   ~line:p.Lint_cmt.ps_line ~col:p.Lint_cmt.ps_col
+                   ~hint:
+                     "compare floats through Fp (or a type-specific compare) so NaN/ulp behaviour \
+                      is explicit, or add (* lint: allow poly-compare -- reason *)"
+                   (Printf.sprintf "polymorphic %s instantiated at %s, which contains float"
+                      p.Lint_cmt.ps_op
+                      (ty_to_string p.Lint_cmt.ps_ty)))
+            | Lint_callgraph.Hit_arrow ->
+              Some
+                (Lint_finding.v ~rule:"poly-compare" ~file:s.Lint_cmt.sm_source
+                   ~line:p.Lint_cmt.ps_line ~col:p.Lint_cmt.ps_col
+                   ~hint:
+                     "structural comparison raises on functions at runtime; compare on a key \
+                      projection instead, or add (* lint: allow poly-compare -- reason *)"
+                   (Printf.sprintf "polymorphic %s instantiated at %s, which contains a function"
+                      p.Lint_cmt.ps_op
+                      (ty_to_string p.Lint_cmt.ps_ty))))
+          s.Lint_cmt.sm_poly)
+    pg.Lint_callgraph.pg_summaries
+
+(* ---------------------------------------------------------- effect-purity --- *)
+
+(* The determinism-critical core: list scheduling and the event simulator.
+   Effects are reported only where they *enter* the core — a direct culprit
+   or a call out to a non-core effectful function — so one leak produces
+   one finding instead of condemning every transitive caller. *)
+let core_file file =
+  String.starts_with ~prefix:"lib/core/" file || String.starts_with ~prefix:"lib/sim/" file
+
+let effect_enters pg ef name kind =
+  let direct =
+    match Smap.find_opt name ef.Lint_callgraph.ef_direct with
+    | Some es -> List.exists (fun (e : Lint_cmt.base_effect) -> e.Lint_cmt.e_kind = kind) es
+    | None -> false
+  in
+  direct
+  ||
+  match Smap.find_opt name pg.Lint_callgraph.pg_fns with
+  | None -> false
+  | Some ((f : Lint_cmt.fn_summary), _) ->
+    List.exists
+      (fun callee ->
+        match Smap.find_opt callee pg.Lint_callgraph.pg_fns with
+        | Some (_, callee_file) ->
+          (not (core_file callee_file))
+          && Lint_callgraph.Kset.mem kind (Lint_callgraph.fn_kinds ef callee)
+        | None -> false)
+      f.Lint_cmt.fn_calls
+
+let effect_finding pg ef name (f : Lint_cmt.fn_summary) file kind =
+  let chain, culprit = Lint_callgraph.effect_chain pg ef name kind in
+  let culprit_s =
+    match culprit with Some (e : Lint_cmt.base_effect) -> " -> " ^ e.Lint_cmt.e_culprit | None -> ""
+  in
+  Lint_finding.v ~rule:"effect-purity" ~file ~line:f.Lint_cmt.fn_line ~col:f.Lint_cmt.fn_col
+    ~hint:
+      "keep the scheduling core pure: thread Rng/time/output through parameters, or add (* lint: \
+       allow effect-purity -- reason *)"
+    (Printf.sprintf "core function %s reaches %s effect: %s%s" name
+       (Lint_cmt.effect_kind_name kind)
+       (String.concat " -> " chain)
+       culprit_s)
+
+let check_effects pg =
+  let ef = Lint_callgraph.effects pg in
+  Smap.fold
+    (fun name ((f : Lint_cmt.fn_summary), file) acc ->
+      if not (core_file file) then acc
+      else
+        Lint_callgraph.Kset.fold
+          (fun kind acc ->
+            if effect_enters pg ef name kind then effect_finding pg ef name f file kind :: acc
+            else acc)
+          (Lint_callgraph.fn_kinds ef name) acc)
+    pg.Lint_callgraph.pg_fns []
+
+(* ----------------------------------------------------------- entry points --- *)
+
+let check pg = check_races pg @ check_poly pg @ check_effects pg
+
+(* Per-function inferred-effect summary as JSON: effectful functions with
+   their witness chains, plus counts.  Sorted by function name. *)
+let effects_json pg =
+  let ef = Lint_callgraph.effects pg in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"functions\":[";
+  let total = ref 0 in
+  let effectful = ref 0 in
+  Smap.iter
+    (fun name ((_ : Lint_cmt.fn_summary), file) ->
+      incr total;
+      let kinds = Lint_callgraph.fn_kinds ef name in
+      if not (Lint_callgraph.Kset.is_empty kinds) then begin
+        if !effectful > 0 then Buffer.add_char b ',';
+        incr effectful;
+        let fn_pos =
+          match Smap.find_opt name pg.Lint_callgraph.pg_fns with
+          | Some (f, _) -> f.Lint_cmt.fn_line
+          | None -> 0
+        in
+        Buffer.add_string b
+          (Printf.sprintf "\n  {\"fn\":\"%s\",\"file\":\"%s\",\"line\":%d,\"effects\":["
+             (Lint_finding.json_escape name)
+             (Lint_finding.json_escape file)
+             fn_pos);
+        let first = ref true in
+        Lint_callgraph.Kset.iter
+          (fun k ->
+            if not !first then Buffer.add_char b ',';
+            first := false;
+            Buffer.add_string b (Printf.sprintf "\"%s\"" (Lint_cmt.effect_kind_name k)))
+          kinds;
+        Buffer.add_string b "],\"witness\":{";
+        let first = ref true in
+        Lint_callgraph.Kset.iter
+          (fun k ->
+            if not !first then Buffer.add_char b ',';
+            first := false;
+            let chain, culprit = Lint_callgraph.effect_chain pg ef name k in
+            let chain =
+              match culprit with
+              | Some (e : Lint_cmt.base_effect) -> chain @ [ e.Lint_cmt.e_culprit ]
+              | None -> chain
+            in
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":\"%s\""
+                 (Lint_cmt.effect_kind_name k)
+                 (Lint_finding.json_escape (String.concat " -> " chain))))
+          kinds;
+        Buffer.add_string b "}}"
+      end)
+    pg.Lint_callgraph.pg_fns;
+  if !effectful > 0 then Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "],\"effectful\":%d,\"pure\":%d,\"total\":%d}\n" !effectful
+       (!total - !effectful) !total);
+  Buffer.contents b

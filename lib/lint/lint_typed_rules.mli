@@ -1,0 +1,24 @@
+(** The semantic rule families that run on the typed call graph:
+    domain-race, poly-compare and effect-purity.  Pure producers — the
+    engine owns pragma/allowlist filtering and sorting. *)
+
+val names : string list
+(** Typed rule ids, sorted. *)
+
+val docs : (string * string) list
+(** (rule id, one-line description), for CLI help and the debt report. *)
+
+val ty_to_string : Lint_cmt.ty -> string
+(** Render a type skeleton roughly as OCaml syntax ("float list",
+    "(int, Mod.t) Hashtbl.t"). *)
+
+val check : Lint_callgraph.program -> Lint_finding.t list
+(** All findings from the three typed rules, unfiltered and unsorted. *)
+
+val check_races : Lint_callgraph.program -> Lint_finding.t list
+val check_poly : Lint_callgraph.program -> Lint_finding.t list
+val check_effects : Lint_callgraph.program -> Lint_finding.t list
+
+val effects_json : Lint_callgraph.program -> string
+(** Per-function inferred-effect summary: effectful functions with witness
+    chains plus effectful/pure/total counts, sorted by function name. *)

@@ -20,10 +20,10 @@ let priority_list ?rng problem =
   let order = Array.init n Fun.id in
   Array.sort
     (fun a b ->
-      let c = compare ranks.(b) ranks.(a) in
+      let c = Float.compare ranks.(b) ranks.(a) in
       if c <> 0 then c
       else begin
-        let c = compare jitter.(a) jitter.(b) in
+        let c = Float.compare jitter.(a) jitter.(b) in
         if c <> 0 then c else compare a b
       end)
     order;
@@ -84,7 +84,7 @@ let estimate st i pool =
     | Some t_task ->
       (* Per-edge just-in-time windows, sorted by decreasing transfer time. *)
       let sorted =
-        List.sort (fun (a : Dag.edge) (b : Dag.edge) -> compare b.Dag.comm a.Dag.comm) cross
+        List.sort (fun (a : Dag.edge) (b : Dag.edge) -> Float.compare b.Dag.comm a.Dag.comm) cross
       in
       let rec prefixes acc lb = function
         | [] -> Some lb
@@ -104,13 +104,13 @@ let estimate st i pool =
               let arrival =
                 if st.pool_of.(j) = pool then st.aft.(j) else st.aft.(j) +. e.Dag.comm
               in
-              max acc arrival)
+              Float.max acc arrival)
             0. (Dag.pred g i)
         in
         let resource =
-          List.fold_left (fun acc p -> min acc st.avail.(p)) infinity (Mplatform.procs_of st.platform pool)
+          List.fold_left (fun acc p -> Float.min acc st.avail.(p)) infinity (Mplatform.procs_of st.platform pool)
         in
-        let est = max (max t_task comm_lb) (max precedence resource) in
+        let est = Float.max (Float.max t_task comm_lb) (Float.max precedence resource) in
         Some { task = i; pool; est; eft = est +. Mproblem.duration st.problem i pool })
   end
 
@@ -150,7 +150,7 @@ let commit st e =
     | Some p -> p
     | None -> invalid_arg "Mheuristics.commit: stale estimate"
   in
-  st.avail.(proc) <- max st.avail.(proc) eft;
+  st.avail.(proc) <- Float.max st.avail.(proc) eft;
   st.sched.Mschedule.starts.(i) <- start;
   st.sched.Mschedule.procs.(i) <- proc;
   let free = st.free.(pool) in

@@ -6,7 +6,9 @@ type pool = {
 type t = { pools : pool array }
 
 let make pools =
-  if pools = [] then invalid_arg "Mplatform.make: at least one pool required";
+  (match pools with
+  | [] -> invalid_arg "Mplatform.make: at least one pool required"
+  | _ :: _ -> ());
   List.iter
     (fun p ->
       if p.procs <= 0 then invalid_arg "Mplatform.make: processor counts must be positive";

@@ -25,7 +25,7 @@ let of_dual graph =
 
 let n_pools t = if Array.length t.durations = 0 then 1 else Array.length t.durations.(0)
 let duration t task pool = t.durations.(task).(pool)
-let w_min t task = Array.fold_left min infinity t.durations.(task)
+let w_min t task = Array.fold_left Float.min infinity t.durations.(task)
 
 let mean_duration t task =
   let row = t.durations.(task) in

@@ -18,7 +18,7 @@ let finish problem platform s i = s.starts.(i) +. duration problem platform s i
 let makespan problem platform s =
   let m = ref 0. in
   for i = 0 to Array.length s.starts - 1 do
-    m := max !m (finish problem platform s i)
+    m := Float.max !m (finish problem platform s i)
   done;
   !m
 
@@ -51,7 +51,19 @@ let usage_trace problem platform s =
         | None -> invalid_arg "Mschedule: cut edge without transfer"
       end)
     (Dag.edges g);
-  let events = List.sort compare !events in
+  let events =
+    List.sort
+      (fun (t1, a1, b1, d1) (t2, a2, b2, d2) ->
+        let c = Float.compare t1 t2 in
+        if c <> 0 then c
+        else
+          let c = Int.compare a1 a2 in
+          if c <> 0 then c
+          else
+            let c = Int.compare b1 b2 in
+            if c <> 0 then c else Float.compare d1 d2)
+      !events
+  in
   let usage = Array.make k 0. in
   let peaks = Array.make k 0. in
   let min_usage = Array.make k 0. in
@@ -100,7 +112,9 @@ let validate ?(eps = 1e-6) problem platform s =
       let sorted =
         List.sort
           (fun a b ->
-            compare (s.starts.(a), finish problem platform s a) (s.starts.(b), finish problem platform s b))
+            let c = Float.compare s.starts.(a) s.starts.(b) in
+            if c <> 0 then c
+            else Float.compare (finish problem platform s a) (finish problem platform s b))
           !tasks
       in
       let rec check = function

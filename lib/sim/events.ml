@@ -40,7 +40,7 @@ let memory_trace g platform s =
   let cur_blue = ref 0. and cur_red = ref 0. in
   let flush_step t =
     match !times with
-    | last :: _ when last = t ->
+    | last :: _ when Float.equal last t ->
       (* overwrite the step we just opened at the same instant *)
       blue := !cur_blue :: List.tl !blue;
       red := !cur_red :: List.tl !red
@@ -76,7 +76,7 @@ let usage_at trace mem t =
 
 let peak trace mem =
   let a = match mem with Platform.Blue -> trace.blue | Platform.Red -> trace.red in
-  Array.fold_left max 0. a
+  Array.fold_left Float.max 0. a
 
 let peaks g platform s =
   let trace = memory_trace g platform s in

@@ -31,7 +31,7 @@ let time_average trace usage horizon =
       (fun k u ->
         let t0 = times.(k) in
         let t1 = if k + 1 < Array.length times then times.(k + 1) else horizon in
-        let t1 = min t1 horizon in
+        let t1 = Float.min t1 horizon in
         if t1 > t0 then acc := !acc +. (u *. (t1 -. t0)))
       usage;
     !acc /. horizon

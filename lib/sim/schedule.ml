@@ -32,7 +32,7 @@ let makespan g platform s =
   let n = Dag.n_tasks g in
   let m = ref 0. in
   for i = 0 to n - 1 do
-    m := max !m (finish g platform s i)
+    m := Float.max !m (finish g platform s i)
   done;
   !m
 
@@ -44,7 +44,9 @@ let tasks_of_proc g platform s p =
   (* Sort by (start, finish) so that a zero-duration task sharing its start
      instant with a longer task is ordered first (it legally precedes it). *)
   List.sort
-    (fun a b -> compare (s.starts.(a), finish g platform s a) (s.starts.(b), finish g platform s b))
+    (fun a b ->
+      let c = Float.compare s.starts.(a) s.starts.(b) in
+      if c <> 0 then c else Float.compare (finish g platform s a) (finish g platform s b))
     !on_p
 
 let pp g platform ppf s =

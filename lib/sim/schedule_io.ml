@@ -1,7 +1,9 @@
 let to_string (s : Schedule.t) =
   let buf = Buffer.create 1024 in
   let n_comms =
-    Array.fold_left (fun acc c -> if c = None then acc else acc + 1) 0 s.Schedule.comm_starts
+    Array.fold_left
+      (fun acc c -> match c with None -> acc | Some _ -> acc + 1)
+      0 s.Schedule.comm_starts
   in
   Buffer.add_string buf
     (Printf.sprintf "schedule %d %d\n" (Array.length s.Schedule.starts) n_comms);

@@ -302,7 +302,7 @@ let earliest_suffix_ge s ~level ~from =
         let r = (2 * !k) + 1 in
         k := (if s.tree.(r) +. eps < level then r else 2 * !k)
       done;
-      Some (max from s.xs.(!k - s.tsize + 1))
+      Some (Float.max from s.xs.(!k - s.tsize + 1))
     end
   end
 
@@ -323,7 +323,7 @@ let earliest_suffix_ge_scan s ~level ~from =
   else begin
     let answer = ref from in
     for j = 0 to s.len - 2 do
-      if s.vs.(j) +. eps < level then answer := max !answer s.xs.(j + 1)
+      if s.vs.(j) +. eps < level then answer := Float.max !answer s.xs.(j + 1)
     done;
     Some !answer
   end

@@ -19,11 +19,11 @@ let stdev xs =
 
 let minimum = function
   | [] -> nan
-  | x :: xs -> List.fold_left min x xs
+  | x :: xs -> List.fold_left Float.min x xs
 
 let maximum = function
   | [] -> nan
-  | x :: xs -> List.fold_left max x xs
+  | x :: xs -> List.fold_left Float.max x xs
 
 let quantile q xs =
   if q < 0. || q > 1. then invalid_arg "Stats.quantile: q out of [0,1]";
@@ -31,7 +31,7 @@ let quantile q xs =
   | [] -> nan
   | xs ->
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     let pos = q *. float_of_int (n - 1) in
     let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in

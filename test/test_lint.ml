@@ -1,8 +1,11 @@
 (* Tests for lib/lint: per-rule firing fixtures (one minimal bad snippet per
    rule, asserting the exact file:line:col), the path carve-outs, inline
    pragma suppression (including its single-rule scoping), the allowlist,
-   and the engine end-to-end on a planted-violation temp tree — plus the
-   repo self-clean gate that makes any new lint finding fail tier-1. *)
+   the engine end-to-end on a planted-violation temp tree, and the typed
+   interprocedural pass on an ocamlc-compiled cmt fixture tree (cross-module
+   race, float/arrow poly-compare, effect propagation, cache cold/warm and
+   --jobs byte-identity) — plus the repo self-clean gate that makes any new
+   lint finding fail tier-1. *)
 
 open Helpers
 
@@ -40,9 +43,9 @@ let test_registry_covered () =
     (List.length firing_fixtures);
   List.iter
     (fun (rule, _, _, _, _) ->
-      check_bool (rule ^ " is a registered rule id") true (Lint_rules.find rule <> None))
+      check_bool (rule ^ " is a registered rule id") true (Option.is_some (Lint_rules.find rule)))
     firing_fixtures;
-  check_bool "unknown rule id is rejected" true (Lint_rules.find "no-such-rule" = None)
+  check_bool "unknown rule id is rejected" true (Option.is_none (Lint_rules.find "no-such-rule"))
 
 let test_rules_fire () =
   List.iter
@@ -114,14 +117,14 @@ let test_negatives () =
   clean "Hashtbl lookups do not depend on bucket order" "let g h k = Hashtbl.find_opt h k\n";
   clean "Printf.sprintf returns data" "let s x = Printf.sprintf \"%d\" x\n"
 
-(* Known gap, documented on purpose: the float-discipline rule is syntactic
-   (untyped parsetree), so [compare a.eft b.eft] on record fields of type
-   [float] is invisible to it — the field's type lives in another file.  It
-   still compares floats polymorphically (nan-unsafe, allocates) exactly like
-   the flagged [a = 1.0] form.  This fixture pins the current behaviour so
-   that closing the gap (e.g. by typing the tree) shows up as a deliberate
-   test change, and so readers of exact.ml know why those sites needed manual
-   review rather than lint coverage. *)
+(* Division of labour, pinned on purpose: the float-discipline rule is
+   syntactic (untyped parsetree), so [compare a.eft b.eft] on record fields
+   of type [float] is invisible to it — the field's type lives in another
+   file.  The typed poly-compare rule closes exactly this gap on the
+   Typedtree (see test_typed_planted_tree: Pt.t's float fields are declared
+   in another module and still flagged).  This fixture keeps the syntactic
+   rule honest about its reach so the two passes' responsibilities stay
+   visible. *)
 let test_float_field_compare_gap () =
   let src = "type n = { eft : float }\nlet cmp a b = compare a.eft b.eft\n" in
   check_int "record-float-field compare is NOT flagged (documented gap)" 0
@@ -258,6 +261,169 @@ let test_engine_planted_tree () =
   Sys.rmdir (Filename.concat root "lib");
   Sys.rmdir root
 
+(* ----------------------------------------------- typed interprocedural --- *)
+
+(* Fixture repos for the typed pass: a source tree mirrored under
+   _build/default and compiled with `ocamlc -bin-annot -c` from there, so
+   every cmt carries a repo-relative [cmt_sourcefile] and the source digest
+   of the mirrored file — exactly the artifact layout [Lint_cmt.discover]
+   expects.  The Par stub gives the fixtures real pool entry points without
+   linking lib/par. *)
+
+let typed_sources =
+  [ ( "lib/par/par.ml",
+      "type t = unit\n\
+       let parallel_map ?(chunk = 1) (_ : t) ~f xs =\n\
+      \  ignore chunk;\n\
+      \  List.map f xs\n\n\
+       let submit (_ : t) f = f ()\n" );
+    (* cross-module race target: a bare ref behind a helper *)
+    ("lib/sim/state.ml", "let total = ref 0\nlet bump x = total := !total + x\n");
+    (* cross-module float carrier for poly-compare *)
+    ("lib/sim/pt.ml", "type t = { x : float; y : float }\nlet origin = { x = 0.; y = 0. }\n");
+    (* non-core nondeterminism source for effect-purity *)
+    ("lib/util/helper.ml", "let jitter () = Random.float 1.0\n");
+    (* the planted cross-module race: the closure reaches State.total via
+       State.bump; the second site is pragma-sanctioned *)
+    ( "lib/core/driver.ml",
+      "let run pool xs = Par.parallel_map pool ~f:(fun x -> State.bump x) xs\n\
+       (* lint: allow domain-race -- audited fixture *)\n\
+       let run_ok pool xs = Par.parallel_map pool ~f:(fun x -> State.bump x) xs\n" );
+    (* the planted float compare: Pt.t's float fields live in another file *)
+    ("lib/core/use.ml", "let same (a : Pt.t) b = compare a b = 0\n");
+    (* effects entering the core, one sanctioned by pragma *)
+    ( "lib/core/sched.ml",
+      "let plan xs = List.map (fun x -> x +. Helper.jitter ()) xs\n\
+       (* lint: allow effect-purity -- audited fixture *)\n\
+       let plan_ok xs = List.map (fun x -> x +. Helper.jitter ()) xs\n" );
+    (* carve-out pins: test/ is exempt from the float arm only *)
+    ("test/t_float.ml", "let eqf (a : float) b = compare a b = 0\n");
+    ("test/t_arrow.ml", "let bad (f : int -> int) g = compare f g\n") ]
+
+let rec ensure_dir d =
+  if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    Sys.mkdir d 0o755
+  end
+
+(* Write + compile the fixture tree; returns the repo root. *)
+let typed_fixture_root () =
+  let root = Filename.temp_dir "memsched_typed" "" in
+  let build = Filename.concat root "_build/default" in
+  List.iter
+    (fun (rel, src) ->
+      List.iter
+        (fun base ->
+          let path = Filename.concat base rel in
+          ensure_dir (Filename.dirname path);
+          write_file path src)
+        [ root; build ])
+    typed_sources;
+  let incs =
+    List.sort_uniq String.compare (List.map (fun (rel, _) -> Filename.dirname rel) typed_sources)
+    |> List.map (fun d -> "-I " ^ Filename.quote d)
+    |> String.concat " "
+  in
+  List.iter
+    (fun (rel, _) ->
+      let cmd =
+        Printf.sprintf "cd %s && ocamlc -bin-annot -c %s %s > /dev/null 2>&1"
+          (Filename.quote build) incs (Filename.quote rel)
+      in
+      if Sys.command cmd <> 0 then Alcotest.failf "fixture compile failed: %s" rel)
+    typed_sources;
+  root
+
+let run_typed_exn ?jobs ?cache_file root =
+  match Lint_engine.run_typed ?jobs ?cache_file ~root () with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "typed engine error: %s" e
+
+let finding_keys fs =
+  String.concat ","
+    (List.map
+       (fun f -> Printf.sprintf "%s:%d:%s" f.Lint_finding.file f.Lint_finding.line f.Lint_finding.rule)
+       fs)
+
+let test_typed_planted_tree () =
+  let root = typed_fixture_root () in
+  let cache_file = Filename.concat root "lint_cache.bin" in
+  let fs, _pg, cold = run_typed_exn ~cache_file root in
+  (* One finding per planted violation — the pragma'd twins and the test/
+     float fixture stay silent; t_arrow pins the arrow arm applying under
+     test/ too. *)
+  check_string "planted typed findings"
+    "lib/core/driver.ml:1:domain-race,lib/core/sched.ml:1:effect-purity,lib/core/use.ml:1:poly-compare,test/t_arrow.ml:1:poly-compare"
+    (finding_keys fs);
+  let race = List.find (fun f -> f.Lint_finding.rule = "domain-race") fs in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "race names the cross-module global" true
+    (contains race.Lint_finding.message "State.total");
+  check_bool "race reports the witness chain" true
+    (contains race.Lint_finding.message "State.bump");
+  let poly = List.find (fun f -> f.Lint_finding.file = "lib/core/use.ml") fs in
+  check_bool "poly names the carrier type" true (contains poly.Lint_finding.message "Pt.t");
+  (* cold pass extracted every artifact *)
+  check_int "cold: nothing from cache" 0 cold.Lint_engine.tp_from_cache;
+  check_bool "cold: extracted the tree" true (cold.Lint_engine.tp_extracted > 0);
+  (* warm pass: every module served from the content-addressed cache,
+     identical output bytes *)
+  let fs_warm, _, warm = run_typed_exn ~cache_file root in
+  check_int "warm: zero reparses" 0 warm.Lint_engine.tp_extracted;
+  check_int "warm: fully cache-served" cold.Lint_engine.tp_extracted warm.Lint_engine.tp_from_cache;
+  check_string "warm output is byte-identical" (Lint_engine.render_json fs)
+    (Lint_engine.render_json fs_warm);
+  (* --jobs parity on the typed pass *)
+  List.iter
+    (fun jobs ->
+      let fs_j, _, _ = run_typed_exn ~jobs ~cache_file root in
+      check_string
+        (Printf.sprintf "jobs=%d renders identical bytes" jobs)
+        (Lint_engine.render_json fs) (Lint_engine.render_json fs_j))
+    [ 1; 2; 8 ];
+  (* allowlist entries suppress typed rules with (rule, file) scoping *)
+  write_file (Filename.concat root "lint.allowlist") "domain-race lib/core/driver.ml\n";
+  let fs_allow, _, _ = run_typed_exn ~cache_file root in
+  check_string "allowlisted race disappears, rest survive"
+    "lib/core/sched.ml:1:effect-purity,lib/core/use.ml:1:poly-compare,test/t_arrow.ml:1:poly-compare"
+    (finding_keys fs_allow);
+  Sys.remove (Filename.concat root "lint.allowlist");
+  (* staleness: editing a source without rebuilding its cmt drops the module
+     (and its findings) instead of reporting against stale bytes *)
+  write_file (Filename.concat root "lib/core/use.ml") "let same (a : Pt.t) b = a == b\n";
+  let fs_stale, _, stale = run_typed_exn ~cache_file root in
+  check_int "edited-but-not-rebuilt module counts as stale" 1 stale.Lint_engine.tp_stale;
+  check_string "stale module's finding is gone"
+    "lib/core/driver.ml:1:domain-race,lib/core/sched.ml:1:effect-purity,test/t_arrow.ml:1:poly-compare"
+    (finding_keys fs_stale)
+
+let test_typed_effects_json () =
+  let root = typed_fixture_root () in
+  let _, pg, _ = run_typed_exn ~cache_file:(Filename.concat root "lint_cache.bin") root in
+  let json = Lint_typed_rules.effects_json pg in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length json && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "summary lists the nondet source" true (contains "\"fn\":\"Helper.jitter\"");
+  check_bool "kind is named" true (contains "\"nondet\"");
+  check_bool "witness chain reaches the culprit" true (contains "Random.float");
+  check_bool "the core caller is effectful too" true (contains "\"fn\":\"Driver.run\"" || contains "\"fn\":\"Sched.plan\"");
+  check_bool "counts are emitted" true (contains "\"effectful\":" && contains "\"total\":")
+
+let test_typed_rule_registry () =
+  check_string "typed rule ids" "domain-race,effect-purity,poly-compare"
+    (String.concat "," Lint_typed_rules.names);
+  List.iter
+    (fun name ->
+      check_bool (name ^ " is documented") true (List.mem_assoc name Lint_typed_rules.docs))
+    Lint_typed_rules.names
+
 (* ------------------------------------------------------ repo self-clean --- *)
 
 (* Same walk the lint fuzz-oracle uses: from dune's _build/default/test cwd
@@ -312,4 +478,8 @@ let () =
       );
       ( "engine",
         [ Alcotest.test_case "planted tree end to end" `Quick test_engine_planted_tree ] );
+      ( "typed",
+        [ Alcotest.test_case "typed rule registry" `Quick test_typed_rule_registry;
+          Alcotest.test_case "planted cmt tree end to end" `Quick test_typed_planted_tree;
+          Alcotest.test_case "effects json summary" `Quick test_typed_effects_json ] );
       ("self", [ Alcotest.test_case "repo is lint-clean" `Quick test_repo_is_lint_clean ]) ]

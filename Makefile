@@ -1,6 +1,6 @@
 TMP ?= /tmp/memsched-verify
 
-.PHONY: all build test lint lint-json lint-debt bench bench-smoke bench-hotpath-smoke bench-exact bench-exact-smoke bench-serve bench-online-smoke bench-lint bench-lint-smoke serve-smoke online-smoke fuzz-smoke verify clean
+.PHONY: all build test lint lint-json lint-debt bench bench-smoke bench-hotpath-smoke bench-sim bench-sim-smoke bench-exact bench-exact-smoke bench-serve bench-online-smoke bench-lint bench-lint-smoke serve-smoke online-smoke fuzz-smoke verify clean
 
 all: build
 
@@ -47,8 +47,25 @@ bench-smoke: build
 bench-hotpath-smoke: build
 	dune exec bench/main.exe -- --quick --skip-figures --only-hotpath
 	test -s results/BENCH_hotpath.json
-	jq -e '.bench == "hotpath" and ([.entries[] | select(.n_tasks >= 100000 and .opt_ms < 10000)] | length > 0) and ([.entries[] | select(.ref_ms != null)] | length > 0)' results/BENCH_hotpath.json > /dev/null
+	jq -e '.bench == "hotpath" and ([.entries[] | select(.n_tasks >= 100000 and .opt_ms < 10000)] | length > 0) and ([.entries[] | select(.ref_ms != null)] | length > 0) and ([.entries[] | select(.ref_ms == null) | .ref == "skipped"] | all)' results/BENCH_hotpath.json > /dev/null
 	@echo "bench-hotpath-smoke OK"
+
+# Verification-pipeline bench (campaign/sim): flat validate/trace/stats vs
+# the verbatim *_reference pipeline (bit-identity asserted on every A/B
+# row), the sharded validator's --jobs byte-identity, and the 10^6-task LU
+# row.  Writes results/BENCH_sim.json.
+bench-sim: build
+	dune exec bench/main.exe -- --only-sim
+
+# Sim smoke at quick scale: the 10^6-task row must complete its whole
+# verification pass (validate + trace + stats) in single-digit seconds, the
+# A/B and --jobs rows must all report bit-identical results, and any row
+# without a reference leg must say so explicitly.
+bench-sim-smoke: build
+	dune exec bench/main.exe -- --quick --only-sim
+	test -s results/BENCH_sim.json
+	jq -e '.bench == "sim" and ([.entries[] | select(.n_tasks >= 1000000 and (.validate_ms + .trace_ms + .stats_ms) < 10000)] | length > 0) and ([.entries[] | select(.identical != null) | .identical] | all) and ([.entries[] | select(.ref_ms == null and .section != "jobs") | .ref == "skipped"] | all)' results/BENCH_sim.json > /dev/null
+	@echo "bench-sim-smoke OK"
 
 # Exact-baseline bench (campaign/exact): node throughput of the commit/undo
 # branch-and-bound vs the per-node-copy reference, warm vs cold node LPs,
@@ -146,7 +163,7 @@ fuzz-smoke: build
 # Tier-1 verification plus a smoke run of the parallel runtime: the CLI is
 # driven end-to-end with --jobs 2 (multistart over the domain pool, then a
 # figure regeneration), so the parallel path is exercised on every run.
-verify: build lint test bench-smoke bench-hotpath-smoke bench-exact-smoke bench-online-smoke bench-lint-smoke serve-smoke online-smoke fuzz-smoke
+verify: build lint test bench-smoke bench-hotpath-smoke bench-sim-smoke bench-exact-smoke bench-online-smoke bench-lint-smoke serve-smoke online-smoke fuzz-smoke
 	mkdir -p $(TMP)
 	dune exec bin/memsched_cli.exe -- generate daggen --size 30 --seed 2014 -o $(TMP)/dag.txt
 	dune exec bin/memsched_cli.exe -- schedule $(TMP)/dag.txt -H memheft --restarts 8 --jobs 2

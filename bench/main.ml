@@ -3,14 +3,17 @@
    micro-benchmarks of the library's hot paths.
 
    Usage: main.exe [--quick | --paper] [--skip-micro] [--skip-figures]
-                   [--only-exact] [--only-serve] [--only-hotpath] [--only-online]
-                   [--only-lint] [--jobs N]
+                   [--only-exact] [--only-serve] [--only-hotpath] [--only-sim]
+                   [--only-online] [--only-lint] [--jobs N]
    Default scale completes in a few minutes; --paper runs the full SS 6
    campaign (50x30, 100x1000, 13x13 with the complete alpha grid).
    --only-exact runs just the campaign/exact section (results/BENCH_exact.json).
    --only-serve runs just the campaign/serve section (results/BENCH_serve.json).
    --only-hotpath runs just the campaign/hotpath section, including the
    10^5-task LU row (results/BENCH_hotpath.json).
+   --only-sim runs just the campaign/sim section — flat validate/trace/stats
+   vs the *_reference pipeline, --jobs byte-identity, and the 10^6-task LU
+   row (results/BENCH_sim.json).
    --only-online runs just the campaign/online section — plan under jittered
    arrivals, replay under multiplicative noise (results/BENCH_online.json).
    --only-lint runs just the campaign/lint section — typed static analysis
@@ -159,7 +162,7 @@ let run_hotpath_bench scale out_dir =
   let big_entry =
     [ ("family", Bench_json.S "lu"); ("param", Bench_json.I big_n);
       ("n_tasks", Bench_json.I n); ("heuristic", Bench_json.S "MemHEFT");
-      ("opt_ms", Bench_json.F (1e3 *. t_opt)) ]
+      ("opt_ms", Bench_json.F (1e3 *. t_opt)); ("ref", Bench_json.S "skipped") ]
   in
   let entries = List.rev !entries in
   Bench_json.write ~out_dir ~file:"BENCH_hotpath.json" ~bench:"hotpath"
@@ -172,6 +175,193 @@ let run_hotpath_bench scale out_dir =
            ("speedup", Bench_json.F (t_ref /. t_opt)) ])
        entries
     @ [ big_entry ])
+
+(* ----------------------------------------------------- campaign/sim ----- *)
+
+(* Verification-pipeline throughput (lib/sim): the flat validate / trace /
+   stats against the verbatim *_reference pipeline on small and medium
+   instances — every A/B row also asserts bit-identity of the two results —
+   the sharded validator's --jobs byte-identity (on a valid and on a
+   corrupted schedule, error report included), and the 10^6-task pin: HEFT
+   over the LU elimination DAG at n = 144 (1,005,720 kernel tasks),
+   validated at HEFT's own measured peaks (the §6.2.1 zero-rejection
+   regime), traced and stats'd.  The reference pipeline is deliberately
+   skipped on the big row — its per-processor [tasks_of_proc] rescans are
+   O(n·p) and its list-of-boxed-events trace rebuilds the heap per query;
+   the flat pipeline is the point of this section.  Emits
+   results/BENCH_sim.json. *)
+let run_sim_bench scale out_dir =
+  Printf.printf "\n==== campaign/sim -- flat verification pipeline ====\n\n%!";
+  let quick = scale = `Quick in
+  let report_equal a b =
+    match (a, b) with
+    | Ok (ra : Validator.report), Ok (rb : Validator.report) ->
+      Float.compare ra.Validator.makespan rb.Validator.makespan = 0
+      && Float.compare ra.Validator.peak_blue rb.Validator.peak_blue = 0
+      && Float.compare ra.Validator.peak_red rb.Validator.peak_red = 0
+    | Error ea, Error eb -> List.equal String.equal ea eb
+    | _ -> false
+  in
+  let farr_equal a b =
+    Array.length a = Array.length b && Array.for_all2 (fun x y -> Float.compare x y = 0) a b
+  in
+  let trace_equal (a : Events.trace) (b : Events.trace) =
+    farr_equal a.Events.times b.Events.times
+    && farr_equal a.Events.blue b.Events.blue
+    && farr_equal a.Events.red b.Events.red
+  in
+  let stats_equal (a : Sched_stats.t) (b : Sched_stats.t) =
+    Float.compare a.Sched_stats.makespan b.Sched_stats.makespan = 0
+    && Float.compare a.Sched_stats.total_work b.Sched_stats.total_work = 0
+    && Float.compare a.Sched_stats.peak_blue b.Sched_stats.peak_blue = 0
+    && Float.compare a.Sched_stats.peak_red b.Sched_stats.peak_red = 0
+    && Float.compare a.Sched_stats.avg_blue b.Sched_stats.avg_blue = 0
+    && Float.compare a.Sched_stats.avg_red b.Sched_stats.avg_red = 0
+    && a.Sched_stats.n_transfers = b.Sched_stats.n_transfers
+  in
+  let time reps f =
+    ignore (f ());
+    (* warm-up *)
+    let t0 = now () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (now () -. t0) /. float_of_int reps
+  in
+  let entries = ref [] in
+  let push e = entries := e :: !entries in
+  (* A/B rows: flat vs reference on HEFT schedules validated at HEFT's own
+     measured peaks, so the whole pipeline runs end-to-end (Ok verdicts). *)
+  let instances =
+    let rand size =
+      ( "random",
+        size,
+        (fun () -> List.hd (Workloads.large_rand_set ~count:1 ~size ())),
+        Workloads.platform_random )
+    in
+    let lu n = ("lu", n, (fun () -> Workloads.lu ~n ()), Workloads.platform_mirage) in
+    let chol n = ("cholesky", n, (fun () -> Workloads.cholesky ~n ()), Workloads.platform_mirage) in
+    if quick then [ rand 300; lu 8; chol 8 ] else [ rand 300; rand 1000; lu 13; chol 13 ]
+  in
+  List.iter
+    (fun (family, param, mk, platform) ->
+      let g = mk () in
+      let n = Dag.n_tasks g in
+      let s, (pb, pr) = Heuristics.heft_measured g platform in
+      let p = Platform.with_bounds platform ~m_blue:pb ~m_red:pr in
+      let reps = if quick then 3 else if n >= 1000 then 5 else 10 in
+      List.iter
+        (fun (comp, opt, refr, identical) ->
+          let t_opt = time reps opt in
+          let t_ref = time reps refr in
+          Printf.printf
+            "%-8s %-9s n=%-5d  opt %7.2f ms  ref %7.2f ms  speedup %5.2fx  identical %b\n%!" comp
+            family n (1e3 *. t_opt) (1e3 *. t_ref) (t_ref /. t_opt) identical;
+          push
+            [ ("section", Bench_json.S "ab"); ("family", Bench_json.S family);
+              ("param", Bench_json.I param); ("n_tasks", Bench_json.I n);
+              ("component", Bench_json.S comp); ("opt_ms", Bench_json.F (1e3 *. t_opt));
+              ("ref_ms", Bench_json.F (1e3 *. t_ref)); ("speedup", Bench_json.F (t_ref /. t_opt));
+              ("identical", Bench_json.B identical) ])
+        [ ( "validate",
+            (fun () -> ignore (Validator.validate g p s)),
+            (fun () -> ignore (Validator.validate_reference g p s)),
+            report_equal (Validator.validate g p s) (Validator.validate_reference g p s) );
+          ( "trace",
+            (fun () -> ignore (Events.memory_trace g p s)),
+            (fun () -> ignore (Events.memory_trace_reference g p s)),
+            trace_equal (Events.memory_trace g p s) (Events.memory_trace_reference g p s) );
+          ( "stats",
+            (fun () -> ignore (Sched_stats.compute g p s)),
+            (fun () -> ignore (Sched_stats.compute_reference g p s)),
+            stats_equal (Sched_stats.compute g p s) (Sched_stats.compute_reference g p s) ) ])
+    instances;
+  (* --jobs byte-identity of the sharded validator: a valid schedule and a
+     collapsed one (many planted errors), each vs the serial report. *)
+  let g = Workloads.lu ~n:(if quick then 10 else 13) () in
+  let n_jobs_tasks = Dag.n_tasks g in
+  let s, (pb, pr) = Heuristics.heft_measured g Workloads.platform_mirage in
+  let p = Platform.with_bounds Workloads.platform_mirage ~m_blue:pb ~m_red:pr in
+  let bad =
+    {
+      Schedule.starts = Array.make (Dag.n_tasks g) 0.;
+      procs = Array.make (Dag.n_tasks g) 0;
+      comm_starts = Array.make (Dag.n_edges g) None;
+    }
+  in
+  let serial_ok = Validator.validate g p s in
+  let serial_bad = Validator.validate g p bad in
+  (match serial_bad with
+  | Ok _ -> failwith "campaign/sim: collapsed schedule accepted"
+  | Error _ -> ());
+  List.iter
+    (fun jobs ->
+      let t0 = now () in
+      let pooled_ok, pooled_bad =
+        Par.with_pool ~jobs (fun pool ->
+            (Validator.validate ~pool g p s, Validator.validate ~pool g p bad))
+      in
+      let t = now () -. t0 in
+      let identical = report_equal serial_ok pooled_ok && report_equal serial_bad pooled_bad in
+      Printf.printf "validate  --jobs %d  n=%-5d  %7.3f s  identical %b\n%!" jobs n_jobs_tasks t
+        identical;
+      push
+        [ ("section", Bench_json.S "jobs"); ("jobs", Bench_json.I jobs);
+          ("n_tasks", Bench_json.I n_jobs_tasks); ("wall_s", Bench_json.F t);
+          ("identical", Bench_json.B identical) ])
+    [ 1; 2; 8 ];
+  (* The 10^6-task pin: single-digit seconds for validate + trace + stats.
+     Steady-state methodology: one Events.scratch is shared across the
+     sweep (the intended way to run repeated verifications at this size)
+     and each component reports the best of two timed passes, so the row
+     measures the pipeline rather than the first-touch page-fault cost of
+     the buffers on a cold machine. *)
+  let big_n = 144 in
+  let big_reps = 2 in
+  let g = Lu.generate ~pipeline_broadcasts:false ~n:big_n () in
+  let n = Dag.n_tasks g in
+  let t0 = now () in
+  let s, (pb, pr) = Heuristics.heft_measured g Workloads.platform_mirage in
+  let t_sched = now () -. t0 in
+  let p = Platform.with_bounds Workloads.platform_mirage ~m_blue:pb ~m_red:pr in
+  let scratch = Events.scratch () in
+  let best f =
+    let best = ref infinity in
+    for _ = 1 to big_reps do
+      let t0 = now () in
+      f ();
+      let t = now () -. t0 in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let t_validate =
+    best (fun () ->
+        match Validator.validate ~scratch g p s with
+        | Ok _ -> ()
+        | Error errs -> failwith ("campaign/sim: 10^6-task schedule rejected: " ^ List.hd errs))
+  in
+  let t_trace = best (fun () -> ignore (Events.memory_trace ~scratch g p s)) in
+  let t_stats = best (fun () -> ignore (Sched_stats.compute ~scratch g p s)) in
+  Printf.printf
+    "big       lu        n=%-8d sched %7.0f ms  validate %7.0f ms  trace %7.0f ms  stats %7.0f \
+     ms  (reference skipped)\n%!"
+    n (1e3 *. t_sched) (1e3 *. t_validate) (1e3 *. t_trace) (1e3 *. t_stats);
+  push
+    [ ("section", Bench_json.S "big"); ("family", Bench_json.S "lu");
+      ("param", Bench_json.I big_n); ("n_tasks", Bench_json.I n);
+      ("schedule_ms", Bench_json.F (1e3 *. t_sched));
+      ("validate_ms", Bench_json.F (1e3 *. t_validate));
+      ("trace_ms", Bench_json.F (1e3 *. t_trace)); ("stats_ms", Bench_json.F (1e3 *. t_stats));
+      ("ref", Bench_json.S "skipped") ];
+  Bench_json.write ~out_dir ~file:"BENCH_sim.json" ~bench:"sim"
+    ~scale:(match scale with `Quick -> "quick" | `Paper -> "paper" | `Default -> "default")
+    ~extra:
+      [ ("note",
+         Bench_json.S
+           "flat verification pipeline vs *_reference; every ab/jobs row cross-checks \
+            bit-identity; the big row's reference leg is skipped by design") ]
+    (List.rev !entries)
 
 (* --------------------------------------------------- campaign/exact ------ *)
 
@@ -707,6 +897,7 @@ let () =
   if List.mem "--only-exact" args then run_exact_bench scale out_dir
   else if List.mem "--only-serve" args then run_serve_bench scale out_dir
   else if List.mem "--only-hotpath" args then run_hotpath_bench scale out_dir
+  else if List.mem "--only-sim" args then run_sim_bench scale out_dir
   else if List.mem "--only-online" args then run_online_bench scale out_dir
   else if List.mem "--only-lint" args then run_lint_bench scale out_dir
   else begin
@@ -714,6 +905,7 @@ let () =
       Par.with_pool ~jobs (fun pool -> run_figures scale pool out_dir);
     run_sweep_par_bench jobs;
     run_hotpath_bench scale out_dir;
+    run_sim_bench scale out_dir;
     run_exact_bench scale out_dir;
     run_serve_bench scale out_dir;
     run_online_bench scale out_dir;

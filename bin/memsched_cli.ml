@@ -192,10 +192,14 @@ let schedule_cmd =
 let validate_cmd =
   let dag = Arg.(required & pos 0 (some file) None & info [] ~docv:"DAG" ~doc:"DAG file.") in
   let sched = Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEDULE" ~doc:"Schedule file.") in
-  let run platform dag sched =
+  let run platform dag sched jobs =
     let g = read_dag dag in
     let s = Schedule_io.read g sched in
-    match Validator.validate g platform s with
+    let result =
+      if jobs > 1 then Par.with_pool ~jobs (fun pool -> Validator.validate ~pool g platform s)
+      else Validator.validate g platform s
+    in
+    match result with
     | Ok r ->
       Printf.printf "valid: makespan=%g peaks=(%g, %g)\n" r.Validator.makespan r.Validator.peak_blue
         r.Validator.peak_red;
@@ -205,8 +209,11 @@ let validate_cmd =
       `Error (false, "schedule is invalid")
   in
   Cmd.v
-    (Cmd.info "validate" ~doc:"Re-check a stored schedule against the full model oracle.")
-    Term.(ret (const run $ platform_term $ dag $ sched))
+    (Cmd.info "validate"
+       ~doc:
+         "Re-check a stored schedule against the full model oracle. The report is byte-identical \
+          for every $(b,--jobs) value.")
+    Term.(ret (const run $ platform_term $ dag $ sched $ jobs_term))
 
 (* ------------------------------------------------------------------ exact *)
 

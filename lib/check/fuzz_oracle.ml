@@ -626,10 +626,123 @@ let o_replay_determinism =
     doc = "degradation campaign rows are bit-identical across jobs counts";
     check }
 
+(* The flat verification pipeline must be bit-identical to the verbatim
+   pre-flattening implementations kept as *_reference: validator reports
+   (verdict, every message, message order — also on deterministically
+   corrupted schedules that exercise each error phase), the memory-trace
+   arrays, every stats field, and the parallel validator vs the serial one. *)
+let o_sim_parity =
+  let report_equal a b =
+    match (a, b) with
+    | Ok (ra : Validator.report), Ok (rb : Validator.report) ->
+      Float.compare ra.Validator.makespan rb.Validator.makespan = 0
+      && Float.compare ra.Validator.peak_blue rb.Validator.peak_blue = 0
+      && Float.compare ra.Validator.peak_red rb.Validator.peak_red = 0
+    | Error ea, Error eb -> List.equal String.equal ea eb
+    | _ -> false
+  in
+  let per_proc_equal (a : Sched_stats.per_proc) (b : Sched_stats.per_proc) =
+    a.Sched_stats.proc = b.Sched_stats.proc
+    && a.Sched_stats.memory = b.Sched_stats.memory
+    && a.Sched_stats.n_tasks = b.Sched_stats.n_tasks
+    && Float.compare a.Sched_stats.busy b.Sched_stats.busy = 0
+    && Float.compare a.Sched_stats.idle b.Sched_stats.idle = 0
+  in
+  let stats_equal (a : Sched_stats.t) (b : Sched_stats.t) =
+    Float.compare a.Sched_stats.makespan b.Sched_stats.makespan = 0
+    && Float.compare a.Sched_stats.total_work b.Sched_stats.total_work = 0
+    && List.equal per_proc_equal a.Sched_stats.per_proc b.Sched_stats.per_proc
+    && Float.compare a.Sched_stats.mean_utilisation b.Sched_stats.mean_utilisation = 0
+    && a.Sched_stats.n_transfers = b.Sched_stats.n_transfers
+    && Float.compare a.Sched_stats.transfer_volume b.Sched_stats.transfer_volume = 0
+    && Float.compare a.Sched_stats.transfer_time b.Sched_stats.transfer_time = 0
+    && Float.compare a.Sched_stats.peak_blue b.Sched_stats.peak_blue = 0
+    && Float.compare a.Sched_stats.peak_red b.Sched_stats.peak_red = 0
+    && Float.compare a.Sched_stats.avg_blue b.Sched_stats.avg_blue = 0
+    && Float.compare a.Sched_stats.avg_red b.Sched_stats.avg_red = 0
+    && a.Sched_stats.tasks_on_blue = b.Sched_stats.tasks_on_blue
+    && a.Sched_stats.tasks_on_red = b.Sched_stats.tasks_on_red
+  in
+  let check cfg (i : Fuzz_instance.t) =
+    let g = i.Fuzz_instance.dag and p = i.Fuzz_instance.platform in
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+    let copy (s : Schedule.t) =
+      {
+        Schedule.starts = Array.copy s.Schedule.starts;
+        procs = Array.copy s.Schedule.procs;
+        comm_starts = Array.copy s.Schedule.comm_starts;
+      }
+    in
+    let check_schedule tag s =
+      if
+        not
+          (report_equal
+             (Validator.validate ~eps:cfg.eps g p s)
+             (Validator.validate_reference ~eps:cfg.eps g p s))
+      then err "%s: flat and reference validator reports differ" tag
+    in
+    List.iter
+      (fun name ->
+        match Heuristics.run name g p with
+        | Error _ -> ()
+        | Ok s ->
+          let tag = Heuristics.name_to_string name in
+          (* Intact schedule: reports, trace and stats.  Memory-oblivious
+             heuristics validated against the bounded platform on purpose —
+             their memory errors exercise the report-order parity. *)
+          check_schedule tag s;
+          let ta = Events.memory_trace g p s and tb = Events.memory_trace_reference g p s in
+          if
+            not
+              (float_array_equal ta.Events.times tb.Events.times
+              && float_array_equal ta.Events.blue tb.Events.blue
+              && float_array_equal ta.Events.red tb.Events.red)
+          then err "%s: flat and reference memory traces differ" tag;
+          if not (stats_equal (Sched_stats.compute g p s) (Sched_stats.compute_reference g p s))
+          then err "%s: flat and reference stats differ" tag;
+          (* Deterministic corruptions, one per error phase. *)
+          if Dag.n_tasks g > 0 then begin
+            List.iter
+              (fun (ctag, mutate) ->
+                let s' = copy s in
+                mutate s';
+                check_schedule (tag ^ "/" ^ ctag) s')
+              [ ("neg-start", fun s' -> s'.Schedule.starts.(0) <- -1.);
+                ("bad-proc", fun s' -> s'.Schedule.procs.(0) <- Platform.n_procs p);
+                ( "collapse",
+                  fun s' ->
+                    Array.fill s'.Schedule.starts 0 (Array.length s'.Schedule.starts) 0.;
+                    Array.fill s'.Schedule.procs 0 (Array.length s'.Schedule.procs) 0;
+                    Array.fill s'.Schedule.comm_starts 0 (Array.length s'.Schedule.comm_starts) None
+                ) ];
+            if Dag.n_edges g > 0 then begin
+              let s' = copy s in
+              (s'.Schedule.comm_starts.(0) <-
+                (match s'.Schedule.comm_starts.(0) with Some _ -> None | None -> Some 0.));
+              check_schedule (tag ^ "/flip-transfer") s'
+            end
+          end;
+          (* The parallel validator agrees with the serial one. *)
+          if Dag.n_tasks g <= cfg.jobs_task_limit then begin
+            let serial = Validator.validate ~eps:cfg.eps g p s in
+            let pooled =
+              Par.with_pool ~jobs:2 (fun pool -> Validator.validate ~eps:cfg.eps ~pool g p s)
+            in
+            if not (report_equal serial pooled) then
+              err "%s: validator report differs between serial and jobs=2" tag
+          end)
+      heuristic_names;
+    verdict_of_errors !errs
+  in
+  { name = "sim-parity";
+    doc = "flat validator/trace/stats agree bit-for-bit with the *_reference pipeline";
+    check }
+
 let all =
   [ o_validator; o_lower_bound; o_reference; o_exact; o_exact_agreement; o_infeasibility;
-    o_serialization; o_wire; o_jobs_invariance; o_noise0_fixpoint; o_online_dominance;
-    o_replay_determinism; o_lint ]
+    o_serialization; o_wire; o_jobs_invariance; o_sim_parity; o_noise0_fixpoint;
+    o_online_dominance; o_replay_determinism; o_lint ]
 
 let names = List.map (fun o -> o.name) all
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -33,7 +33,7 @@ type t = {
 val all : t list
 (** The full registry: [validator], [lower-bound], [reference-agreement],
     [exact-dominates], [exact-agreement], [infeasibility], [serialization],
-    [wire-roundtrip], [jobs-invariance], [lint].
+    [wire-roundtrip], [jobs-invariance], [sim-parity], [lint].
 
     [exact-agreement] cross-checks three independent routes to the optimum
     on tiny instances: the commit/undo branch-and-bound ({!Exact.solve}),
@@ -51,6 +51,15 @@ val all : t list
     version/kind bytes and oversized declared lengths must come back as
     {!Wire.error} values, never as exceptions; and the cache key must be
     invariant under the request id and nothing else.
+
+    [sim-parity] pins the flat verification pipeline to the verbatim
+    pre-flattening implementations: {!Validator.validate} vs
+    {!Validator.validate_reference} (verdict, every message and the message
+    order — also on deterministically corrupted schedules exercising each
+    error phase, and with a jobs=2 pool vs serial),
+    {!Events.memory_trace} vs {!Events.memory_trace_reference} (bit-equal
+    arrays) and {!Sched_stats.compute} vs {!Sched_stats.compute_reference}
+    (every field).
 
     [lint] folds the static harness into the dynamic one: it runs
     {!Lint_engine.run} over the repository containing the current working

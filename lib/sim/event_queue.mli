@@ -7,12 +7,21 @@
     are bit-identical to the pre-heap implementation — asserted by the
     heap-vs-sorted-reference tests in [test_sim].
 
+    The backing store is a structure-of-arrays heap: parallel
+    [times]/[kinds]/[seqs]/[payload] arrays indexed by heap slot, with no
+    per-entry record or option boxing — sized once via [capacity] the heap
+    never allocates on the add/pop path (the payload array itself is
+    allocated on the first {!add}).
+
     Times are compared with [Float.compare] (a total order); NaN times are
     rejected at {!add}.  No randomness, no wall clock, no global state. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 16) pre-sizes the backing arrays; the heap still
+    grows on demand past it.  Size it to the exact event count to make the
+    whole add/drain cycle allocation-free after creation. *)
 
 val add : 'a t -> time:float -> kind:int -> 'a -> unit
 (** O(log n).  [kind] orders simultaneous events ([0] before [1], ...: the
@@ -22,8 +31,19 @@ val add : 'a t -> time:float -> kind:int -> 'a -> unit
 val pop : 'a t -> (float * int * 'a) option
 (** Remove and return the minimum entry; [None] when empty. *)
 
+val drain_into :
+  'a t -> times:float array -> kinds:int array -> payloads:'a array -> int
+(** Pop everything into the caller-provided arrays (filled from index 0, in
+    deterministic pop order) and return the number of entries written — the
+    flat, allocation-free counterpart of {!drain}.
+    @raise Invalid_argument if any destination is shorter than {!length}. *)
+
 val drain : 'a t -> (float * int * 'a) list
-(** Pop everything: the full event list in deterministic order. *)
+(** Pop everything: the full event list in deterministic order.  Allocates a
+    tuple list; flat consumers use {!drain_into}.  (For a single
+    generate-everything-then-drain batch with no interleaved adds, the
+    streaming merge sort inside {!Events.memory_trace} beats either drain —
+    the heap is for genuinely incremental producers.) *)
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

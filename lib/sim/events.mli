@@ -14,7 +14,44 @@ type trace = {
   red : float array;
 }
 
-val memory_trace : Dag.t -> Platform.t -> Schedule.t -> trace
+type scratch
+(** Reusable working memory for {!memory_trace}: the event generation
+    triple, the merge-sort double buffer and the step accumulators, grown
+    on demand and retained across calls.  A trace over an [m]-event
+    schedule touches ~9 [m]-sized arrays; reusing one scratch across a
+    verification pass (validate, then trace, then stats on the same
+    instance) makes every call after the first allocate nothing but the
+    returned trace itself — on large instances the fresh-page cost of those
+    buffers otherwise dominates the sweep.  A scratch is single-threaded
+    state: share it between calls, never between domains. *)
+
+val scratch : unit -> scratch
+(** A fresh empty scratch (buffers are grown on first use). *)
+
+val memory_trace : ?scratch:scratch -> Dag.t -> Platform.t -> Schedule.t -> trace
+(** Flat reconstruction: events are generated straight into preallocated
+    parallel arrays sized from [n_tasks + 2 * n_edges] and ordered by one
+    streaming bottom-up merge sort (kind/seq/memory packed into an int key)
+    instead of a heap drain — same order, sequential access.  Bit-identical
+    to {!memory_trace_reference}. *)
+
+val memory_trace_into : scratch -> Dag.t -> Platform.t -> Schedule.t -> int
+(** Zero-copy form of {!memory_trace}: computes the trace into the
+    scratch's step accumulators and returns the step count, materialising
+    nothing.  Read the steps through {!scratch_steps}.  This is what the
+    validator's memory phase and [Sched_stats.compute] run on, so a
+    verification sweep only folds over buffers it already owns. *)
+
+val scratch_steps : scratch -> float array * float array * float array
+(** [(times, blue, red)] accumulator buffers of the last
+    {!memory_trace_into} over this scratch.  Only the prefix up to its
+    returned count is meaningful, and the contents are invalidated by the
+    next trace over the same scratch. *)
+
+val memory_trace_reference : Dag.t -> Platform.t -> Schedule.t -> trace
+(** The pre-flattening pipeline kept verbatim (tuple-list drain, [List.map]
+    re-box, reversed list accumulators): the A/B baseline for the parity
+    tests, the sim-parity fuzz oracle and the [campaign/sim] bench. *)
 
 val usage_at : trace -> Platform.memory -> float -> float
 (** Usage at a given instant (right-continuous step function). *)

@@ -26,5 +26,13 @@ type t = {
   tasks_on_red : int;
 }
 
-val compute : Dag.t -> Platform.t -> Schedule.t -> t
+val compute : ?scratch:Events.scratch -> Dag.t -> Platform.t -> Schedule.t -> t
+(** Flat implementation over the CSR cost arrays and the flat memory trace;
+    every field is bit-identical to {!compute_reference}.  [?scratch] is
+    passed through to {!Events.memory_trace}. *)
+
+val compute_reference : Dag.t -> Platform.t -> Schedule.t -> t
+(** The pre-flattening implementation kept verbatim: the A/B baseline for
+    the parity tests and the sim-parity fuzz oracle. *)
+
 val pp : Format.formatter -> t -> unit

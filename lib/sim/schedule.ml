@@ -36,6 +36,66 @@ let makespan g platform s =
   done;
   !m
 
+(* Flat per-task finish times in one pass over the SoA cost arrays: the same
+   [starts.(i) +. w] addition as [finish], so the values are bit-identical. *)
+let finishes g platform s =
+  let n = Dag.n_tasks g in
+  let wb = Dag.Csr.w_blue g and wr = Dag.Csr.w_red g in
+  let fin = Array.make (max 1 n) 0. in
+  for i = 0 to n - 1 do
+    let w =
+      match Platform.memory_of_proc platform s.procs.(i) with
+      | Platform.Blue -> wb.(i)
+      | Platform.Red -> wr.(i)
+    in
+    fin.(i) <- s.starts.(i) +. w
+  done;
+  fin
+
+(* Group all tasks by processor in one counting-sort pass (O(n + p)), then
+   sort each group in place by (start, finish, id).  The id tie-break makes
+   the comparator total, which reproduces [tasks_of_proc] exactly: that path
+   stable-sorts ascending task ids by (start, finish), so fully-tied tasks
+   stay in ascending-id order there too. *)
+let tasks_by_proc g platform s =
+  let n = Dag.n_tasks g in
+  let nprocs = Platform.n_procs platform in
+  let off = Array.make (nprocs + 1) 0 in
+  for i = 0 to n - 1 do
+    let p = s.procs.(i) in
+    if p < 0 || p >= nprocs then
+      invalid_arg "Schedule.tasks_by_proc: processor index out of range";
+    off.(p + 1) <- off.(p + 1) + 1
+  done;
+  for p = 1 to nprocs do
+    off.(p) <- off.(p) + off.(p - 1)
+  done;
+  let order = Array.make (max 1 n) 0 in
+  let next = Array.copy off in
+  for i = 0 to n - 1 do
+    let p = s.procs.(i) in
+    order.(next.(p)) <- i;
+    next.(p) <- next.(p) + 1
+  done;
+  let fin = finishes g platform s in
+  let starts = s.starts in
+  let cmp a b =
+    let c = Float.compare starts.(a) starts.(b) in
+    if c <> 0 then c
+    else
+      let c = Float.compare fin.(a) fin.(b) in
+      if c <> 0 then c else Int.compare a b
+  in
+  for p = 0 to nprocs - 1 do
+    let lo = off.(p) and hi = off.(p + 1) in
+    if hi - lo > 1 then begin
+      let seg = Array.sub order lo (hi - lo) in
+      Array.sort cmp seg;
+      Array.blit seg 0 order lo (hi - lo)
+    end
+  done;
+  (off, order)
+
 let tasks_of_proc g platform s p =
   let on_p = ref [] in
   for i = Dag.n_tasks g - 1 downto 0 do

@@ -40,7 +40,21 @@ val makespan : Dag.t -> Platform.t -> t -> float
 
 val tasks_of_proc : Dag.t -> Platform.t -> t -> int -> int list
 (** Tasks placed on a processor, sorted by start then finish time (so a
-    zero-duration task sharing a start instant precedes longer ones). *)
+    zero-duration task sharing a start instant precedes longer ones).
+    Scans all [n] tasks: a per-processor sweep over every processor should
+    use {!tasks_by_proc} instead (O(n + p) total, not O(n·p)). *)
+
+val tasks_by_proc : Dag.t -> Platform.t -> t -> int array * int array
+(** [(off, order)]: one grouped pass over all tasks — counting sort by
+    processor, then one in-place (start, finish, id) sort per group.  The
+    tasks of processor [p] are [order.(off.(p)) .. order.(off.(p+1) - 1)],
+    in exactly the order {!tasks_of_proc} returns them (the id tie-break
+    matches its stable sort, zero-duration ties included).
+    @raise Invalid_argument if any task's processor index is out of range. *)
+
+val finishes : Dag.t -> Platform.t -> t -> float array
+(** All finish times in one flat pass; [finishes g p s].(i) is bit-identical
+    to [finish g p s i]. *)
 
 val pp : Dag.t -> Platform.t -> Format.formatter -> t -> unit
 (** Human-readable listing of task placements and transfers. *)

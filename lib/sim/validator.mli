@@ -10,7 +10,13 @@ type report = {
 }
 
 val validate :
-  ?eps:float -> Dag.t -> Platform.t -> Schedule.t -> (report, string list) result
+  ?eps:float ->
+  ?pool:Par.t ->
+  ?scratch:Events.scratch ->
+  Dag.t ->
+  Platform.t ->
+  Schedule.t ->
+  (report, string list) result
 (** Checks, with tolerance [eps] (default [1e-6]):
     - placement sanity: processor indices in range, non-negative times;
     - transfer bookkeeping: every cut edge has a transfer, no same-memory
@@ -21,7 +27,23 @@ val validate :
     - memory constraints: the reconstructed usage of each memory never
       exceeds its capacity.
 
+    Flat implementation: edges are swept through the CSR arrays and the
+    per-processor overlap check runs on one {!Schedule.tasks_by_proc}
+    grouping pass (O(n + p) total instead of the reference's O(n·p)).
+    With [?pool] the edge and processor sweeps are sharded over contiguous
+    ascending ranges and merged in shard order, so the error report is
+    byte-identical for every jobs count — and to {!validate_reference}.
+    [?scratch] is passed through to {!Events.memory_trace} for the memory
+    phase, so a verification sweep can reuse one set of trace buffers.
+
     On success the report carries the makespan and both memory peaks. *)
 
-val validate_exn : ?eps:float -> Dag.t -> Platform.t -> Schedule.t -> report
+val validate_reference :
+  ?eps:float -> Dag.t -> Platform.t -> Schedule.t -> (report, string list) result
+(** The pre-flattening validator kept verbatim (per-processor
+    [tasks_of_proc] list recursion, boxed edge records, reference trace):
+    the A/B baseline for the parity tests and the sim-parity fuzz oracle. *)
+
+val validate_exn :
+  ?eps:float -> ?pool:Par.t -> ?scratch:Events.scratch -> Dag.t -> Platform.t -> Schedule.t -> report
 (** @raise Failure with all accumulated error messages. *)

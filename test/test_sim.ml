@@ -369,6 +369,176 @@ let test_sched_stats_pp () =
   let st = Sched_stats.compute dex p (s1 ()) in
   check_bool "prints" true (String.length (Format.asprintf "%a" Sched_stats.pp st) > 0)
 
+(* ---------------------------------------------------------- flat parity --- *)
+
+(* The flat verification pipeline (PR 10) must be bit-identical to the
+   verbatim pre-flattening implementations kept as *_reference: validator
+   reports including message order, the trace arrays, every stats field —
+   and the parallel validator must match the serial one for any --jobs. *)
+
+let report_equal a b =
+  match (a, b) with
+  | Ok (ra : Validator.report), Ok (rb : Validator.report) ->
+    Float.compare ra.Validator.makespan rb.Validator.makespan = 0
+    && Float.compare ra.Validator.peak_blue rb.Validator.peak_blue = 0
+    && Float.compare ra.Validator.peak_red rb.Validator.peak_red = 0
+  | Error ea, Error eb -> List.equal String.equal ea eb
+  | _ -> false
+
+let float_arrays_equal a b =
+  Array.length a = Array.length b && Array.for_all2 (fun x y -> Float.compare x y = 0) a b
+
+let parity_fixture seed =
+  let g = dag_of_seed ~size:16 seed in
+  let p = platform infinity in
+  match Heuristics.memheft g p with
+  | Ok s -> (g, p, s)
+  | Error _ -> Alcotest.fail "memheft infeasible on an unbounded platform"
+
+let test_validator_parity =
+  qtest ~count:120 "flat validator equals reference (incl. corrupted schedules)" seed_arb
+    (fun seed ->
+      let g, p, s = parity_fixture seed in
+      let agree s = report_equal (Validator.validate g p s) (Validator.validate_reference g p s) in
+      let corrupt f =
+        let s' = copy_sched s in
+        f s';
+        s'
+      in
+      agree s
+      && agree (corrupt (fun s' -> s'.Schedule.starts.(0) <- -1.))
+      && agree (corrupt (fun s' -> s'.Schedule.procs.(0) <- Platform.n_procs p))
+      && agree
+           (corrupt (fun s' ->
+                Array.fill s'.Schedule.starts 0 (Array.length s'.Schedule.starts) 0.;
+                Array.fill s'.Schedule.procs 0 (Array.length s'.Schedule.procs) 0;
+                Array.fill s'.Schedule.comm_starts 0 (Array.length s'.Schedule.comm_starts) None)))
+
+let test_trace_parity =
+  qtest ~count:200 "flat memory trace equals reference bit-for-bit" seed_arb
+    (fun seed ->
+      let g, p, s = parity_fixture seed in
+      let a = Events.memory_trace g p s and b = Events.memory_trace_reference g p s in
+      float_arrays_equal a.Events.times b.Events.times
+      && float_arrays_equal a.Events.blue b.Events.blue
+      && float_arrays_equal a.Events.red b.Events.red)
+
+let stats_equal (a : Sched_stats.t) (b : Sched_stats.t) =
+  let per_proc_equal (x : Sched_stats.per_proc) (y : Sched_stats.per_proc) =
+    x.Sched_stats.proc = y.Sched_stats.proc
+    && x.Sched_stats.memory = y.Sched_stats.memory
+    && x.Sched_stats.n_tasks = y.Sched_stats.n_tasks
+    && Float.compare x.Sched_stats.busy y.Sched_stats.busy = 0
+    && Float.compare x.Sched_stats.idle y.Sched_stats.idle = 0
+  in
+  Float.compare a.Sched_stats.makespan b.Sched_stats.makespan = 0
+  && Float.compare a.Sched_stats.total_work b.Sched_stats.total_work = 0
+  && List.equal per_proc_equal a.Sched_stats.per_proc b.Sched_stats.per_proc
+  && Float.compare a.Sched_stats.mean_utilisation b.Sched_stats.mean_utilisation = 0
+  && a.Sched_stats.n_transfers = b.Sched_stats.n_transfers
+  && Float.compare a.Sched_stats.transfer_volume b.Sched_stats.transfer_volume = 0
+  && Float.compare a.Sched_stats.transfer_time b.Sched_stats.transfer_time = 0
+  && Float.compare a.Sched_stats.peak_blue b.Sched_stats.peak_blue = 0
+  && Float.compare a.Sched_stats.peak_red b.Sched_stats.peak_red = 0
+  && Float.compare a.Sched_stats.avg_blue b.Sched_stats.avg_blue = 0
+  && Float.compare a.Sched_stats.avg_red b.Sched_stats.avg_red = 0
+  && a.Sched_stats.tasks_on_blue = b.Sched_stats.tasks_on_blue
+  && a.Sched_stats.tasks_on_red = b.Sched_stats.tasks_on_red
+
+let test_stats_parity =
+  qtest ~count:200 "flat stats equal reference on every field" seed_arb
+    (fun seed ->
+      let g, p, s = parity_fixture seed in
+      stats_equal (Sched_stats.compute g p s) (Sched_stats.compute_reference g p s))
+
+let test_scratch_reuse =
+  (* One scratch reused across differently-sized instances (and a corrupted
+     schedule in between) must give the same results as fresh computation:
+     stale buffer contents from an earlier, larger trace must never leak
+     into a later one. *)
+  qtest ~count:120 "scratch reuse across instances equals fresh computation" seed_arb
+    (fun seed ->
+      let sc = Events.scratch () in
+      let check seed' =
+        let g, p, s = parity_fixture seed' in
+        let trace_ok =
+          let a = Events.memory_trace ~scratch:sc g p s in
+          let b = Events.memory_trace g p s in
+          float_arrays_equal a.Events.times b.Events.times
+          && float_arrays_equal a.Events.blue b.Events.blue
+          && float_arrays_equal a.Events.red b.Events.red
+        in
+        let validate_ok =
+          report_equal (Validator.validate ~scratch:sc g p s) (Validator.validate g p s)
+        in
+        let bad = copy_sched s in
+        bad.Schedule.starts.(0) <- -1.;
+        let corrupted_ok =
+          report_equal (Validator.validate ~scratch:sc g p bad) (Validator.validate g p bad)
+        in
+        let stats_ok =
+          stats_equal (Sched_stats.compute ~scratch:sc g p s) (Sched_stats.compute g p s)
+        in
+        trace_ok && validate_ok && corrupted_ok && stats_ok
+      in
+      (* Three instances through the same scratch, sizes varying with seed. *)
+      check seed && check (seed lxor 0x5bd1) && check (seed + 17))
+
+let test_tasks_by_proc_parity =
+  qtest ~count:200 "tasks_by_proc groups equal tasks_of_proc on every processor" seed_arb
+    (fun seed ->
+      let g, p, s = parity_fixture seed in
+      let off, order = Schedule.tasks_by_proc g p s in
+      let ok = ref (off.(0) = 0 && off.(Platform.n_procs p) = Dag.n_tasks g) in
+      for q = 0 to Platform.n_procs p - 1 do
+        let grouped = Array.to_list (Array.sub order off.(q) (off.(q + 1) - off.(q))) in
+        if grouped <> Schedule.tasks_of_proc g p s q then ok := false
+      done;
+      !ok)
+
+let test_tasks_by_proc_zero_duration_ties () =
+  (* Fully-tied zero-duration tasks must stay in ascending-id order, exactly
+     as [tasks_of_proc]'s stable sort leaves them. *)
+  let g = build_dag ~tasks:[ ("a", 0., 0.); ("b", 2., 2.); ("c", 0., 0.) ] ~edges:[] in
+  let p = plat ~mb:5. ~mr:5. in
+  let s = Schedule.create g in
+  let off, order = Schedule.tasks_by_proc g p s in
+  check_int "all on proc 0" 3 (off.(1) - off.(0));
+  Alcotest.(check (list int)) "zero-duration ties first, by id" [ 0; 2; 1 ]
+    (Array.to_list (Array.sub order 0 3));
+  Alcotest.(check (list int)) "matches tasks_of_proc" (Schedule.tasks_of_proc g p s 0)
+    (Array.to_list (Array.sub order 0 3))
+
+let test_tasks_by_proc_rejects_bad_proc () =
+  let p = plat ~mb:5. ~mr:5. in
+  let s = s1 () in
+  s.Schedule.procs.(0) <- 9;
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Schedule.tasks_by_proc: processor index out of range") (fun () ->
+      ignore (Schedule.tasks_by_proc dex p s))
+
+let test_validator_jobs_parity () =
+  let g = dag_of_seed ~size:40 11 in
+  let p = platform infinity in
+  let s =
+    match Heuristics.memheft g p with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "memheft infeasible on an unbounded platform"
+  in
+  (* Collapse everything onto processor 0 to plant errors in several shards. *)
+  Array.fill s.Schedule.starts 0 (Array.length s.Schedule.starts) 0.;
+  Array.fill s.Schedule.procs 0 (Array.length s.Schedule.procs) 0;
+  Array.fill s.Schedule.comm_starts 0 (Array.length s.Schedule.comm_starts) None;
+  let serial = Validator.validate g p s in
+  (match serial with
+  | Ok _ -> Alcotest.fail "collapsed schedule accepted"
+  | Error errs -> check_bool "several errors planted" true (List.length errs > 1));
+  List.iter
+    (fun jobs ->
+      let pooled = Par.with_pool ~jobs (fun pool -> Validator.validate ~pool g p s) in
+      check_bool (Printf.sprintf "jobs=%d report identical" jobs) true (report_equal serial pooled))
+    [ 1; 2; 8 ]
+
 (* ---------------------------------------------------------- event queue --- *)
 
 (* The historical pipeline the heap must reproduce: cons-reversed
@@ -408,6 +578,26 @@ let test_event_queue_tie_order () =
   let order = List.map (fun (_, _, p) -> p) (Event_queue.drain q) in
   (* time 1 first; then the (2, 0) ties in reverse insertion order; kind 1 last. *)
   Alcotest.(check (list int)) "deterministic tie order" [ 4; 2; 1; 0; 3 ] order
+
+let test_event_queue_drain_into () =
+  let q = Event_queue.create ~capacity:2 () in
+  List.iter
+    (fun (t, k, p) -> Event_queue.add q ~time:t ~kind:k p)
+    [ (2., 0, 0); (1., 1, 1); (2., 0, 2) ];
+  let n = Event_queue.length q in
+  let times = Array.make n 0. and kinds = Array.make n 0 and payloads = Array.make n (-1) in
+  check_int "count" 3 (Event_queue.drain_into q ~times ~kinds ~payloads);
+  (* time 1 first; then the (2, 0) ties in reverse insertion order. *)
+  Alcotest.(check (list int)) "payload order" [ 1; 2; 0 ] (Array.to_list payloads);
+  check_float "first time" 1. times.(0);
+  check_int "first kind" 1 kinds.(0);
+  check_bool "emptied" true (Event_queue.is_empty q);
+  Alcotest.check_raises "short destination"
+    (Invalid_argument "Event_queue.drain_into: destination arrays shorter than the queue")
+    (fun () ->
+      let q = Event_queue.create () in
+      Event_queue.add q ~time:0. ~kind:0 0;
+      ignore (Event_queue.drain_into q ~times:[||] ~kinds:[||] ~payloads:[||]))
 
 let test_event_queue_vs_reference =
   qtest ~count:500 "heap order equals reversed-accumulator + stable sort"
@@ -462,10 +652,20 @@ let () =
       ( "stats",
         [ Alcotest.test_case "paper example" `Quick test_sched_stats;
           Alcotest.test_case "pp" `Quick test_sched_stats_pp ] );
+      ( "flat-parity",
+        [ test_validator_parity;
+          test_trace_parity;
+          test_stats_parity;
+          test_scratch_reuse;
+          test_tasks_by_proc_parity;
+          Alcotest.test_case "zero-duration ties" `Quick test_tasks_by_proc_zero_duration_ties;
+          Alcotest.test_case "bad processor rejected" `Quick test_tasks_by_proc_rejects_bad_proc;
+          Alcotest.test_case "jobs 1/2/8 parity" `Quick test_validator_jobs_parity ] );
       ( "event-queue",
         [ Alcotest.test_case "basic" `Quick test_event_queue_basic;
           Alcotest.test_case "NaN rejected" `Quick test_event_queue_nan_rejected;
           Alcotest.test_case "tie order" `Quick test_event_queue_tie_order;
+          Alcotest.test_case "drain_into" `Quick test_event_queue_drain_into;
           test_event_queue_vs_reference ] );
       ( "gantt",
         [ Alcotest.test_case "render" `Quick test_gantt_render;
